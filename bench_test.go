@@ -1,0 +1,201 @@
+package detlb_test
+
+// Benchmark harness: one benchmark per experiment in DESIGN.md's
+// per-experiment index (E1–E10 plus the matching-model extension), each
+// regenerating the corresponding table at full size, plus micro-benchmarks
+// for the hot paths (engine step, serial vs parallel, actor round, spectral
+// gap, graph sampling). Run:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks exist to time the reproduction pipeline and to
+// make every table reproducible from a single command; their tables are the
+// content of EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"detlb"
+	"detlb/internal/analysis"
+)
+
+func fullCfg() analysis.Config { return analysis.Config{Seed: 1} }
+
+func benchExperiment(b *testing.B, run func(analysis.Config) *analysis.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := run(fullCfg())
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty experiment table")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates E1, the empirical Table 1.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, analysis.Table1) }
+
+// BenchmarkThm23Expander regenerates E2 (Theorem 2.3(i) on expanders).
+func BenchmarkThm23Expander(b *testing.B) { benchExperiment(b, analysis.Thm23Expander) }
+
+// BenchmarkThm23Cycle regenerates E3 (Theorem 2.3(ii) on cycles).
+func BenchmarkThm23Cycle(b *testing.B) { benchExperiment(b, analysis.Thm23Cycle) }
+
+// BenchmarkThm33GoodS regenerates E4 (Theorem 3.3, time-to-O(d) vs s).
+func BenchmarkThm33GoodS(b *testing.B) { benchExperiment(b, analysis.Thm33GoodS) }
+
+// BenchmarkThm41LowerBound regenerates E5 (Theorem 4.1 steady flows).
+func BenchmarkThm41LowerBound(b *testing.B) { benchExperiment(b, analysis.Thm41) }
+
+// BenchmarkThm42Stateless regenerates E6 (Theorem 4.2 stateless trap).
+func BenchmarkThm42Stateless(b *testing.B) { benchExperiment(b, analysis.Thm42) }
+
+// BenchmarkThm43RotorNoLoops regenerates E7 (Theorem 4.3 period-2 orbits).
+func BenchmarkThm43RotorNoLoops(b *testing.B) { benchExperiment(b, analysis.Thm43) }
+
+// BenchmarkFairnessAudit regenerates E8 (Observation 2.2 fairness constants).
+func BenchmarkFairnessAudit(b *testing.B) { benchExperiment(b, analysis.FairnessAudit) }
+
+// BenchmarkPotentialDrop regenerates E9 (Lemma 3.5/3.7 monotonicity).
+func BenchmarkPotentialDrop(b *testing.B) { benchExperiment(b, analysis.PotentialDrop) }
+
+// BenchmarkExpanderHeadline regenerates E10 (√log n vs log n crossover).
+func BenchmarkExpanderHeadline(b *testing.B) { benchExperiment(b, analysis.ExpanderHeadline) }
+
+// BenchmarkPhaseStructure regenerates E11 (Theorem 3.3 proof phases).
+func BenchmarkPhaseStructure(b *testing.B) { benchExperiment(b, analysis.PhaseExperiment) }
+
+// BenchmarkMatchingModel regenerates the dimension-exchange extension table.
+func BenchmarkMatchingModel(b *testing.B) { benchExperiment(b, analysis.MatchingModel) }
+
+// BenchmarkIrregularExtension regenerates EXT2 (non-regular graphs).
+func BenchmarkIrregularExtension(b *testing.B) { benchExperiment(b, analysis.IrregularExperiment) }
+
+// BenchmarkWeightedTokens regenerates EXT3 (non-uniform tokens).
+func BenchmarkWeightedTokens(b *testing.B) { benchExperiment(b, analysis.WeightedExperiment) }
+
+// BenchmarkAblationSelfLoops regenerates ABL1 (d° sweep).
+func BenchmarkAblationSelfLoops(b *testing.B) { benchExperiment(b, analysis.AblationSelfLoops) }
+
+// BenchmarkAblationRotorOrder regenerates ABL2 (slot-order ablation).
+func BenchmarkAblationRotorOrder(b *testing.B) { benchExperiment(b, analysis.AblationRotorOrder) }
+
+// --- micro-benchmarks -------------------------------------------------------
+
+func benchStep(b *testing.B, algo detlb.Balancer, workers int) {
+	g := detlb.RandomRegular(1024, 8, 1)
+	bg := detlb.Lazy(g)
+	x1 := detlb.PointMass(g.N(), 0, int64(64*g.N())+7)
+	eng := detlb.MustEngine(bg, algo, x1, detlb.WithWorkers(workers))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepSendFloor measures one engine round of SEND(⌊x/d⁺⌋) on a
+// 1024-node expander (serial).
+func BenchmarkStepSendFloor(b *testing.B) { benchStep(b, detlb.NewSendFloor(), 0) }
+
+// BenchmarkStepRotorRouter measures one rotor-router round (serial).
+func BenchmarkStepRotorRouter(b *testing.B) { benchStep(b, detlb.NewRotorRouter(), 0) }
+
+// BenchmarkStepRotorRouterParallel measures the same round with 8 workers.
+func BenchmarkStepRotorRouterParallel(b *testing.B) { benchStep(b, detlb.NewRotorRouter(), 8) }
+
+// BenchmarkStepGoodS measures one good-4-balancer round (serial).
+func BenchmarkStepGoodS(b *testing.B) { benchStep(b, detlb.NewGoodS(4), 0) }
+
+// BenchmarkStepContinuousMimic measures the [4] baseline (runs a shadow
+// continuous process each round).
+func BenchmarkStepContinuousMimic(b *testing.B) { benchStep(b, detlb.NewContinuousMimic(), 0) }
+
+// BenchmarkStepAudited measures a rotor-router round with the full auditor
+// stack attached — the overhead of checking the paper's invariants.
+func BenchmarkStepAudited(b *testing.B) {
+	g := detlb.RandomRegular(1024, 8, 1)
+	bg := detlb.Lazy(g)
+	x1 := detlb.PointMass(g.N(), 0, int64(64*g.N())+7)
+	eng := detlb.MustEngine(bg, detlb.NewRotorRouter(), x1,
+		detlb.WithAuditor(detlb.NewConservationAuditor()),
+		detlb.WithAuditor(detlb.NewMinShareAuditor()),
+		detlb.WithAuditor(detlb.NewRoundFairAuditor()),
+		detlb.WithAuditor(detlb.NewCumulativeFairnessAuditor(1)),
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkActorRound measures one barrier round of the goroutine-per-node
+// runtime on a 256-node expander.
+func BenchmarkActorRound(b *testing.B) {
+	g := detlb.RandomRegular(256, 8, 1)
+	bg := detlb.Lazy(g)
+	nw, err := detlb.NewActorNetwork(bg, detlb.NewRotorRouter(),
+		detlb.PointMass(g.N(), 0, int64(16*g.N())+3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nw.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step()
+	}
+}
+
+// BenchmarkSpectralGapAnalytic measures gap computation with an analytic ν₂.
+func BenchmarkSpectralGapAnalytic(b *testing.B) {
+	bg := detlb.Lazy(detlb.Torus(2, 32))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if detlb.SpectralGap(bg) <= 0 {
+			b.Fatal("bad gap")
+		}
+	}
+}
+
+// BenchmarkSpectralGapPowerIteration measures the projected power iteration
+// on a 256-node expander (no analytic hint).
+func BenchmarkSpectralGapPowerIteration(b *testing.B) {
+	bg := detlb.Lazy(detlb.RandomRegular(256, 8, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if detlb.SpectralGap(bg) <= 0 {
+			b.Fatal("bad gap")
+		}
+	}
+}
+
+// BenchmarkRandomRegularSampling measures d-regular graph generation with
+// edge-switch repair.
+func BenchmarkRandomRegularSampling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := detlb.RandomRegular(512, 8, int64(i+1))
+		if g.N() != 512 {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+// BenchmarkContinuousStep measures one continuous diffusion round on a
+// 1024-node expander — the substrate of the [4] baseline and of T estimates.
+func BenchmarkContinuousStep(b *testing.B) {
+	bg := detlb.Lazy(detlb.RandomRegular(1024, 8, 1))
+	c := detlb.NewContinuous(bg, detlb.PointMass(1024, 0, 65543))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}

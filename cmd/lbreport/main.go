@@ -1,0 +1,49 @@
+// Command lbreport regenerates the complete experiment suite and writes it
+// as a single Markdown report — the machine-produced companion to
+// EXPERIMENTS.md (which adds the paper-vs-measured commentary).
+//
+// Usage:
+//
+//	lbreport [-quick] [-workers n] [-seed s] [-o report.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"detlb/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	quick := flag.Bool("quick", false, "use small instances")
+	workers := flag.Int("workers", 0, "engine worker goroutines")
+	seed := flag.Int64("seed", 1, "seed for randomized components")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	cfg := analysis.Config{Quick: *quick, Workers: *workers, Seed: *seed}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbreport:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	title := "detlb experiment report (full size)"
+	if *quick {
+		title = "detlb experiment report (quick size)"
+	}
+	if err := analysis.WriteReport(w, title, analysis.AllExperiments(cfg)); err != nil {
+		fmt.Fprintln(os.Stderr, "lbreport:", err)
+		return 1
+	}
+	return 0
+}

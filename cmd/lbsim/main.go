@@ -1,0 +1,279 @@
+// Command lbsim runs a single load-balancing simulation: one graph, one
+// algorithm, one workload, printing the discrepancy trajectory and the final
+// audit summary.
+//
+// Usage:
+//
+//	lbsim -graph cycle:64 -algo rotor-router -workload point:512 \
+//	      -rounds 0 -loops -1 -sample 100 [-audit] [-workers 4]
+//
+// Graphs:    cycle:N | torus:SIDE[,R] | hypercube:R | complete:N |
+//
+//	random:N,D[,SEED] | petersen | gp:N,K | kbipartite:K | circulant:N,S1+S2+…
+//
+// Workloads: point:TOTAL | uniform:EACH | bimodal:LO,HI | random:MAX[,SEED] |
+//
+//	ramp:BASE,STEP
+//
+// Algos:     send-floor | send-round | rotor-router | rotor-router* |
+//
+//	good:S | biased | rand-extra[:SEED] | rand-round[:SEED] |
+//	mimic | bounded-error | matching | matching-rand
+//
+// -rounds 0 uses the paper's horizon T = ⌈16·ln(nK)/µ⌉.
+// -loops -1 uses d° = d (the lazy default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"detlb/internal/analysis"
+	"detlb/internal/balancer"
+	"detlb/internal/core"
+	"detlb/internal/graph"
+	"detlb/internal/spectral"
+	"detlb/internal/trace"
+	"detlb/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	graphSpec := flag.String("graph", "cycle:64", "graph family:params")
+	algoSpec := flag.String("algo", "rotor-router", "algorithm")
+	loadSpec := flag.String("workload", "point:512", "initial load vector")
+	rounds := flag.Int("rounds", 0, "round cap (0 = paper horizon T)")
+	loops := flag.Int("loops", -1, "self-loops per node (-1 = d, the lazy default)")
+	sample := flag.Int("sample", 0, "print discrepancy every k rounds (0 = only summary)")
+	audit := flag.Bool("audit", false, "attach conservation, min-share and fairness auditors")
+	workers := flag.Int("workers", 0, "engine worker goroutines")
+	csvPath := flag.String("csv", "", "write the sampled discrepancy series to this CSV file")
+	orbit := flag.Bool("orbit", false, "after the run, detect the process's eventual load cycle")
+	flag.Parse()
+
+	g, err := parseGraph(*graphSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		return 2
+	}
+	selfLoops := *loops
+	if selfLoops < 0 {
+		selfLoops = g.Degree()
+	}
+	b, err := graph.NewBalancing(g, selfLoops)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		return 2
+	}
+	algo, err := parseAlgo(*algoSpec, b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		return 2
+	}
+	x1, err := parseWorkload(*loadSpec, g.N())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		return 2
+	}
+
+	mu := spectral.Gap(b)
+	k := core.Discrepancy(x1)
+	fmt.Printf("graph=%s d=%d d°=%d d⁺=%d µ=%.4g diam=%d\n",
+		g.Name(), g.Degree(), b.SelfLoops(), b.DegreePlus(), mu, g.Diameter())
+	fmt.Printf("algo=%s workload K=%d total=%d\n", algo.Name(), k, workload.Total(x1))
+
+	var fair *core.CumulativeFairnessAuditor
+	var auditors []core.Auditor
+	var rec *trace.Recorder
+	if *csvPath != "" {
+		interval := *sample
+		if interval <= 0 {
+			interval = 1
+		}
+		rec = trace.NewRecorder(interval)
+		auditors = append(auditors, rec)
+	}
+	if *audit {
+		fair = core.NewCumulativeFairnessAuditor(-1)
+		auditors = append(auditors,
+			core.NewConservationAuditor(),
+			core.NewMinShareAuditor(),
+			fair,
+		)
+	}
+	res := analysis.Run(analysis.RunSpec{
+		Balancing:   b,
+		Algorithm:   algo,
+		Initial:     x1,
+		MaxRounds:   *rounds,
+		Patience:    16 * g.N(),
+		Workers:     *workers,
+		Auditors:    auditors,
+		SampleEvery: *sample,
+	})
+	for _, p := range res.Series {
+		fmt.Printf("round %8d  discrepancy %6d\n", p.Round, p.Discrepancy)
+	}
+	fmt.Println(res.String())
+	if fair != nil {
+		fmt.Printf("measured cumulative fairness δ = %d\n", fair.MaxDelta)
+	}
+	if rec != nil {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			return 1
+		}
+		fmt.Printf("wrote %d samples to %s\n", len(rec.Samples()), *csvPath)
+	}
+	if *orbit {
+		// Re-run from scratch warmed past the observed stopping round: the
+		// orbit detector needs its own engine (fresh balancer state).
+		o, err := analysis.DetectOrbit(b, algo, x1, res.Rounds, 4*g.N()+64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			return 1
+		}
+		if o == nil {
+			fmt.Println("no verified load cycle within the search bound (stateful rotors can cycle very slowly)")
+		} else {
+			fmt.Printf("verified load cycle: period %d entered by round %d, discrepancy %d..%d\n",
+				o.Period, o.Preperiod, o.MinDiscrepancy, o.MaxDiscrepancy)
+		}
+	}
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim: audit failed:", res.Err)
+		return 1
+	}
+	return 0
+}
+
+func parseGraph(spec string) (*graph.Graph, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	args := strings.Split(arg, ",")
+	atoi := func(i int, def int) int {
+		if i >= len(args) || args[i] == "" {
+			return def
+		}
+		v, err := strconv.Atoi(args[i])
+		if err != nil {
+			return def
+		}
+		return v
+	}
+	switch name {
+	case "cycle":
+		return graph.Cycle(atoi(0, 64)), nil
+	case "torus":
+		return graph.Torus(atoi(1, 2), atoi(0, 16)), nil
+	case "hypercube":
+		return graph.Hypercube(atoi(0, 8)), nil
+	case "complete":
+		return graph.Complete(atoi(0, 16)), nil
+	case "random":
+		return graph.RandomRegular(atoi(0, 256), atoi(1, 8), int64(atoi(2, 1))), nil
+	case "petersen":
+		return graph.Petersen(), nil
+	case "gp":
+		return graph.GeneralizedPetersen(atoi(0, 5), atoi(1, 2)), nil
+	case "kbipartite":
+		return graph.CompleteBipartite(atoi(0, 8)), nil
+	case "circulant":
+		n := atoi(0, 32)
+		var offsets []int
+		if len(args) > 1 {
+			for _, s := range strings.Split(args[1], "+") {
+				v, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, fmt.Errorf("bad circulant offset %q", s)
+				}
+				offsets = append(offsets, v)
+			}
+		} else {
+			offsets = []int{1, 2}
+		}
+		return graph.Circulant(n, offsets), nil
+	default:
+		return nil, fmt.Errorf("unknown graph %q", name)
+	}
+}
+
+func parseAlgo(spec string, b *graph.Balancing) (core.Balancer, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	seed := int64(1)
+	if v, err := strconv.ParseInt(arg, 10, 64); err == nil {
+		seed = v
+	}
+	switch name {
+	case "send-floor":
+		return balancer.NewSendFloor(), nil
+	case "send-round":
+		return balancer.NewSendRound(), nil
+	case "rotor-router":
+		return balancer.NewRotorRouter(), nil
+	case "rotor-router*", "rotor-star":
+		return balancer.NewRotorRouterStar(), nil
+	case "good":
+		s, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("good:S needs an integer s, got %q", arg)
+		}
+		return balancer.NewGoodS(s), nil
+	case "biased":
+		return balancer.NewBiasedRounding(), nil
+	case "rand-extra":
+		return balancer.NewRandomizedExtra(seed), nil
+	case "rand-round":
+		return balancer.NewRandomizedRounding(seed), nil
+	case "mimic":
+		return balancer.NewContinuousMimic(), nil
+	case "bounded-error":
+		return balancer.NewBoundedError(), nil
+	case "matching":
+		return balancer.NewMatchingBalancer(balancer.EdgeColoringScheduler(b.Graph()), false, seed), nil
+	case "matching-rand":
+		return balancer.NewMatchingBalancer(balancer.NewRandomMatchingScheduler(b.Graph(), seed), true, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func parseWorkload(spec string, n int) ([]int64, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	args := strings.Split(arg, ",")
+	atoi := func(i int, def int64) int64 {
+		if i >= len(args) || args[i] == "" {
+			return def
+		}
+		v, err := strconv.ParseInt(args[i], 10, 64)
+		if err != nil {
+			return def
+		}
+		return v
+	}
+	switch name {
+	case "point":
+		return workload.PointMass(n, 0, atoi(0, int64(8*n))), nil
+	case "uniform":
+		return workload.Uniform(n, atoi(0, 8)), nil
+	case "bimodal":
+		return workload.Bimodal(n, atoi(0, 0), atoi(1, 64)), nil
+	case "random":
+		return workload.Random(n, atoi(0, 64), atoi(1, 1)), nil
+	case "ramp":
+		return workload.Ramp(n, atoi(0, 0), atoi(1, 1)), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"testing"
+
+	"detlb/internal/graph"
+)
+
+func TestParseGraphVariants(t *testing.T) {
+	cases := []struct {
+		spec string
+		n, d int
+	}{
+		{"cycle:12", 12, 2},
+		{"torus:8,2", 64, 4},
+		{"torus:4,3", 64, 6},
+		{"hypercube:5", 32, 5},
+		{"complete:9", 9, 8},
+		{"petersen", 10, 3},
+		{"kbipartite:4", 8, 4},
+		{"circulant:16,1+3", 16, 4},
+		{"random:32,4,2", 32, 4},
+	}
+	for _, c := range cases {
+		g, err := parseGraph(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if g.N() != c.n || g.Degree() != c.d {
+			t.Errorf("%s: n=%d d=%d, want n=%d d=%d", c.spec, g.N(), g.Degree(), c.n, c.d)
+		}
+	}
+}
+
+func TestParseGraphRejectsUnknown(t *testing.T) {
+	if _, err := parseGraph("dodecahedron:12"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := parseGraph("circulant:16,1+x"); err == nil {
+		t.Fatal("expected offset parse error")
+	}
+}
+
+func TestParseAlgoVariants(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	for _, spec := range []string{
+		"send-floor", "send-round", "rotor-router", "rotor-router*", "rotor-star",
+		"good:2", "biased", "rand-extra:7", "rand-round", "mimic", "bounded-error",
+		"matching", "matching-rand",
+	} {
+		algo, err := parseAlgo(spec, b)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if algo.Name() == "" {
+			t.Fatalf("%s: empty name", spec)
+		}
+	}
+}
+
+func TestParseAlgoRejects(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	if _, err := parseAlgo("quantum", b); err == nil {
+		t.Fatal("expected unknown algorithm error")
+	}
+	if _, err := parseAlgo("good:x", b); err == nil {
+		t.Fatal("expected good:S parse error")
+	}
+}
+
+func TestParseWorkloadVariants(t *testing.T) {
+	cases := []struct {
+		spec  string
+		total int64
+	}{
+		{"point:100", 100},
+		{"uniform:3", 24},
+		{"bimodal:1,5", 4*5 + 4*1},
+		{"ramp:0,1", 28},
+	}
+	for _, c := range cases {
+		x, err := parseWorkload(c.spec, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		var sum int64
+		for _, v := range x {
+			sum += v
+		}
+		if sum != c.total {
+			t.Errorf("%s: total %d, want %d", c.spec, sum, c.total)
+		}
+	}
+	if _, err := parseWorkload("tsunami:1", 8); err == nil {
+		t.Fatal("expected unknown workload error")
+	}
+	if x, err := parseWorkload("random:10,3", 8); err != nil || len(x) != 8 {
+		t.Fatalf("random workload: %v %v", x, err)
+	}
+}

@@ -1,0 +1,227 @@
+package detlb
+
+import (
+	"detlb/internal/actor"
+	"detlb/internal/analysis"
+	"detlb/internal/balancer"
+	"detlb/internal/core"
+	"detlb/internal/graph"
+	"detlb/internal/lowerbound"
+	"detlb/internal/spectral"
+	"detlb/internal/trace"
+	"detlb/internal/workload"
+)
+
+// Graph types and constructors.
+type (
+	// Graph is a symmetric directed d-regular graph (Section 1.3's G).
+	Graph = graph.Graph
+	// Balancing is the balancing graph G+ with d° self-loops per node.
+	Balancing = graph.Balancing
+	// Arc identifies a directed original edge (u, i).
+	Arc = graph.Arc
+)
+
+// Graph family constructors.
+var (
+	// NewGraph validates and wraps an adjacency list.
+	NewGraph = graph.New
+	// Cycle returns the n-cycle.
+	Cycle = graph.Cycle
+	// Complete returns K_n.
+	Complete = graph.Complete
+	// Hypercube returns the r-dimensional hypercube.
+	Hypercube = graph.Hypercube
+	// Torus returns the r-dimensional side^r torus.
+	Torus = graph.Torus
+	// Circulant returns a circulant graph with symmetric offsets.
+	Circulant = graph.Circulant
+	// CliqueCirculant returns Theorem 4.2's d-regular clique-bearing graph.
+	CliqueCirculant = graph.CliqueCirculant
+	// Petersen returns the Petersen graph (odd girth 5).
+	Petersen = graph.Petersen
+	// GeneralizedPetersen returns GP(n, k), a 3-regular odd-girth sweep.
+	GeneralizedPetersen = graph.GeneralizedPetersen
+	// CompleteBipartite returns K_{k,k}.
+	CompleteBipartite = graph.CompleteBipartite
+	// RandomRegular samples a simple connected d-regular graph, seeded.
+	RandomRegular = graph.RandomRegular
+	// NewBalancing attaches d° self-loops to a graph.
+	NewBalancing = graph.NewBalancing
+	// Lazy attaches d° = d self-loops (the paper's default, d⁺ = 2d).
+	Lazy = graph.Lazy
+	// WithLoops attaches an explicit number of self-loops, panicking on
+	// invalid input.
+	WithLoops = graph.WithLoops
+)
+
+// Core framework types.
+type (
+	// Balancer is a load-balancing algorithm.
+	Balancer = core.Balancer
+	// NodeBalancer computes one node's per-round token distribution.
+	NodeBalancer = core.NodeBalancer
+	// Engine runs the synchronous diffusive process.
+	Engine = core.Engine
+	// Auditor checks a runtime invariant each round.
+	Auditor = core.Auditor
+	// RunSpec describes one harness simulation.
+	RunSpec = analysis.RunSpec
+	// RunResult captures a harness simulation outcome.
+	RunResult = analysis.RunResult
+)
+
+// Engine construction and options.
+var (
+	// NewEngine binds an algorithm to a balancing graph and initial loads.
+	NewEngine = core.NewEngine
+	// MustEngine is NewEngine, panicking on error.
+	MustEngine = core.MustEngine
+	// WithWorkers sets engine parallelism.
+	WithWorkers = core.WithWorkers
+	// WithFlowTracking enables cumulative per-arc flow counters.
+	WithFlowTracking = core.WithFlowTracking
+	// WithAuditor attaches an invariant auditor.
+	WithAuditor = core.WithAuditor
+)
+
+// Invariant auditors (the paper's definitions as runtime checks).
+var (
+	// NewConservationAuditor checks token conservation.
+	NewConservationAuditor = core.NewConservationAuditor
+	// NewNonNegativeAuditor fails on any negative load.
+	NewNonNegativeAuditor = core.NewNonNegativeAuditor
+	// NewNegativeLoadCounter records negative loads without failing.
+	NewNegativeLoadCounter = core.NewNegativeLoadCounter
+	// NewCumulativeFairnessAuditor checks Def 2.1's cumulative δ-fairness.
+	NewCumulativeFairnessAuditor = core.NewCumulativeFairnessAuditor
+	// NewMinShareAuditor checks Def 2.1(i)'s ⌊x/d⁺⌋ minimum per edge.
+	NewMinShareAuditor = core.NewMinShareAuditor
+	// NewRoundFairAuditor checks Def 3.1's round-fairness.
+	NewRoundFairAuditor = core.NewRoundFairAuditor
+	// NewSelfPreferenceAuditor checks Def 3.1(2)'s s-self-preference.
+	NewSelfPreferenceAuditor = core.NewSelfPreferenceAuditor
+	// NewPotentialTracker tracks the φ/φ′ potentials of Section 3.
+	NewPotentialTracker = core.NewPotentialTracker
+)
+
+// Load-vector metrics and potentials.
+var (
+	// Discrepancy returns max load − min load.
+	Discrepancy = core.Discrepancy
+	// Balancedness returns max load − ⌈average⌉.
+	Balancedness = core.Balancedness
+	// Phi evaluates the potential φ(c) of Section 3.
+	Phi = core.Phi
+	// PhiPrime evaluates the potential φ′(c) of Section 3.
+	PhiPrime = core.PhiPrime
+)
+
+// Algorithms.
+var (
+	// NewSendFloor returns SEND(⌊x/d⁺⌋) (cumulatively 0-fair, stateless).
+	NewSendFloor = balancer.NewSendFloor
+	// NewSendRound returns SEND([x/d⁺]) (cumulatively 0-fair, round-fair).
+	NewSendRound = balancer.NewSendRound
+	// NewRotorRouter returns the rotor-router (cumulatively 1-fair).
+	NewRotorRouter = balancer.NewRotorRouter
+	// NewRotorRouterStar returns ROTOR-ROUTER*, a good 1-balancer.
+	NewRotorRouterStar = balancer.NewRotorRouterStar
+	// NewGoodS returns the canonical good s-balancer of Def 3.1.
+	NewGoodS = balancer.NewGoodS
+	// NewBiasedRounding returns the [17]-class round-fair adversary.
+	NewBiasedRounding = balancer.NewBiasedRounding
+	// NewRandomizedExtra returns the randomized baseline of [5].
+	NewRandomizedExtra = balancer.NewRandomizedExtra
+	// NewRandomizedRounding returns the randomized baseline of [18].
+	NewRandomizedRounding = balancer.NewRandomizedRounding
+	// NewContinuousMimic returns the continuous-flow-mimicking scheme of [4].
+	NewContinuousMimic = balancer.NewContinuousMimic
+	// NewBoundedError returns the bounded-error (quasirandom) diffusion of [9].
+	NewBoundedError = balancer.NewBoundedError
+	// NewContinuous returns the continuous diffusion process itself.
+	NewContinuous = balancer.NewContinuous
+	// NewMatchingBalancer returns a dimension-exchange balancer (extension).
+	NewMatchingBalancer = balancer.NewMatchingBalancer
+	// EdgeColoringScheduler builds a periodic balancing circuit.
+	EdgeColoringScheduler = balancer.EdgeColoringScheduler
+	// NewRandomMatchingScheduler builds a random-matching source.
+	NewRandomMatchingScheduler = balancer.NewRandomMatchingScheduler
+)
+
+// RotorRouter is the configurable rotor-router type (orders, initial rotors).
+type RotorRouter = balancer.RotorRouter
+
+// Spectral quantities.
+var (
+	// SpectralGap returns µ = 1 − λ₂ of the balancing graph.
+	SpectralGap = spectral.Gap
+	// Lambda2 returns the second largest transition-matrix eigenvalue.
+	Lambda2 = spectral.Lambda2
+	// BalancingTime returns the paper's T = ⌈16·ln(nK)/µ⌉.
+	BalancingTime = spectral.BalancingTime
+	// MixingTime returns t_µ = ⌈6·ln n/µ⌉, the proofs' phase length.
+	MixingTime = spectral.MixingTime
+	// SpectrumDense returns the full transition spectrum (small graphs).
+	SpectrumDense = spectral.SpectrumDense
+	// ProbabilityCurrent evaluates the per-step walk-distribution change the
+	// Theorem 2.3(i) proof integrates.
+	ProbabilityCurrent = spectral.ProbabilityCurrent
+)
+
+// Workloads.
+var (
+	// PointMass puts the whole load on one node.
+	PointMass = workload.PointMass
+	// UniformLoad gives every node the same load.
+	UniformLoad = workload.Uniform
+	// BimodalLoad splits nodes between two load levels.
+	BimodalLoad = workload.Bimodal
+	// RandomLoad draws per-node loads uniformly, seeded.
+	RandomLoad = workload.Random
+	// RampLoad assigns a linear load gradient.
+	RampLoad = workload.Ramp
+	// PowerLawLoad draws heavy-tailed loads, seeded.
+	PowerLawLoad = workload.PowerLaw
+	// CheckerboardLoad alternates two load levels by node index.
+	CheckerboardLoad = workload.Checkerboard
+)
+
+// Experiment harness.
+var (
+	// Run executes a RunSpec to the paper's horizon T with early stopping.
+	Run = analysis.Run
+	// RunToTarget measures the first round reaching a discrepancy target.
+	RunToTarget = analysis.RunToTarget
+	// AllExperiments regenerates every experiment table (E1–E10 + EXT).
+	AllExperiments = analysis.AllExperiments
+	// Converge profiles halving times down to a discrepancy target.
+	Converge = analysis.Converge
+	// WindowDeviation measures the Equation (7) window-average deviation.
+	WindowDeviation = analysis.WindowDeviation
+)
+
+// TraceRecorder samples per-round load statistics for CSV/JSONL export.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a recorder sampling every interval rounds.
+var NewTraceRecorder = trace.NewRecorder
+
+// ExperimentConfig tunes the experiment suite.
+type ExperimentConfig = analysis.Config
+
+// Lower-bound constructions (Section 4).
+var (
+	// SteadyFlowInstance builds Theorem 4.1's stuck round-fair instance.
+	SteadyFlowInstance = lowerbound.SteadyFlowInstance
+	// StatelessTrap runs Theorem 4.2's adversary on a stateless balancer.
+	StatelessTrap = lowerbound.StatelessTrap
+	// RotorAlternatingInstance builds Theorem 4.3's period-2 rotor state.
+	RotorAlternatingInstance = lowerbound.RotorAlternatingInstance
+)
+
+// Actor runtime.
+type ActorNetwork = actor.Network
+
+// NewActorNetwork starts a goroutine-per-processor realization of the model.
+var NewActorNetwork = actor.New

@@ -1,0 +1,33 @@
+// Package detlb is a Go reproduction of "Improved Analysis of Deterministic
+// Load-Balancing Schemes" (Berenbrink, Klasing, Kosowski, Mallmann-Trenn,
+// Uznański; PODC 2015): discrete diffusive token balancing on d-regular
+// graphs augmented with self-loops.
+//
+// The package is a facade re-exporting the library's public surface:
+//
+//   - graph construction (cycles, tori, hypercubes, expanders, …) and the
+//     balancing graph G+ with d° self-loops (DegreePlus, Lazy);
+//   - every algorithm the paper names — SEND(⌊x/d⁺⌋), SEND([x/d⁺]),
+//     ROTOR-ROUTER, ROTOR-ROUTER*, generic good s-balancers — plus the
+//     literature baselines of Table 1 and the continuous diffusion process;
+//   - the deterministic synchronous engine with invariant auditors
+//     (cumulative δ-fairness, round-fairness, s-self-preference, token
+//     conservation) and the φ/φ′ potential functions of Section 3;
+//   - spectral utilities (eigenvalue gap µ, balancing time T = O(log(Kn)/µ));
+//   - the experiment harness regenerating the paper's Table 1 and one
+//     experiment per theorem (see DESIGN.md and EXPERIMENTS.md);
+//   - an actor runtime executing the same model with one goroutine per
+//     processor and channel message passing.
+//
+// Quick start:
+//
+//	g := detlb.Cycle(64)                  // d-regular graph
+//	b := detlb.Lazy(g)                    // G+ with d° = d self-loops
+//	x1 := detlb.PointMass(g.N(), 0, 1000) // all tokens on node 0
+//	eng := detlb.MustEngine(b, detlb.NewRotorRouter(), x1)
+//	for eng.Discrepancy() > 2 {
+//		_ = eng.Step()
+//	}
+//
+// See examples/ for complete programs.
+package detlb

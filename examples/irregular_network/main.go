@@ -1,0 +1,61 @@
+// Irregular network: the paper's non-regular extension in action. An
+// edge-datacenter topology — one high-degree aggregation hub, mid-degree
+// racks, degree-1 leaf devices — balances a burst of work with the
+// degree-aware rotor-router. The fixed point is not the uniform load but the
+// degree-proportional fair share m·d⁺(u)/Σd⁺, and the run converges to it.
+package main
+
+import (
+	"fmt"
+
+	"detlb"
+)
+
+func main() {
+	// Topology: hub 0 connects to 6 racks; each rack connects to 4 leaves.
+	const racks, leavesPerRack = 6, 4
+	n := 1 + racks + racks*leavesPerRack
+	adj := make([][]int, n)
+	link := func(u, v int) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for r := 0; r < racks; r++ {
+		rack := 1 + r
+		link(0, rack)
+		for l := 0; l < leavesPerRack; l++ {
+			leaf := 1 + racks + r*leavesPerRack + l
+			link(rack, leaf)
+		}
+	}
+	g, err := detlb.NewIrregularGraph("edge-dc", adj)
+	if err != nil {
+		panic(err)
+	}
+	b := detlb.IrregularLazy(g)
+	fmt.Printf("edge datacenter: %d nodes; hub degree %d, rack degree %d, leaf degree %d\n",
+		g.N(), g.Degree(0), g.Degree(1), g.Degree(n-1))
+
+	// A burst of 9001 work items lands on a single leaf device.
+	x1 := make([]int64, n)
+	x1[n-1] = 9001
+	eng, err := detlb.NewIrregularEngine(b, detlb.IrregularRotorRouter{}, x1)
+	if err != nil {
+		panic(err)
+	}
+	target := b.FairShare(9001)
+	fmt.Printf("fair share: hub %.1f, rack %.1f, leaf %.1f (degree-proportional)\n",
+		target[0], target[1], target[n-1])
+
+	for round := 1; round <= 6000; round++ {
+		eng.Step()
+		if round%1000 == 0 {
+			fmt.Printf("round %5d: max deviation from fair share %.1f, relative discrepancy %.2f\n",
+				round, b.DeviationFromFairShare(eng.Loads()), b.RelativeDiscrepancy(eng.Loads()))
+		}
+	}
+	fmt.Printf("\nfinal loads: hub %d, rack[0] %d, leaf[last] %d (conserved total %d)\n",
+		eng.Loads()[0], eng.Loads()[1], eng.Loads()[n-1], eng.TotalLoad())
+	fmt.Println("the spread per unit of degree — the irregular analogue of the paper's")
+	fmt.Println("discrepancy — has collapsed to O(1), matching the regular-case theorems.")
+}

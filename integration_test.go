@@ -1,0 +1,266 @@
+package detlb_test
+
+// Integration tests: cross-module scenarios running the public API end to
+// end — every deterministic algorithm on every graph family, audited;
+// determinism across worker counts; engine/actor equivalence including
+// RoundObserver-based algorithms; post-convergence stability.
+
+import (
+	"fmt"
+	"testing"
+
+	"detlb"
+)
+
+func smallGraphs() []*detlb.Graph {
+	return []*detlb.Graph{
+		detlb.Cycle(17),
+		detlb.Torus(2, 5),
+		detlb.Hypercube(5),
+		detlb.Complete(9),
+		detlb.Petersen(),
+		detlb.RandomRegular(48, 6, 21),
+	}
+}
+
+func deterministicAlgos(d int) map[string]func() detlb.Balancer {
+	algos := map[string]func() detlb.Balancer{
+		"send-floor":    func() detlb.Balancer { return detlb.NewSendFloor() },
+		"send-round":    func() detlb.Balancer { return detlb.NewSendRound() },
+		"rotor-router":  func() detlb.Balancer { return detlb.NewRotorRouter() },
+		"rotor-router*": func() detlb.Balancer { return detlb.NewRotorRouterStar() },
+	}
+	if d >= 2 {
+		algos["good-2"] = func() detlb.Balancer { return detlb.NewGoodS(2) }
+	}
+	return algos
+}
+
+// TestEveryAlgorithmOnEveryFamily drives the full deterministic suite across
+// the graph families under the complete audit stack and requires every run
+// to land at O(d) discrepancy.
+func TestEveryAlgorithmOnEveryFamily(t *testing.T) {
+	for _, g := range smallGraphs() {
+		b := detlb.Lazy(g)
+		x1 := detlb.PointMass(g.N(), 0, int64(12*g.N())+5)
+		for name, mk := range deterministicAlgos(g.Degree()) {
+			t.Run(fmt.Sprintf("%s/%s", g.Name(), name), func(t *testing.T) {
+				res := detlb.Run(detlb.RunSpec{
+					Balancing: b,
+					Algorithm: mk(),
+					Initial:   x1,
+					Patience:  16 * g.N(),
+					Auditors: []detlb.Auditor{
+						detlb.NewConservationAuditor(),
+						detlb.NewNonNegativeAuditor(),
+						detlb.NewMinShareAuditor(),
+					},
+				})
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+				if res.MinDiscrepancy > int64(4*g.Degree()) {
+					t.Fatalf("discrepancy %d > 4d on %s", res.MinDiscrepancy, g.Name())
+				}
+			})
+		}
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts verifies the parallel engine is
+// bit-identical for every worker count, for stateful and stateless
+// algorithms alike.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	g := detlb.RandomRegular(96, 6, 13)
+	b := detlb.Lazy(g)
+	x1 := detlb.RandomLoad(96, 300, 4)
+	for name, mk := range deterministicAlgos(g.Degree()) {
+		var reference []int64
+		for _, workers := range []int{0, 2, 4, 7} {
+			eng := detlb.MustEngine(b, mk(), x1, detlb.WithWorkers(workers))
+			for i := 0; i < 250; i++ {
+				if err := eng.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if reference == nil {
+				reference = append([]int64(nil), eng.Loads()...)
+				continue
+			}
+			for u := range reference {
+				if eng.Loads()[u] != reference[u] {
+					t.Fatalf("%s: workers=%d diverged at node %d", name, workers, u)
+				}
+			}
+		}
+	}
+}
+
+// TestActorEquivalenceWithObservers checks the actor runtime against the
+// engine for algorithms that rely on the global BeginRound hook.
+func TestActorEquivalenceWithObservers(t *testing.T) {
+	g := detlb.Hypercube(5)
+	b := detlb.Lazy(g)
+	x1 := detlb.PointMass(g.N(), 0, 1607)
+	cases := map[string]func() detlb.Balancer{
+		"bounded-error": func() detlb.Balancer { return detlb.NewBoundedError() },
+		"matching": func() detlb.Balancer {
+			return detlb.NewMatchingBalancer(detlb.EdgeColoringScheduler(g), false, 1)
+		},
+	}
+	for name, mk := range cases {
+		eng := detlb.MustEngine(b, mk(), x1)
+		nw, err := detlb.NewActorNetwork(b, mk(), x1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 150; round++ {
+			if err := eng.Step(); err != nil {
+				nw.Close()
+				t.Fatal(err)
+			}
+			nw.Step()
+			for u := range x1 {
+				if eng.Loads()[u] != nw.Loads()[u] {
+					nw.Close()
+					t.Fatalf("%s: engine/actor divergence at round %d node %d", name, round+1, u)
+				}
+			}
+		}
+		nw.Close()
+	}
+}
+
+// TestPostConvergenceStability: once a deterministic fair balancer
+// converges, the discrepancy never blows back up (the load vector enters a
+// bounded orbit).
+func TestPostConvergenceStability(t *testing.T) {
+	g := detlb.Hypercube(6)
+	b := detlb.Lazy(g)
+	x1 := detlb.PointMass(g.N(), 0, int64(10*g.N())+3)
+	for name, mk := range deterministicAlgos(g.Degree()) {
+		eng := detlb.MustEngine(b, mk(), x1)
+		// Converge.
+		for i := 0; i < 2000; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		settled := eng.Discrepancy()
+		// Watch for regressions.
+		worst := settled
+		for i := 0; i < 2000; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if d := eng.Discrepancy(); d > worst {
+				worst = d
+			}
+		}
+		if worst > settled+int64(2*g.Degree()) {
+			t.Fatalf("%s: discrepancy regressed from %d to %d", name, settled, worst)
+		}
+	}
+}
+
+// TestMixedWorkloadsAllBalance runs each workload generator through one
+// balancer and expects convergence — the workload package and engine agree
+// on conventions.
+func TestMixedWorkloadsAllBalance(t *testing.T) {
+	g := detlb.RandomRegular(64, 6, 5)
+	b := detlb.Lazy(g)
+	workloads := map[string][]int64{
+		"point":   detlb.PointMass(64, 3, 2001),
+		"uniform": detlb.UniformLoad(64, 31),
+		"bimodal": detlb.BimodalLoad(64, 2, 200),
+		"random":  detlb.RandomLoad(64, 400, 6),
+		"ramp":    detlb.RampLoad(64, 5, 7),
+	}
+	for name, x1 := range workloads {
+		res := detlb.Run(detlb.RunSpec{
+			Balancing: b,
+			Algorithm: detlb.NewRotorRouterStar(),
+			Initial:   x1,
+			Patience:  1024,
+		})
+		if res.Err != nil {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		if res.MinDiscrepancy > int64(2*g.Degree()) {
+			t.Fatalf("%s: discrepancy %d", name, res.MinDiscrepancy)
+		}
+	}
+}
+
+// TestSelfLoopSweep varies d° and checks the paper's d° ≥ d regime balances
+// everywhere while d° = 0 still conserves and terminates.
+func TestSelfLoopSweep(t *testing.T) {
+	g := detlb.Cycle(24)
+	x1 := detlb.PointMass(24, 0, 24*9+5)
+	for _, loops := range []int{0, 1, 2, 3, 6} {
+		b := detlb.WithLoops(g, loops)
+		res := detlb.Run(detlb.RunSpec{
+			Balancing: b,
+			Algorithm: detlb.NewRotorRouter(),
+			Initial:   x1,
+			MaxRounds: 20000,
+			Patience:  2000,
+			Auditors:  []detlb.Auditor{detlb.NewConservationAuditor()},
+		})
+		if res.Err != nil {
+			t.Fatalf("d°=%d: %v", loops, res.Err)
+		}
+		if loops >= 2 && res.MinDiscrepancy > 8 {
+			t.Fatalf("d°=%d (lazy regime): discrepancy %d", loops, res.MinDiscrepancy)
+		}
+	}
+}
+
+// TestCheckerboardLazinessMatters: on a bipartite graph without self-loops
+// the continuous chain has eigenvalue −1, and the checkerboard input is its
+// eigenvector — the non-lazy continuous process oscillates forever while the
+// lazy one (d° = d) converges. This is why the paper adds self-loops.
+func TestCheckerboardLazinessMatters(t *testing.T) {
+	g := detlb.Cycle(16) // bipartite (even cycle)
+	x1 := detlb.CheckerboardLoad(16, 0, 100)
+
+	osc := detlb.NewContinuous(detlb.WithLoops(g, 0), x1)
+	for i := 0; i < 501; i++ {
+		osc.Step()
+	}
+	if osc.Discrepancy() < 99 {
+		t.Fatalf("non-lazy chain should still oscillate, discrepancy %v", osc.Discrepancy())
+	}
+
+	lazy := detlb.NewContinuous(detlb.Lazy(g), x1)
+	lazy.RunUntil(0.5, 100000)
+	if lazy.Discrepancy() > 0.5 {
+		t.Fatalf("lazy chain should converge, discrepancy %v", lazy.Discrepancy())
+	}
+}
+
+// TestHeavyTailWorkloadBalances drives a power-law input through a good
+// s-balancer with the potential tracker attached: the heavy tail drains
+// without a single monotonicity violation.
+func TestHeavyTailWorkloadBalances(t *testing.T) {
+	g := detlb.RandomRegular(128, 6, 9)
+	b := detlb.Lazy(g)
+	x1 := detlb.PowerLawLoad(128, 3, 1.5, 100000, 11)
+	tracker := detlb.NewPotentialTracker(2, 50, 100, 1000)
+	res := detlb.Run(detlb.RunSpec{
+		Balancing: b,
+		Algorithm: detlb.NewGoodS(2),
+		Initial:   x1,
+		Patience:  4096,
+		Auditors:  []detlb.Auditor{tracker, detlb.NewConservationAuditor()},
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if tracker.Violations != 0 {
+		t.Fatalf("%d potential violations on heavy-tailed input", tracker.Violations)
+	}
+	if res.MinDiscrepancy > int64(4*g.Degree()) {
+		t.Fatalf("discrepancy %d", res.MinDiscrepancy)
+	}
+}

@@ -1,0 +1,162 @@
+// Package actor runs the paper's synchronous balancing model as an actual
+// message-passing system: one goroutine per processor, token transfers as
+// channel messages, and rounds delimited by a coordinator barrier. It
+// produces bit-identical load trajectories to the deterministic round engine
+// in internal/core (the tests assert this), serving both as a distributed-
+// systems realization of Section 1.3 and as a cross-check of the engine.
+package actor
+
+import (
+	"fmt"
+	"sync"
+
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+// message carries tokens over one original edge.
+type message struct {
+	tokens int64
+}
+
+// node is one processor goroutine's state.
+type node struct {
+	id    int
+	load  int64
+	bal   core.NodeBalancer
+	out   []chan<- message // channel per out-edge, indexed like adjacency
+	inbox chan message     // shared inbox, capacity = in-degree
+	start chan struct{}    // round barrier: one token per round, closed on shutdown
+
+	sends []int64
+}
+
+// Network is a running actor system for one balancing instance.
+type Network struct {
+	b     *graph.Balancing
+	algo  core.Balancer
+	nodes []*node
+
+	done chan int // node ids reporting round completion
+
+	loads  []int64
+	round  int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New spins up one goroutine per node, wired according to the balancing
+// graph. Callers must Close the network to release the goroutines.
+func New(b *graph.Balancing, algo core.Balancer, x1 []int64) (*Network, error) {
+	if len(x1) != b.N() {
+		return nil, fmt.Errorf("actor: load vector has %d entries for %d nodes", len(x1), b.N())
+	}
+	g := b.Graph()
+	nw := &Network{
+		b:     b,
+		algo:  algo,
+		nodes: make([]*node, b.N()),
+		done:  make(chan int, b.N()),
+		loads: append([]int64(nil), x1...),
+	}
+	balancers := algo.Bind(b)
+	inboxes := make([]chan message, b.N())
+	for u := range inboxes {
+		inboxes[u] = make(chan message, g.Degree())
+	}
+	for u := 0; u < b.N(); u++ {
+		out := make([]chan<- message, g.Degree())
+		for i, v := range g.Neighbors(u) {
+			out[i] = inboxes[v]
+		}
+		nw.nodes[u] = &node{
+			id:    u,
+			load:  x1[u],
+			bal:   balancers[u],
+			out:   out,
+			inbox: inboxes[u],
+			start: make(chan struct{}, 1),
+			sends: make([]int64, g.Degree()),
+		}
+	}
+	for _, nd := range nw.nodes {
+		nw.wg.Add(1)
+		go nw.runNode(nd)
+	}
+	return nw, nil
+}
+
+// runNode is the per-processor loop: on each start signal it distributes its
+// load, ships tokens to its neighbors, collects exactly in-degree deliveries
+// (the inbox buffering guarantees senders never block), and reports done.
+func (nw *Network) runNode(nd *node) {
+	defer nw.wg.Done()
+	degree := nw.b.Degree()
+	for range nd.start {
+		nd.bal.Distribute(nd.load, nd.sends, nil)
+		kept := nd.load
+		for i, s := range nd.sends {
+			kept -= s
+			nd.out[i] <- message{tokens: s}
+		}
+		received := int64(0)
+		for i := 0; i < degree; i++ {
+			m := <-nd.inbox
+			received += m.tokens
+		}
+		nd.load = kept + received
+		nw.done <- nd.id
+	}
+}
+
+// Step runs one synchronous round across all node goroutines and returns the
+// resulting load vector (shared; do not modify).
+func (nw *Network) Step() []int64 {
+	if nw.closed {
+		panic("actor: Step after Close")
+	}
+	nw.round++
+	if obs, ok := nw.algo.(core.RoundObserver); ok {
+		obs.BeginRound(nw.round, nw.loads)
+	}
+	for _, nd := range nw.nodes {
+		nd.start <- struct{}{}
+	}
+	for range nw.nodes {
+		<-nw.done
+	}
+	for u, nd := range nw.nodes {
+		nw.loads[u] = nd.load
+	}
+	return nw.loads
+}
+
+// Run executes the given number of rounds.
+func (nw *Network) Run(rounds int) []int64 {
+	for i := 0; i < rounds; i++ {
+		nw.Step()
+	}
+	return nw.loads
+}
+
+// Loads returns the current load vector (valid between Steps; shared).
+func (nw *Network) Loads() []int64 { return nw.loads }
+
+// Round returns the number of completed rounds.
+func (nw *Network) Round() int { return nw.round }
+
+// Discrepancy returns max − min of the current loads.
+func (nw *Network) Discrepancy() int64 { return core.Discrepancy(nw.loads) }
+
+// Close shuts down all node goroutines and waits for them to exit. The
+// network cannot be restarted.
+func (nw *Network) Close() {
+	if nw.closed {
+		return
+	}
+	nw.closed = true
+	for _, nd := range nw.nodes {
+		close(nd.start)
+	}
+	nw.wg.Wait()
+}

@@ -1,0 +1,145 @@
+package actor
+
+import (
+	"testing"
+
+	"detlb/internal/balancer"
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+func pointMass(n int, total int64) []int64 {
+	x := make([]int64, n)
+	x[0] = total
+	return x
+}
+
+func TestActorMatchesEngineDeterministic(t *testing.T) {
+	// Deterministic balancers must give bit-identical trajectories on the
+	// actor runtime and the round engine.
+	cases := []struct {
+		name string
+		mk   func() core.Balancer
+	}{
+		{"send-floor", func() core.Balancer { return balancer.NewSendFloor() }},
+		{"send-round", func() core.Balancer { return balancer.NewSendRound() }},
+		{"rotor-router", func() core.Balancer { return balancer.NewRotorRouter() }},
+		{"rotor-router*", func() core.Balancer { return balancer.NewRotorRouterStar() }},
+		{"good-2", func() core.Balancer { return balancer.NewGoodS(2) }},
+	}
+	g := graph.RandomRegular(32, 4, 11)
+	b := graph.Lazy(g)
+	x1 := pointMass(32, 32*21+5)
+	for _, tc := range cases {
+		eng := core.MustEngine(b, tc.mk(), x1)
+		nw, err := New(b, tc.mk(), x1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 120; round++ {
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+			nw.Step()
+			for u := range x1 {
+				if eng.Loads()[u] != nw.Loads()[u] {
+					nw.Close()
+					t.Fatalf("%s: divergence at round %d node %d: engine %d actor %d",
+						tc.name, round+1, u, eng.Loads()[u], nw.Loads()[u])
+				}
+			}
+		}
+		nw.Close()
+	}
+}
+
+func TestActorConservesTokens(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(5))
+	nw, err := New(b, balancer.NewRotorRouter(), pointMass(32, 999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Run(200)
+	var total int64
+	for _, v := range nw.Loads() {
+		total += v
+	}
+	if total != 999 {
+		t.Fatalf("total = %d", total)
+	}
+	if nw.Round() != 200 {
+		t.Fatalf("rounds = %d", nw.Round())
+	}
+}
+
+func TestActorBalances(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(5))
+	nw, err := New(b, balancer.NewRotorRouterStar(), pointMass(32, 3201))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.Run(500)
+	if nw.Discrepancy() > 2*int64(b.Degree()) {
+		t.Fatalf("actor discrepancy %d", nw.Discrepancy())
+	}
+}
+
+func TestActorRejectsBadVector(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	if _, err := New(b, balancer.NewSendFloor(), make([]int64, 3)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestActorCloseIdempotent(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	nw, err := New(b, balancer.NewSendFloor(), pointMass(8, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Step()
+	nw.Close()
+	nw.Close() // must not panic or deadlock
+}
+
+func TestActorStepAfterClosePanics(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	nw, err := New(b, balancer.NewSendFloor(), pointMass(8, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Step after Close")
+		}
+	}()
+	nw.Step()
+}
+
+func TestActorWithRoundObserver(t *testing.T) {
+	// Continuous mimic uses the BeginRound hook; the actor runtime must
+	// drive it identically to the engine.
+	g := graph.Hypercube(4)
+	b := graph.Lazy(g)
+	x1 := pointMass(16, 1607)
+	eng := core.MustEngine(b, balancer.NewContinuousMimic(), x1)
+	nw, err := New(b, balancer.NewContinuousMimic(), x1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	for round := 0; round < 100; round++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		nw.Step()
+		for u := range x1 {
+			if eng.Loads()[u] != nw.Loads()[u] {
+				t.Fatalf("mimic divergence at round %d node %d", round+1, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"testing"
+
+	"detlb/internal/balancer"
+	"detlb/internal/graph"
+	"detlb/internal/spectral"
+	"detlb/internal/workload"
+)
+
+func TestConvergeHalvingTimes(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(6))
+	x1 := workload.PointMass(64, 0, 64*64+9)
+	p, err := Converge(b, balancer.NewRotorRouter(), x1, int64(2*b.Degree()), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TargetRound < 0 {
+		t.Fatalf("never reached 2d: %+v", p)
+	}
+	if len(p.HalvingRounds) < 5 {
+		t.Fatalf("expected several halvings, got %v", p.HalvingRounds)
+	}
+	for i := 1; i < len(p.HalvingRounds); i++ {
+		if p.HalvingRounds[i] < p.HalvingRounds[i-1] {
+			t.Fatal("halving rounds must be non-decreasing")
+		}
+	}
+}
+
+func TestConvergeRespectsCap(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(64))
+	x1 := workload.PointMass(64, 0, 64*64+9)
+	p, err := Converge(b, balancer.NewSendFloor(), x1, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rounds != 10 || p.TargetRound != -1 {
+		t.Fatalf("cap not respected: %+v", p)
+	}
+}
+
+func TestWindowDeviationBoundedAfterT(t *testing.T) {
+	// The empirical Equation (7): after the paper's warm-up, every node's
+	// window-averaged load sits within O((δ+1)·d) of x̄. Use the explicit
+	// constant from the proof: δ·d⁺ + 2r + 1/2 + λ with λ = O(d); a slack
+	// bound of 4·d⁺ comfortably covers send-floor (δ=0, r ≤ d⁺).
+	b := graph.Lazy(graph.Hypercube(6))
+	n := b.N()
+	x1 := workload.PointMass(n, 0, int64(n*40)+13)
+	mu := spectral.Gap(b)
+	start := spectral.BalancingTime(n, int(workload.Discrepancy(x1)), mu)
+	window := spectral.MixingTime(n, mu) * b.Degree()
+	dev, err := WindowDeviation(b, balancer.NewSendFloor(), x1, start, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit := float64(4 * b.DegreePlus()); dev > limit {
+		t.Fatalf("window deviation %v exceeds %v", dev, limit)
+	}
+}
+
+func TestWindowDeviationRejectsBadWindow(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	if _, err := WindowDeviation(b, balancer.NewSendFloor(), workload.Uniform(8, 1), 0, 0); err == nil {
+		t.Fatal("expected window error")
+	}
+}
+
+func TestWindowDeviationRotorTight(t *testing.T) {
+	// Rotor-router is cumulatively 1-fair; its long-run deviation should be
+	// tiny (within 2·d⁺) on an expander.
+	b := graph.Lazy(graph.RandomRegular(128, 8, 2))
+	x1 := workload.PointMass(128, 0, 128*16+7)
+	dev, err := WindowDeviation(b, balancer.NewRotorRouter(), x1, 2000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev > float64(2*b.DegreePlus()) {
+		t.Fatalf("rotor window deviation %v", dev)
+	}
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+// Orbit describes the eventual periodic behaviour of a deterministic
+// balancing process. Deterministic balancers on finite token counts are
+// eventually periodic in their full state; the load vector's period divides
+// the state period and is what the discrepancy bounds care about —
+// Theorem 4.3's construction, for instance, is a pure period-2 load orbit,
+// while converged rotor-routers typically settle into short cycles.
+type Orbit struct {
+	// Preperiod is the first round at which the detected cycle begins.
+	Preperiod int
+	// Period is the length of the load-vector cycle (1 = fixed point).
+	Period int
+	// MinDiscrepancy and MaxDiscrepancy are taken over one full cycle.
+	MinDiscrepancy, MaxDiscrepancy int64
+}
+
+// DetectOrbit runs the engine until the load vector revisits a previous
+// state, using a hash table over vector fingerprints with verification
+// against stored snapshots (no false positives). maxRounds bounds the
+// search; snapshots are stored every round, so memory is O(rounds·n).
+// Returns nil if no repetition occurs within the bound — the caller should
+// warm the engine past convergence first for small orbits.
+func DetectOrbit(b *graph.Balancing, algo core.Balancer, x1 []int64, warmup, maxRounds int) (*Orbit, error) {
+	eng, err := core.NewEngine(b, algo, x1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < warmup; i++ {
+		if err := eng.Step(); err != nil {
+			return nil, fmt.Errorf("analysis: orbit warm-up: %w", err)
+		}
+	}
+	seen := make(map[uint64][]int) // fingerprint -> rounds (relative)
+	var snaps [][]int64
+	snapshot := func() []int64 { return append([]int64(nil), eng.Loads()...) }
+	record := func(round int, x []int64) {
+		seen[fingerprint(x)] = append(seen[fingerprint(x)], round)
+		snaps = append(snaps, x)
+	}
+	record(0, snapshot())
+	for round := 1; round <= maxRounds; round++ {
+		if err := eng.Step(); err != nil {
+			return nil, fmt.Errorf("analysis: orbit: %w", err)
+		}
+		x := snapshot()
+		matched := false
+		for _, prev := range seen[fingerprint(x)] {
+			if !equalVec(snaps[prev], x) {
+				continue
+			}
+			// A load repeat does not by itself prove periodicity for
+			// stateful balancers (rotors may differ); verify by replaying
+			// one full period and comparing the whole load sequence.
+			period := round - prev
+			ok := true
+			for k := 1; k <= period && ok; k++ {
+				if err := eng.Step(); err != nil {
+					return nil, fmt.Errorf("analysis: orbit verify: %w", err)
+				}
+				want := snaps[prev+k%period]
+				if k < period {
+					want = snaps[prev+k]
+				}
+				if !equalVec(eng.Loads(), want) {
+					ok = false
+				}
+			}
+			if !ok {
+				matched = true // state advanced past the candidate; rebuild from here
+				break
+			}
+			o := &Orbit{Preperiod: warmup + prev, Period: period}
+			o.MinDiscrepancy = core.Discrepancy(snaps[prev])
+			o.MaxDiscrepancy = o.MinDiscrepancy
+			for t := prev + 1; t < round; t++ {
+				d := core.Discrepancy(snaps[t])
+				if d < o.MinDiscrepancy {
+					o.MinDiscrepancy = d
+				}
+				if d > o.MaxDiscrepancy {
+					o.MaxDiscrepancy = d
+				}
+			}
+			return o, nil
+		}
+		if matched {
+			// Failed verification consumed extra rounds; restart bookkeeping
+			// from the current state to stay sound.
+			seen = make(map[uint64][]int)
+			snaps = snaps[:0]
+			record(0, snapshot())
+			continue
+		}
+		record(round, x)
+	}
+	return nil, nil
+}
+
+// fingerprint hashes a load vector (FNV-1a over the raw int64s).
+func fingerprint(x []int64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range x {
+		u := uint64(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (u >> s) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+func equalVec(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

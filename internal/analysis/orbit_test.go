@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"testing"
+
+	"detlb/internal/balancer"
+	"detlb/internal/graph"
+	"detlb/internal/lowerbound"
+	"detlb/internal/workload"
+)
+
+func TestDetectOrbitFixedPoint(t *testing.T) {
+	// A balanced uniform vector under send-floor is a fixed point: period 1.
+	b := graph.Lazy(graph.Cycle(8))
+	o, err := DetectOrbit(b, balancer.NewSendFloor(), workload.Uniform(8, 12), 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil || o.Period != 1 {
+		t.Fatalf("expected period-1 orbit, got %+v", o)
+	}
+	if o.MinDiscrepancy != 0 || o.MaxDiscrepancy != 0 {
+		t.Fatalf("balanced orbit has nonzero discrepancy: %+v", o)
+	}
+}
+
+func TestDetectOrbitTheorem43PeriodTwo(t *testing.T) {
+	g := graph.Cycle(17)
+	rr, x1, err := lowerbound.RotorAlternatingInstance(g, int64(g.Phi()+3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.WithLoops(g, 0)
+	o, err := DetectOrbit(b, rr, x1, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		t.Fatal("no orbit found")
+	}
+	if o.Period != 2 {
+		t.Fatalf("Theorem 4.3 orbit must have period 2, got %+v", o)
+	}
+	if o.MinDiscrepancy < int64(g.Degree()*g.Phi()) {
+		t.Fatalf("orbit discrepancy %d below d·φ", o.MinDiscrepancy)
+	}
+}
+
+func TestDetectOrbitConvergedSendRound(t *testing.T) {
+	// After convergence the stateless SEND([x/d⁺]) settles into a short
+	// verified cycle (typically a fixed point). Stateful rotor-routers can
+	// have full-state periods far longer than any load window, which is
+	// exactly why DetectOrbit verifies a full period before reporting.
+	b := graph.Lazy(graph.Hypercube(4))
+	x1 := workload.PointMass(16, 0, 16*8+3)
+	o, err := DetectOrbit(b, balancer.NewSendRound(), x1, 2000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		t.Fatal("converged send-round should cycle within the bound")
+	}
+	if o.MaxDiscrepancy > int64(2*b.Degree()) {
+		t.Fatalf("converged orbit discrepancy %d", o.MaxDiscrepancy)
+	}
+}
+
+func TestDetectOrbitRespectsBound(t *testing.T) {
+	// A huge point mass on a big cycle will not become periodic in 5 rounds.
+	b := graph.Lazy(graph.Cycle(64))
+	o, err := DetectOrbit(b, balancer.NewRotorRouter(), workload.PointMass(64, 0, 100000), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Fatalf("unexpected orbit %+v", o)
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := []int64{1, 2, 3}
+	b := []int64{1, 2, 4}
+	if fingerprint(a) == fingerprint(b) {
+		t.Fatal("suspicious fingerprint collision on trivially different vectors")
+	}
+	if fingerprint(a) != fingerprint([]int64{1, 2, 3}) {
+		t.Fatal("fingerprint must be deterministic")
+	}
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"testing"
+
+	"detlb/internal/balancer"
+	"detlb/internal/graph"
+	"detlb/internal/workload"
+)
+
+func TestTracePhasesCompletes(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(5))
+	x1 := workload.PointMass(32, 0, 32*48+5)
+	p, err := TracePhases(b, balancer.NewGoodS(2), x1, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Completed() {
+		t.Fatalf("phases incomplete: %+v", p)
+	}
+	if p.C0 > p.C1 {
+		t.Fatalf("thresholds inverted: c0=%d c1=%d", p.C0, p.C1)
+	}
+	// Phases must finish in order: lower thresholds (larger i) cannot empty
+	// before higher ones (φ(c) ≥ φ(c') for c ≤ c').
+	for i := 1; i < len(p.ZeroRound); i++ {
+		if p.ZeroRound[i] < p.ZeroRound[i-1] {
+			t.Fatalf("phase order violated: %v", p.ZeroRound)
+		}
+	}
+	if p.FinalBalancedness > p.Bound33 {
+		t.Fatalf("balancedness %d above Theorem 3.3 bound %d", p.FinalBalancedness, p.Bound33)
+	}
+}
+
+func TestTracePhasesBalancedInput(t *testing.T) {
+	// Already-balanced input: c1 clamps to c0 and completes immediately.
+	b := graph.Lazy(graph.Cycle(16))
+	x1 := workload.Uniform(16, 8)
+	p, err := TracePhases(b, balancer.NewGoodS(1), x1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Completed() {
+		t.Fatalf("balanced input must complete: %+v", p)
+	}
+	if p.C0 != p.C1 {
+		t.Fatalf("expected clamped thresholds, got c0=%d c1=%d", p.C0, p.C1)
+	}
+}
+
+func TestPhaseExperimentTable(t *testing.T) {
+	tab := PhaseExperiment(quickCfg())
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for r := range tab.Rows {
+		if got := cell(t, tab, r, "phases done"); got != "true" {
+			t.Errorf("row %d: phases not completed: %v", r, tab.Rows[r])
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package analysis is the experiment harness: it runs (graph, algorithm,
+// workload) triples to the paper's time horizon T = O(log(Kn)/µ) with
+// early-stop detection, collects discrepancy metrics and audit results, and
+// regenerates Table 1 and the per-theorem experiments E1–E10 of DESIGN.md as
+// text tables.
+package analysis
+
+import (
+	"fmt"
+
+	"detlb/internal/core"
+	"detlb/internal/graph"
+	"detlb/internal/spectral"
+)
+
+// RunSpec describes one simulation.
+type RunSpec struct {
+	// Balancing is the graph G+ to run on.
+	Balancing *graph.Balancing
+	// Algorithm is the balancer under test.
+	Algorithm core.Balancer
+	// Initial is x₁ (not mutated).
+	Initial []int64
+
+	// MaxRounds caps the run; 0 means use the paper's T = ⌈16·ln(Kn)/µ⌉.
+	MaxRounds int
+	// HorizonMultiple scales the default T cap (0 means 1×).
+	HorizonMultiple int
+	// Patience stops the run once the running minimum discrepancy has not
+	// improved for this many rounds (0 disables early stopping). Periodic
+	// orbits (rotor-router) make "unchanged discrepancy" unreliable, so the
+	// criterion is no-new-minimum.
+	Patience int
+	// TargetDiscrepancy, if positive, stops the run as soon as the
+	// discrepancy reaches the target (used for time-to-O(d) measurements).
+	TargetDiscrepancy int64
+	// Workers selects engine parallelism (0/1 = serial).
+	Workers int
+	// Auditors are attached to the engine.
+	Auditors []core.Auditor
+	// SampleEvery records the discrepancy every k rounds into Series
+	// (0 disables sampling).
+	SampleEvery int
+}
+
+// Point is one sample of the discrepancy trajectory.
+type Point struct {
+	Round       int
+	Discrepancy int64
+}
+
+// RunResult captures the outcome of a simulation.
+type RunResult struct {
+	// Rounds actually executed.
+	Rounds int
+	// Horizon is the round cap that was in force (T by default).
+	Horizon int
+	// BalancingTime is the paper's T for this instance.
+	BalancingTime int
+	// Gap is the eigenvalue gap µ of the balancing graph.
+	Gap float64
+	// InitialDiscrepancy is K.
+	InitialDiscrepancy int64
+	// FinalDiscrepancy is the discrepancy when the run stopped.
+	FinalDiscrepancy int64
+	// MinDiscrepancy is the best discrepancy seen at any round.
+	MinDiscrepancy int64
+	// TargetRound is the first round at which TargetDiscrepancy was reached,
+	// or -1.
+	TargetRound int
+	// StoppedEarly reports whether the patience criterion fired.
+	StoppedEarly bool
+	// ReachedTarget reports whether TargetDiscrepancy was reached.
+	ReachedTarget bool
+	// Series holds sampled points when requested.
+	Series []Point
+	// Err is the first audit error, if any.
+	Err error
+}
+
+// Run executes the spec.
+func Run(spec RunSpec) RunResult {
+	b := spec.Balancing
+	mu := spectral.Gap(b)
+	k := core.Discrepancy(spec.Initial)
+	res := RunResult{
+		Gap:                mu,
+		InitialDiscrepancy: k,
+		TargetRound:        -1,
+	}
+	if mu > 0 {
+		res.BalancingTime = spectral.BalancingTime(b.N(), int(k), mu)
+	}
+	horizon := spec.MaxRounds
+	if horizon == 0 {
+		horizon = res.BalancingTime
+		if m := spec.HorizonMultiple; m > 1 {
+			horizon *= m
+		}
+		if horizon == 0 {
+			horizon = 1
+		}
+	}
+	res.Horizon = horizon
+
+	opts := []core.Option{core.WithWorkers(spec.Workers)}
+	for _, a := range spec.Auditors {
+		opts = append(opts, core.WithAuditor(a))
+	}
+	eng := core.MustEngine(b, spec.Algorithm, spec.Initial, opts...)
+
+	best := eng.Discrepancy()
+	lastImprovement := 0
+	res.MinDiscrepancy = best
+
+	for round := 1; round <= horizon; round++ {
+		if err := eng.Step(); err != nil {
+			res.Err = err
+			res.Rounds = round
+			res.FinalDiscrepancy = eng.Discrepancy()
+			return res
+		}
+		disc := eng.Discrepancy()
+		if spec.SampleEvery > 0 && round%spec.SampleEvery == 0 {
+			res.Series = append(res.Series, Point{Round: round, Discrepancy: disc})
+		}
+		if disc < best {
+			best = disc
+			lastImprovement = round
+		}
+		if spec.TargetDiscrepancy > 0 && disc <= spec.TargetDiscrepancy && !res.ReachedTarget {
+			res.ReachedTarget = true
+			res.TargetRound = round
+			res.Rounds = round
+			res.FinalDiscrepancy = disc
+			res.MinDiscrepancy = best
+			return res
+		}
+		if spec.Patience > 0 && round-lastImprovement >= spec.Patience {
+			res.StoppedEarly = true
+			res.Rounds = round
+			res.FinalDiscrepancy = disc
+			res.MinDiscrepancy = best
+			return res
+		}
+	}
+	res.Rounds = horizon
+	res.FinalDiscrepancy = eng.Discrepancy()
+	res.MinDiscrepancy = best
+	return res
+}
+
+// RunToTarget is a convenience wrapper measuring the first round at which a
+// discrepancy target is hit, with a hard cap.
+func RunToTarget(b *graph.Balancing, algo core.Balancer, x1 []int64, target int64, cap int) RunResult {
+	return Run(RunSpec{
+		Balancing:         b,
+		Algorithm:         algo,
+		Initial:           x1,
+		MaxRounds:         cap,
+		TargetDiscrepancy: target,
+	})
+}
+
+// String renders a one-line summary for logs.
+func (r RunResult) String() string {
+	return fmt.Sprintf("rounds=%d/%d disc=%d (min %d) K=%d µ=%.4g T=%d",
+		r.Rounds, r.Horizon, r.FinalDiscrepancy, r.MinDiscrepancy,
+		r.InitialDiscrepancy, r.Gap, r.BalancingTime)
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"detlb/internal/balancer"
+	"detlb/internal/core"
+	"detlb/internal/graph"
+	"detlb/internal/workload"
+)
+
+func TestRunDefaultsToPaperHorizon(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	x1 := workload.PointMass(16, 0, 163)
+	res := Run(RunSpec{Balancing: b, Algorithm: balancer.NewSendFloor(), Initial: x1})
+	if res.Horizon != res.BalancingTime {
+		t.Fatalf("horizon %d, T %d", res.Horizon, res.BalancingTime)
+	}
+	if res.Rounds != res.Horizon {
+		t.Fatalf("no-patience run should use the full horizon: %d/%d", res.Rounds, res.Horizon)
+	}
+	if res.InitialDiscrepancy != 163 {
+		t.Fatalf("K = %d", res.InitialDiscrepancy)
+	}
+}
+
+func TestRunPatienceStopsEarly(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(16))
+	x1 := workload.Uniform(16, 5) // already balanced: min never improves
+	res := Run(RunSpec{
+		Balancing: b, Algorithm: balancer.NewSendFloor(), Initial: x1,
+		MaxRounds: 100000, Patience: 50,
+	})
+	if !res.StoppedEarly || res.Rounds != 50 {
+		t.Fatalf("expected patience stop at 50, got %+v", res)
+	}
+	if res.FinalDiscrepancy != 0 {
+		t.Fatalf("balanced input should stay balanced, disc = %d", res.FinalDiscrepancy)
+	}
+}
+
+func TestRunTargetStops(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(5))
+	x1 := workload.PointMass(32, 0, 3205)
+	res := RunToTarget(b, balancer.NewRotorRouterStar(), x1, 12, 100000)
+	if !res.ReachedTarget {
+		t.Fatalf("target not reached: %+v", res)
+	}
+	if res.FinalDiscrepancy > 12 {
+		t.Fatalf("stopped above target: %d", res.FinalDiscrepancy)
+	}
+	if res.TargetRound != res.Rounds {
+		t.Fatalf("target round bookkeeping: %d vs %d", res.TargetRound, res.Rounds)
+	}
+}
+
+func TestRunSampling(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	x1 := workload.PointMass(16, 0, 160)
+	res := Run(RunSpec{
+		Balancing: b, Algorithm: balancer.NewSendFloor(), Initial: x1,
+		MaxRounds: 100, SampleEvery: 10,
+	})
+	if len(res.Series) != 10 {
+		t.Fatalf("expected 10 samples, got %d", len(res.Series))
+	}
+	if res.Series[0].Round != 10 || res.Series[9].Round != 100 {
+		t.Fatalf("sample rounds wrong: %+v", res.Series)
+	}
+}
+
+func TestRunReportsAuditError(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	x1 := workload.Uniform(8, 101)
+	res := Run(RunSpec{
+		Balancing: b, Algorithm: balancer.NewBiasedRounding(), Initial: x1,
+		MaxRounds: 1000,
+		Auditors:  []core.Auditor{core.NewCumulativeFairnessAuditor(2)},
+	})
+	if res.Err == nil {
+		t.Fatal("biased rounding must fail a δ=2 audit")
+	}
+}
+
+func TestRunResultString(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	res := Run(RunSpec{
+		Balancing: b, Algorithm: balancer.NewSendFloor(),
+		Initial: workload.PointMass(8, 0, 80), MaxRounds: 10,
+	})
+	s := res.String()
+	if !strings.Contains(s, "rounds=10") || !strings.Contains(s, "K=80") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"col", "value"},
+	}
+	tab.AddRow("a", "1")
+	tab.AddRowf("b", 2.5)
+	out := tab.String()
+	for _, want := range []string{"== demo ==", "col", "value", "a", "2.5", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestHorizonMultiple(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	x1 := workload.PointMass(16, 0, 160)
+	r1 := Run(RunSpec{Balancing: b, Algorithm: balancer.NewSendFloor(), Initial: x1})
+	r3 := Run(RunSpec{Balancing: b, Algorithm: balancer.NewSendFloor(), Initial: x1, HorizonMultiple: 3})
+	if r3.Horizon != 3*r1.Horizon {
+		t.Fatalf("horizon multiple: %d vs %d", r3.Horizon, r1.Horizon)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tab := &Table{
+		Title:  "md demo",
+		Note:   "pipe | note",
+		Header: []string{"a", "b"},
+	}
+	tab.AddRow("1", "x|y")
+	tab.AddRow("2") // short row gets padded
+	var sb strings.Builder
+	if err := tab.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## md demo", "| a | b |", "| --- | --- |", `x\|y`, "> pipe | note", "| 2 |  |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	t1 := &Table{Title: "one", Header: []string{"h"}}
+	t1.AddRow("v")
+	var sb strings.Builder
+	if err := WriteReport(&sb, "suite", []*Table{t1, t1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "# suite\n") {
+		t.Fatalf("report header missing:\n%s", sb.String())
+	}
+	if strings.Count(sb.String(), "## one") != 2 {
+		t.Fatal("expected both tables rendered")
+	}
+}

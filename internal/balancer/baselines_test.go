@@ -1,0 +1,195 @@
+package balancer
+
+import (
+	"math"
+	"testing"
+
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+func TestBiasedRoundingIsRoundFairButNotCumulativelyFair(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	x1 := make([]int64, 8)
+	for i := range x1 {
+		x1[i] = 101 // excess 1 every round, always to edge 0
+	}
+	fair := core.NewCumulativeFairnessAuditor(-1)
+	runAudited(t, b, NewBiasedRounding(), x1, 200,
+		core.NewConservationAuditor(),
+		core.NewNonNegativeAuditor(),
+		core.NewRoundFairAuditor(),
+		core.NewMinShareAuditor(),
+		fair,
+	)
+	if fair.MaxDelta < 100 {
+		t.Fatalf("biased rounding should accumulate unfairness, δ = %d", fair.MaxDelta)
+	}
+}
+
+func TestRandomizedExtraInvariants(t *testing.T) {
+	b := graph.Lazy(graph.RandomRegular(40, 4, 7))
+	runAudited(t, b, NewRandomizedExtra(11), pointMass(40, 40*29+13), 500,
+		core.NewConservationAuditor(),
+		core.NewNonNegativeAuditor(),
+		core.NewMinShareAuditor(),
+	)
+}
+
+func TestRandomizedExtraReproducible(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	x1 := pointMass(16, 1111)
+	run := func(seed int64) []int64 {
+		eng := core.MustEngine(b, NewRandomizedExtra(seed), x1)
+		for i := 0; i < 100; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return append([]int64(nil), eng.Loads()...)
+	}
+	a, bb := run(5), run(5)
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatal("same seed must reproduce the trajectory")
+		}
+	}
+	c := run(6)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should (generically) differ")
+	}
+}
+
+func TestRandomizedRoundingConservesAndBalances(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(5))
+	neg := core.NewNegativeLoadCounter()
+	eng := runAudited(t, b, NewRandomizedRounding(3), pointMass(32, 3205), 600,
+		core.NewConservationAuditor(), neg)
+	if eng.Discrepancy() > 40 {
+		t.Fatalf("discrepancy %d after 600 rounds", eng.Discrepancy())
+	}
+	// Negative loads are possible but not required; just ensure the counter
+	// machinery ran.
+	if neg.Events < 0 {
+		t.Fatal("impossible")
+	}
+}
+
+func TestContinuousConvergesToAverage(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	c := NewContinuous(b, pointMass(16, 1600))
+	rounds := c.RunUntil(1e-6, 100000)
+	if rounds == 100000 {
+		t.Fatalf("continuous diffusion failed to converge, disc = %v", c.Discrepancy())
+	}
+	for _, v := range c.Loads() {
+		if math.Abs(v-100) > 1e-5 {
+			t.Fatalf("load %v, want 100", v)
+		}
+	}
+}
+
+func TestContinuousPreservesMass(t *testing.T) {
+	b := graph.Lazy(graph.RandomRegular(30, 4, 8))
+	c := NewContinuous(b, pointMass(30, 977))
+	for i := 0; i < 300; i++ {
+		c.Step()
+	}
+	var sum float64
+	for _, v := range c.Loads() {
+		sum += v
+	}
+	if math.Abs(sum-977) > 1e-6 {
+		t.Fatalf("mass drifted to %v", sum)
+	}
+}
+
+func TestContinuousFlowsMatchLoadChange(t *testing.T) {
+	// x_{t+1}(u) = x_t(u) − d·x_t(u)/d⁺ + Σ_in x_t(v)/d⁺; cumulative flows
+	// must account exactly for the load movement.
+	b := graph.Lazy(graph.Cycle(6))
+	x1 := pointMass(6, 600)
+	c := NewContinuous(b, x1)
+	for i := 0; i < 50; i++ {
+		c.Step()
+	}
+	g := b.Graph()
+	rev := g.ReverseIndex()
+	for u := 0; u < g.N(); u++ {
+		var out float64
+		for _, f := range c.Flows()[u] {
+			out += f
+		}
+		var in float64
+		for _, a := range rev[u] {
+			in += c.Flows()[a.From][a.Index]
+		}
+		want := float64(x1[u]) - out + in
+		if math.Abs(c.Loads()[u]-want) > 1e-6 {
+			t.Fatalf("node %d: load %v, flow accounting says %v", u, c.Loads()[u], want)
+		}
+	}
+}
+
+func TestContinuousMimicStaysNearContinuousFlows(t *testing.T) {
+	// The [4] scheme keeps |F_discrete(e) − F_continuous(e)| ≤ 1/2 for every
+	// arc at every step, which is its defining property.
+	b := graph.Lazy(graph.Hypercube(4))
+	x1 := pointMass(16, 1603)
+	mimic := NewContinuousMimic()
+	eng := core.MustEngine(b, mimic, x1, core.WithFlowTracking())
+	shadow := NewContinuous(b, x1)
+	for i := 0; i < 200; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		shadow.Step()
+		for u := range eng.Flows() {
+			for e := range eng.Flows()[u] {
+				dev := math.Abs(float64(eng.Flows()[u][e]) - shadow.Flows()[u][e])
+				if dev > 0.5+1e-9 {
+					t.Fatalf("round %d arc (%d,%d): |F − C| = %v > 1/2", i+1, u, e, dev)
+				}
+			}
+		}
+	}
+}
+
+func TestContinuousMimicReachesThetaD(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(5)) // d = 5
+	eng := runAudited(t, b, NewContinuousMimic(), pointMass(32, 3209), 800,
+		core.NewConservationAuditor())
+	if eng.Discrepancy() > int64(2*b.Degree()) {
+		t.Fatalf("mimic discrepancy %d, want ≤ 2d = %d", eng.Discrepancy(), 2*b.Degree())
+	}
+}
+
+func TestFixedFlowPanicsOnShapeMismatch(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong flow shape")
+		}
+	}()
+	NewFixedFlow("bad", make([][]int64, 3)).Bind(b)
+}
+
+func TestNodeSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for u := 0; u < 1000; u++ {
+		s := nodeSeed(42, u)
+		if seen[s] {
+			t.Fatalf("nodeSeed collision at %d", u)
+		}
+		seen[s] = true
+	}
+	if nodeSeed(1, 0) == nodeSeed(2, 0) {
+		t.Fatal("different base seeds must differ")
+	}
+}

@@ -1,0 +1,68 @@
+package balancer
+
+import (
+	"testing"
+
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+func TestBoundedErrorProperty(t *testing.T) {
+	// The defining invariant of [9]: every edge's cumulative rounding error
+	// stays within 1/2 at every step.
+	b := graph.Lazy(graph.Hypercube(5))
+	q := NewBoundedError()
+	eng := core.MustEngine(b, q, pointMass(32, 3207),
+		core.WithAuditor(core.NewConservationAuditor()))
+	for i := 0; i < 400; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if dev := q.MaxAbsError(); dev > 0.5+1e-9 {
+			t.Fatalf("round %d: bounded-error property violated, dev = %v", i+1, dev)
+		}
+	}
+}
+
+func TestBoundedErrorBalancesHypercube(t *testing.T) {
+	// [9] proves O(log^{3/2} n) on hypercubes; at n = 64 that's tiny.
+	b := graph.Lazy(graph.Hypercube(6))
+	eng := core.MustEngine(b, NewBoundedError(), pointMass(64, 64*9+5))
+	for i := 0; i < 800; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Discrepancy() > 16 {
+		t.Fatalf("discrepancy %d", eng.Discrepancy())
+	}
+}
+
+func TestBoundedErrorBalancesTorus(t *testing.T) {
+	// [9] proves O(1) on constant-dimension tori.
+	b := graph.Lazy(graph.Torus(2, 8))
+	eng := core.MustEngine(b, NewBoundedError(), pointMass(64, 64*5+3))
+	for i := 0; i < 4000; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Discrepancy() > 8 {
+		t.Fatalf("discrepancy %d on torus", eng.Discrepancy())
+	}
+}
+
+func TestBoundedErrorConserves(t *testing.T) {
+	b := graph.Lazy(graph.RandomRegular(40, 4, 12))
+	neg := core.NewNegativeLoadCounter()
+	eng := core.MustEngine(b, NewBoundedError(), pointMass(40, 977),
+		core.WithAuditor(core.NewConservationAuditor()), core.WithAuditor(neg))
+	for i := 0; i < 300; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.TotalLoad() != 977 {
+		t.Fatalf("total %d", eng.TotalLoad())
+	}
+}

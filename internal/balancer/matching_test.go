@@ -1,0 +1,116 @@
+package balancer
+
+import (
+	"testing"
+
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+func TestEdgeColoringIsProper(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Hypercube(4), graph.Cycle(9), graph.Petersen(), graph.RandomRegular(32, 4, 1),
+	} {
+		sched := EdgeColoringScheduler(g)
+		if len(sched.Rounds) < g.Degree() || len(sched.Rounds) > 2*g.Degree()-1 {
+			t.Fatalf("%s: %d color classes for degree %d", g.Name(), len(sched.Rounds), g.Degree())
+		}
+		total := 0
+		for round, arcs := range sched.Rounds {
+			seen := make(map[int]bool)
+			for _, a := range arcs {
+				v := g.Neighbor(a.From, a.Index)
+				if seen[a.From] || seen[v] {
+					t.Fatalf("%s: color %d is not a matching", g.Name(), round)
+				}
+				seen[a.From] = true
+				seen[v] = true
+				total++
+			}
+		}
+		if total != g.N()*g.Degree()/2 {
+			t.Fatalf("%s: colored %d edges, want %d", g.Name(), total, g.N()*g.Degree()/2)
+		}
+	}
+}
+
+func TestHypercubeColoringUsesExactlyD(t *testing.T) {
+	g := graph.Hypercube(5)
+	sched := EdgeColoringScheduler(g)
+	if len(sched.Rounds) != 5 {
+		t.Fatalf("hypercube coloring used %d classes, want 5", len(sched.Rounds))
+	}
+}
+
+func TestRandomMatchingIsMatching(t *testing.T) {
+	g := graph.RandomRegular(40, 6, 2)
+	sched := NewRandomMatchingScheduler(g, 3)
+	for round := 1; round <= 20; round++ {
+		arcs := sched.Matching(round)
+		seen := make(map[int]bool)
+		for _, a := range arcs {
+			v := g.Neighbor(a.From, a.Index)
+			if seen[a.From] || seen[v] {
+				t.Fatalf("round %d: not a matching", round)
+			}
+			seen[a.From] = true
+			seen[v] = true
+		}
+		// Greedy maximal matching on a connected graph matches ≥ n/3 nodes.
+		if len(arcs) < g.N()/3/2 {
+			t.Fatalf("round %d: suspiciously small matching (%d arcs)", round, len(arcs))
+		}
+	}
+}
+
+func TestMatchingBalancerConserves(t *testing.T) {
+	g := graph.Hypercube(5)
+	b := graph.Lazy(g)
+	algo := NewMatchingBalancer(EdgeColoringScheduler(g), false, 1)
+	runAudited(t, b, algo, pointMass(32, 3203), 400,
+		core.NewConservationAuditor(), core.NewNonNegativeAuditor())
+}
+
+func TestMatchingCircuitBeatsDiffusiveFloor(t *testing.T) {
+	// The balancing circuit reaches O(1) discrepancy on the hypercube.
+	g := graph.Hypercube(6)
+	b := graph.Lazy(g)
+	algo := NewMatchingBalancer(EdgeColoringScheduler(g), false, 1)
+	eng := core.MustEngine(b, algo, pointMass(64, 64*11+3))
+	for i := 0; i < 600; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Discrepancy() > 2 {
+		t.Fatalf("balancing circuit stuck at discrepancy %d", eng.Discrepancy())
+	}
+}
+
+func TestRandomMatchingBalances(t *testing.T) {
+	g := graph.RandomRegular(64, 6, 4)
+	b := graph.Lazy(g)
+	algo := NewMatchingBalancer(NewRandomMatchingScheduler(g, 7), true, 7)
+	eng := core.MustEngine(b, algo, pointMass(64, 64*9+5))
+	for i := 0; i < 800; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Discrepancy() > 4 {
+		t.Fatalf("random matching stuck at discrepancy %d", eng.Discrepancy())
+	}
+}
+
+func TestReverseArcIndex(t *testing.T) {
+	g := graph.Petersen()
+	for u := 0; u < g.N(); u++ {
+		for i, v := range g.Neighbors(u) {
+			ri := reverseArcIndex(g, u, v, i)
+			if g.Neighbor(v, ri) != u {
+				t.Fatalf("reverse of (%d,%d) is (%d,%d) which points to %d",
+					u, i, v, ri, g.Neighbor(v, ri))
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package balancer
+
+import (
+	"fmt"
+
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+// RotorRouter is the rotor-router (Propp machine) used as a load balancer:
+// every node owns a cyclic order of its d⁺ edge slots (original edges and
+// self-loops interleaved) and a rotor pointing into it. Tokens leave one by
+// one over consecutive slots starting at the rotor, which ends up advanced
+// by x mod d⁺ positions. Equivalently, every slot receives ⌊x/d⁺⌋ tokens and
+// the x mod d⁺ excess tokens go to the slots following the rotor.
+//
+// It is deterministic, produces no negative load, needs no communication,
+// and is cumulatively 1-fair (Observation 2.2) — but stateful and not
+// self-preferring, so Theorem 2.3 applies and Theorem 3.3 does not.
+type RotorRouter struct {
+	// InitialRotor optionally sets every node's starting rotor position
+	// (index into the slot cycle); nil means all rotors start at slot 0.
+	// Theorem 4.3's lower-bound construction needs explicit control.
+	InitialRotor []int
+	// Order optionally overrides each node's slot cycle. Order[u] must be a
+	// permutation of {0,…,d⁺−1}, where values < d are original-edge indices
+	// and values ≥ d are self-loop indices d + j. Nil selects the default
+	// interleaved order (edge, loop, edge, loop, …).
+	Order [][]int
+}
+
+var _ core.Balancer = (*RotorRouter)(nil)
+
+// NewRotorRouter returns a rotor-router with the default interleaved slot
+// order and all rotors at position zero.
+func NewRotorRouter() *RotorRouter { return &RotorRouter{} }
+
+// Name implements core.Balancer.
+func (r *RotorRouter) Name() string { return "rotor-router" }
+
+// Bind implements core.Balancer.
+func (r *RotorRouter) Bind(b *graph.Balancing) []core.NodeBalancer {
+	d, selfLoops := b.Degree(), b.SelfLoops()
+	dplus := d + selfLoops
+	nodes := make([]core.NodeBalancer, b.N())
+	for u := range nodes {
+		var order []int
+		if r.Order != nil {
+			order = append([]int(nil), r.Order[u]...)
+			if err := validateSlotOrder(order, d, selfLoops); err != nil {
+				panic(fmt.Sprintf("balancer: rotor-router node %d: %v", u, err))
+			}
+		} else {
+			order = interleavedOrder(d, selfLoops)
+		}
+		rotor := 0
+		if r.InitialRotor != nil {
+			rotor = r.InitialRotor[u]
+			if rotor < 0 || rotor >= dplus {
+				panic(fmt.Sprintf("balancer: rotor-router node %d: initial rotor %d out of range [0,%d)", u, rotor, dplus))
+			}
+		}
+		nodes[u] = &rotorNode{d: d, dplus: dplus, order: order, rotor: rotor}
+	}
+	return nodes
+}
+
+// interleavedOrder alternates original edges and self-loops so that neither
+// kind is clustered in the cycle: e₀ l₀ e₁ l₁ … with the surplus kind
+// appended at the end.
+func interleavedOrder(d, selfLoops int) []int {
+	order := make([]int, 0, d+selfLoops)
+	for i := 0; i < d || i < selfLoops; i++ {
+		if i < d {
+			order = append(order, i)
+		}
+		if i < selfLoops {
+			order = append(order, d+i)
+		}
+	}
+	return order
+}
+
+func validateSlotOrder(order []int, d, selfLoops int) error {
+	dplus := d + selfLoops
+	if len(order) != dplus {
+		return fmt.Errorf("slot order has %d entries, want d⁺=%d", len(order), dplus)
+	}
+	seen := make([]bool, dplus)
+	for _, s := range order {
+		if s < 0 || s >= dplus {
+			return fmt.Errorf("slot %d out of range [0,%d)", s, dplus)
+		}
+		if seen[s] {
+			return fmt.Errorf("slot %d repeated", s)
+		}
+		seen[s] = true
+	}
+	return nil
+}
+
+type rotorNode struct {
+	d     int
+	dplus int
+	order []int
+	rotor int
+}
+
+func (n *rotorNode) Distribute(load int64, sends, selfLoops []int64) {
+	if load < 0 {
+		// Rotor-router never creates negative load itself; if a hostile
+		// initial vector contains one, hold position.
+		for i := range sends {
+			sends[i] = 0
+		}
+		return
+	}
+	base := load / int64(n.dplus)
+	excess := int(load % int64(n.dplus))
+	for i := range sends {
+		sends[i] = base
+	}
+	if selfLoops != nil {
+		for j := range selfLoops {
+			selfLoops[j] = base
+		}
+	}
+	for k := 0; k < excess; k++ {
+		slot := n.order[(n.rotor+k)%n.dplus]
+		if slot < n.d {
+			sends[slot]++
+		} else if selfLoops != nil {
+			selfLoops[slot-n.d]++
+		}
+	}
+	n.rotor = (n.rotor + excess) % n.dplus
+}
+
+// RotorRouterStar is the ROTOR-ROUTER* variant of Observation 3.2: with
+// d° = d self-loops (d⁺ = 2d), one special self-loop always receives
+// ⌈x/(2d)⌉ tokens and the remaining x − ⌈x/(2d)⌉ tokens are distributed by an
+// ordinary rotor-router over the other 2d−1 slots (d original edges and d−1
+// self-loops). It is a good 1-balancer, so both Theorem 2.3 and Theorem 3.3
+// apply.
+type RotorRouterStar struct{}
+
+var _ core.Balancer = RotorRouterStar{}
+
+// NewRotorRouterStar returns the ROTOR-ROUTER* algorithm.
+func NewRotorRouterStar() RotorRouterStar { return RotorRouterStar{} }
+
+// Name implements core.Balancer.
+func (RotorRouterStar) Name() string { return "rotor-router*" }
+
+// Bind implements core.Balancer.
+func (RotorRouterStar) Bind(b *graph.Balancing) []core.NodeBalancer {
+	if b.SelfLoops() != b.Degree() {
+		panic(fmt.Sprintf("balancer: rotor-router* requires d° = d self-loops, got d=%d d°=%d",
+			b.Degree(), b.SelfLoops()))
+	}
+	nodes := make([]core.NodeBalancer, b.N())
+	for u := range nodes {
+		nodes[u] = &rotorStarNode{d: b.Degree(), dplus: b.DegreePlus()}
+	}
+	return nodes
+}
+
+type rotorStarNode struct {
+	d     int
+	dplus int
+	rotor int // position within the 2d−1 non-special slots
+}
+
+func (n *rotorStarNode) Distribute(load int64, sends, selfLoops []int64) {
+	if load < 0 {
+		for i := range sends {
+			sends[i] = 0
+		}
+		return
+	}
+	special := core.CeilShare(load, n.dplus)
+	rest := load - special
+	slots := n.dplus - 1 // d originals then d−1 ordinary self-loops
+	base := rest / int64(slots)
+	excess := int(rest % int64(slots))
+	for i := range sends {
+		sends[i] = base
+	}
+	if selfLoops != nil {
+		// Self-loop 0 is the special one.
+		selfLoops[0] = special
+		for j := 1; j < len(selfLoops); j++ {
+			selfLoops[j] = base
+		}
+	}
+	for k := 0; k < excess; k++ {
+		slot := (n.rotor + k) % slots
+		if slot < n.d {
+			sends[slot]++
+		} else if selfLoops != nil {
+			selfLoops[slot-n.d+1]++
+		}
+	}
+	n.rotor = (n.rotor + excess) % slots
+}

@@ -1,0 +1,318 @@
+package balancer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+// referenceRotor distributes load token by token over the slot cycle — the
+// literal definition of the rotor-router — to cross-check the closed-form
+// implementation.
+func referenceRotor(order []int, rotor int, load int64, d int) (sends, loops []int64, newRotor int) {
+	dplus := len(order)
+	sends = make([]int64, d)
+	loops = make([]int64, dplus-d)
+	for k := int64(0); k < load; k++ {
+		slot := order[rotor]
+		if slot < d {
+			sends[slot]++
+		} else {
+			loops[slot-d]++
+		}
+		rotor = (rotor + 1) % dplus
+	}
+	return sends, loops, rotor
+}
+
+func TestRotorMatchesTokenByTokenReference(t *testing.T) {
+	f := func(loadRaw uint16, rotorRaw uint8) bool {
+		b := graph.Lazy(graph.Cycle(8)) // d=2, d°=2
+		load := int64(loadRaw % 500)
+		rotor := int(rotorRaw % 4)
+		rr := &RotorRouter{InitialRotor: fill(8, rotor)}
+		nodes := rr.Bind(b)
+		sends := make([]int64, 2)
+		loops := make([]int64, 2)
+		nodes[0].Distribute(load, sends, loops)
+
+		order := interleavedOrder(2, 2)
+		wantSends, wantLoops, _ := referenceRotor(order, rotor, load, 2)
+		for i := range sends {
+			if sends[i] != wantSends[i] {
+				return false
+			}
+		}
+		for j := range loops {
+			if loops[j] != wantLoops[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fill(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func TestRotorStateAdvances(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(4)) // d⁺ = 4, order e0 l0 e1 l1
+	nodes := NewRotorRouter().Bind(b)
+	sends := make([]int64, 2)
+	// Load 1: token to slot 0 = edge 0; rotor -> 1.
+	nodes[0].Distribute(1, sends, nil)
+	if sends[0] != 1 || sends[1] != 0 {
+		t.Fatalf("round 1 sends = %v", sends)
+	}
+	// Load 1 again: token to slot 1 = self-loop; nothing sent; rotor -> 2.
+	nodes[0].Distribute(1, sends, nil)
+	if sends[0] != 0 || sends[1] != 0 {
+		t.Fatalf("round 2 sends = %v", sends)
+	}
+	// Load 1: slot 2 = edge 1.
+	nodes[0].Distribute(1, sends, nil)
+	if sends[0] != 0 || sends[1] != 1 {
+		t.Fatalf("round 3 sends = %v", sends)
+	}
+}
+
+func TestRotorInvariants(t *testing.T) {
+	b := graph.Lazy(graph.RandomRegular(48, 4, 4))
+	runAudited(t, b, NewRotorRouter(), pointMass(48, 48*23+9), 800,
+		core.NewConservationAuditor(),
+		core.NewNonNegativeAuditor(),
+		core.NewMinShareAuditor(),
+		core.NewRoundFairAuditor(),
+		core.NewCumulativeFairnessAuditor(1), // Observation 2.2: δ = 1
+	)
+}
+
+func TestRotorNoSelfLoopsInvariants(t *testing.T) {
+	// d⁺ = d (Theorem 4.3 regime): still conservative, min-share and
+	// round-fair; cumulative fairness constant stays 1.
+	b := graph.WithLoops(graph.Cycle(9), 0)
+	runAudited(t, b, NewRotorRouter(), pointMass(9, 123), 500,
+		core.NewConservationAuditor(),
+		core.NewNonNegativeAuditor(),
+		core.NewRoundFairAuditor(),
+		core.NewCumulativeFairnessAuditor(1),
+	)
+}
+
+func TestRotorRejectsBadOrder(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(4))
+	for _, bad := range [][]int{
+		{0, 1, 2},       // too short
+		{0, 1, 2, 2},    // repeated
+		{0, 1, 2, 7},    // out of range
+		{0, 1, 2, 3, 0}, // too long
+	} {
+		orders := make([][]int, 4)
+		for u := range orders {
+			orders[u] = bad
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("order %v should panic", bad)
+				}
+			}()
+			(&RotorRouter{Order: orders}).Bind(b)
+		}()
+	}
+}
+
+func TestRotorRejectsBadInitialRotor(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rotor position 9 should panic (d⁺ = 4)")
+		}
+	}()
+	(&RotorRouter{InitialRotor: fill(4, 9)}).Bind(b)
+}
+
+func TestRotorStarRequiresLazyLoops(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rotor-router* requires d° = d")
+		}
+	}()
+	NewRotorRouterStar().Bind(graph.WithLoops(graph.Cycle(8), 1))
+}
+
+func TestRotorStarSpecialLoopGetsCeil(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8)) // d⁺ = 4
+	nodes := NewRotorRouterStar().Bind(b)
+	sends := make([]int64, 2)
+	loops := make([]int64, 2)
+	for load := int64(0); load < 60; load++ {
+		fresh := NewRotorRouterStar().Bind(b)
+		fresh[0].Distribute(load, sends, loops)
+		if loops[0] != core.CeilShare(load, 4) {
+			t.Fatalf("load %d: special loop got %d, want ⌈x/d⁺⌉ = %d",
+				load, loops[0], core.CeilShare(load, 4))
+		}
+	}
+	_ = nodes
+}
+
+func TestRotorStarInvariants(t *testing.T) {
+	b := graph.Lazy(graph.RandomRegular(48, 4, 5))
+	runAudited(t, b, NewRotorRouterStar(), pointMass(48, 48*19+7), 800,
+		core.NewConservationAuditor(),
+		core.NewNonNegativeAuditor(),
+		core.NewMinShareAuditor(),
+		core.NewRoundFairAuditor(),
+		core.NewSelfPreferenceAuditor(1), // Observation 3.2: good 1-balancer
+		core.NewCumulativeFairnessAuditor(1),
+	)
+}
+
+func TestGoodSInvariantsAcrossS(t *testing.T) {
+	b := graph.Lazy(graph.RandomRegular(40, 4, 6)) // d° = 4
+	for s := 1; s <= 4; s++ {
+		runAudited(t, b, NewGoodS(s), pointMass(40, 40*13+11), 500,
+			core.NewConservationAuditor(),
+			core.NewNonNegativeAuditor(),
+			core.NewMinShareAuditor(),
+			core.NewRoundFairAuditor(),
+			core.NewSelfPreferenceAuditor(s),
+			core.NewCumulativeFairnessAuditor(1),
+		)
+	}
+}
+
+func TestGoodSRejectsBadS(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8)) // d° = 2
+	for _, s := range []int{0, -1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("s = %d should panic with d° = 2", s)
+				}
+			}()
+			NewGoodS(s).Bind(b)
+		}()
+	}
+}
+
+func TestGoodSDistributesEverything(t *testing.T) {
+	f := func(loadRaw uint16, sRaw uint8) bool {
+		b := graph.WithLoops(graph.Cycle(8), 3) // d⁺ = 5
+		s := int(sRaw%3) + 1
+		load := int64(loadRaw % 1000)
+		nodes := NewGoodS(s).Bind(b)
+		sends := make([]int64, 2)
+		loops := make([]int64, 3)
+		nodes[0].Distribute(load, sends, loops)
+		var sum int64
+		for _, v := range sends {
+			sum += v
+		}
+		for _, v := range loops {
+			sum += v
+		}
+		return sum == load
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotorDeterminismAcrossRuns(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(5))
+	x1 := pointMass(32, 3217)
+	run := func() []int64 {
+		eng := core.MustEngine(b, NewRotorRouter(), x1)
+		for i := 0; i < 300; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return append([]int64(nil), eng.Loads()...)
+	}
+	a, bb := run(), run()
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatal("rotor-router runs must be reproducible")
+		}
+	}
+}
+
+// TestRotorCumulativeFairnessProperty: Observation 2.2's δ = 1 for the
+// rotor-router holds on random graphs, random workloads and random self-loop
+// counts — not just the fixtures above.
+func TestRotorCumulativeFairnessProperty(t *testing.T) {
+	f := func(seed int64, loopsRaw uint8) bool {
+		n := 20 + int(uint64(seed)%20)
+		d := 4
+		if n*d%2 != 0 {
+			n++
+		}
+		g := graph.RandomRegular(n, d, seed)
+		loops := int(loopsRaw % 9) // 0..8, crossing the lazy boundary
+		b := graph.WithLoops(g, loops)
+		x1 := make([]int64, n)
+		rng := seed
+		for u := range x1 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			x1[u] = (rng >> 33) % 500
+			if x1[u] < 0 {
+				x1[u] = -x1[u]
+			}
+		}
+		fair := core.NewCumulativeFairnessAuditor(1)
+		eng := core.MustEngine(b, NewRotorRouter(), x1,
+			core.WithAuditor(fair),
+			core.WithAuditor(core.NewConservationAuditor()),
+			core.WithAuditor(core.NewNonNegativeAuditor()),
+		)
+		for i := 0; i < 150; i++ {
+			if err := eng.Step(); err != nil {
+				t.Logf("seed %d loops %d: %v", seed, loops, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendFloorFairnessProperty: δ = 0 for SEND(⌊x/d⁺⌋) on the same random
+// instances.
+func TestSendFloorFairnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%16)
+		if n%2 != 0 {
+			n++
+		}
+		g := graph.RandomRegular(n, 5, seed)
+		b := graph.Lazy(g)
+		x1 := make([]int64, n)
+		x1[0] = int64(n)*37 + 11
+		fair := core.NewCumulativeFairnessAuditor(0)
+		eng := core.MustEngine(b, NewSendFloor(), x1, core.WithAuditor(fair))
+		for i := 0; i < 200; i++ {
+			if err := eng.Step(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package balancer implements every load-balancing algorithm the paper
+// names: the deterministic stateless schemes SEND(⌊x/d⁺⌋) and SEND([x/d⁺]),
+// the ROTOR-ROUTER and its good-1-balancer variant ROTOR-ROUTER*, a generic
+// good s-balancer, the continuous diffusion process both analyses compare
+// against, and the literature baselines of Table 1 ([17]-style biased
+// rounding, randomized extra-token distribution [5], randomized edge
+// rounding [18], and the continuous-flow-mimicking scheme of [4]).
+package balancer
+
+import (
+	"fmt"
+
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+// SendFloor is SEND(⌊x/d⁺⌋): a node with load x sends ⌊x/d⁺⌋ tokens over
+// every original edge and keeps the rest, assigning each self-loop at least
+// ⌊x/d⁺⌋ tokens. It is stateless, deterministic, never produces negative
+// load, and is cumulatively 0-fair (Observation 2.2).
+type SendFloor struct{}
+
+var _ core.Balancer = SendFloor{}
+var _ core.Stateless = SendFloor{}
+
+// NewSendFloor returns the SEND(⌊x/d⁺⌋) algorithm.
+func NewSendFloor() SendFloor { return SendFloor{} }
+
+// Name implements core.Balancer.
+func (SendFloor) Name() string { return "send-floor" }
+
+// IsStateless implements core.Stateless.
+func (SendFloor) IsStateless() bool { return true }
+
+// Bind implements core.Balancer.
+func (SendFloor) Bind(b *graph.Balancing) []core.NodeBalancer {
+	nodes := make([]core.NodeBalancer, b.N())
+	shared := &sendFloorNode{d: b.Degree(), selfLoops: b.SelfLoops(), dplus: b.DegreePlus()}
+	for u := range nodes {
+		nodes[u] = shared
+	}
+	return nodes
+}
+
+type sendFloorNode struct {
+	d, selfLoops, dplus int
+}
+
+func (n *sendFloorNode) Distribute(load int64, sends, selfLoops []int64) {
+	share := core.FloorShare(load, n.dplus)
+	for i := range sends {
+		sends[i] = share
+	}
+	if selfLoops == nil {
+		return
+	}
+	// The tokens that stay: d°·share plus the excess e = load mod d⁺, spread
+	// so that every self-loop receives at least the floor share (Def 2.1(i)).
+	rest := load - int64(n.d)*share
+	if n.selfLoops == 0 {
+		return
+	}
+	base := rest / int64(n.selfLoops)
+	extra := rest - base*int64(n.selfLoops)
+	for j := range selfLoops {
+		selfLoops[j] = base
+		if int64(j) < extra {
+			selfLoops[j]++
+		}
+	}
+}
+
+// SendRound is SEND([x/d⁺]): a node with load x sends [x/d⁺] tokens — x/d⁺
+// rounded to the nearest integer, ties down — over every original edge.
+// Stateless, deterministic, cumulatively 0-fair, and round-fair for d⁺ ≥ 2d.
+//
+// Observation 3.2 states it is a good (d⁺−2d)-balancer for d⁺ > 2d. With the
+// rounding fixed as "nearest, ties down", the self-preference parameter it
+// actually guarantees is s_eff = min(d⁺−2d, ⌊d⁺/2⌋+1−d) — see GuaranteedS —
+// which equals the paper's d⁺−2d for d⁺ ≤ 2d+2 and is still Ω(d) whenever
+// d⁺ ≥ 3d, so every consequence the paper draws (Theorem 3.3's O(d)
+// discrepancy, and the faster O(T + log²n/µ) time for d⁺ ≥ 3d) is preserved.
+type SendRound struct{}
+
+var _ core.Balancer = SendRound{}
+var _ core.Stateless = SendRound{}
+
+// NewSendRound returns the SEND([x/d⁺]) algorithm.
+func NewSendRound() SendRound { return SendRound{} }
+
+// Name implements core.Balancer.
+func (SendRound) Name() string { return "send-round" }
+
+// IsStateless implements core.Stateless.
+func (SendRound) IsStateless() bool { return true }
+
+// GuaranteedS returns the self-preference parameter s that SEND([x/d⁺])
+// provably satisfies on a balancing graph of degree d with d° self-loops:
+// the worst case over all residues e = x mod d⁺ of the number of self-loops
+// receiving ⌈x/d⁺⌉ tokens, capped at d°. Zero means the algorithm is not a
+// good s-balancer in that configuration (d⁺ ≤ 2d).
+func (SendRound) GuaranteedS(b *graph.Balancing) int {
+	d, dplus := b.Degree(), b.DegreePlus()
+	if dplus <= 2*d {
+		return 0
+	}
+	s := dplus/2 + 1 - d
+	if cap := dplus - 2*d; cap < s {
+		s = cap
+	}
+	if s > b.SelfLoops() {
+		s = b.SelfLoops()
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// Bind implements core.Balancer.
+func (SendRound) Bind(b *graph.Balancing) []core.NodeBalancer {
+	if b.DegreePlus() < 2*b.Degree() {
+		panic(fmt.Sprintf("balancer: send-round needs d⁺ ≥ 2d to avoid sending more than the load (d=%d, d⁺=%d)",
+			b.Degree(), b.DegreePlus()))
+	}
+	nodes := make([]core.NodeBalancer, b.N())
+	shared := &sendRoundNode{d: b.Degree(), selfLoops: b.SelfLoops(), dplus: b.DegreePlus()}
+	for u := range nodes {
+		nodes[u] = shared
+	}
+	return nodes
+}
+
+type sendRoundNode struct {
+	d, selfLoops, dplus int
+}
+
+func (n *sendRoundNode) Distribute(load int64, sends, selfLoops []int64) {
+	// Nearest integer, ties down: [y] = ⌈(2x − d⁺)/(2d⁺)⌉ = ⌊(2x+d⁺−1)/(2d⁺)⌋.
+	share := core.FloorShare(2*load+int64(n.dplus)-1, 2*n.dplus)
+	for i := range sends {
+		sends[i] = share
+	}
+	if selfLoops == nil || n.selfLoops == 0 {
+		return
+	}
+	// Remaining load stays; every self-loop gets the floor share and the
+	// excess tops up self-loops one by one (round-fair on self-loops because
+	// rest − d°·floor < d° whenever d⁺ ≥ 2d).
+	rest := load - int64(n.d)*share
+	floor := core.FloorShare(load, n.dplus)
+	extra := rest - floor*int64(n.selfLoops)
+	for j := range selfLoops {
+		selfLoops[j] = floor
+		if int64(j) < extra {
+			selfLoops[j]++
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package balancer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+func pointMass(n int, total int64) []int64 {
+	x := make([]int64, n)
+	x[0] = total
+	return x
+}
+
+func runAudited(t *testing.T, b *graph.Balancing, algo core.Balancer, x1 []int64, rounds int, auditors ...core.Auditor) *core.Engine {
+	t.Helper()
+	opts := make([]core.Option, 0, len(auditors))
+	for _, a := range auditors {
+		opts = append(opts, core.WithAuditor(a))
+	}
+	eng := core.MustEngine(b, algo, x1, opts...)
+	for i := 0; i < rounds; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatalf("round %d: %v", i+1, err)
+		}
+	}
+	return eng
+}
+
+func TestSendFloorDistribution(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(4)) // d=2, d°=2, d⁺=4
+	nodes := NewSendFloor().Bind(b)
+	sends := make([]int64, 2)
+	loops := make([]int64, 2)
+	nodes[0].Distribute(11, sends, loops)
+	// floor(11/4) = 2 per edge; rest = 7 on loops: 4,3.
+	if sends[0] != 2 || sends[1] != 2 {
+		t.Fatalf("sends = %v", sends)
+	}
+	if loops[0]+loops[1] != 7 {
+		t.Fatalf("loops = %v", loops)
+	}
+	for _, l := range loops {
+		if l < 2 {
+			t.Fatalf("self-loop below floor share: %v", loops)
+		}
+	}
+}
+
+func TestSendFloorInvariants(t *testing.T) {
+	b := graph.Lazy(graph.RandomRegular(48, 4, 2))
+	runAudited(t, b, NewSendFloor(), pointMass(48, 48*31+3), 600,
+		core.NewConservationAuditor(),
+		core.NewNonNegativeAuditor(),
+		core.NewMinShareAuditor(),
+		core.NewCumulativeFairnessAuditor(0), // Observation 2.2: δ = 0
+	)
+}
+
+func TestSendFloorZeroSelfLoops(t *testing.T) {
+	// With d° = 0 the remainder x mod d stays put; still conservative and
+	// non-negative.
+	b := graph.WithLoops(graph.Cycle(8), 0)
+	runAudited(t, b, NewSendFloor(), pointMass(8, 100), 200,
+		core.NewConservationAuditor(), core.NewNonNegativeAuditor())
+}
+
+func TestSendRoundDistribution(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(4)) // d⁺ = 4
+	nodes := NewSendRound().Bind(b)
+	sends := make([]int64, 2)
+	loops := make([]int64, 2)
+	// 11/4 = 2.75 -> 3 per edge; rest 5 on loops (floor 2): 3,2.
+	nodes[0].Distribute(11, sends, loops)
+	if sends[0] != 3 || sends[1] != 3 {
+		t.Fatalf("sends = %v", sends)
+	}
+	if loops[0]+loops[1] != 5 {
+		t.Fatalf("loops = %v", loops)
+	}
+	// Tie 10/4 = 2.5 rounds down to 2.
+	nodes[0].Distribute(10, sends, loops)
+	if sends[0] != 2 || sends[1] != 2 {
+		t.Fatalf("tie sends = %v", sends)
+	}
+}
+
+func TestSendRoundInvariants(t *testing.T) {
+	b := graph.Lazy(graph.RandomRegular(48, 4, 3))
+	runAudited(t, b, NewSendRound(), pointMass(48, 48*17+5), 600,
+		core.NewConservationAuditor(),
+		core.NewNonNegativeAuditor(),
+		core.NewMinShareAuditor(),
+		core.NewRoundFairAuditor(),
+		core.NewCumulativeFairnessAuditor(0),
+	)
+}
+
+func TestSendRoundSelfPreference(t *testing.T) {
+	// d = 2, d° = 4 (d⁺ = 6 = 3d): GuaranteedS should be min(2, ⌊6/2⌋+1−2)=2
+	// and the audit at that s must pass on arbitrary loads.
+	b := graph.WithLoops(graph.Cycle(16), 4)
+	s := NewSendRound().GuaranteedS(b)
+	if s != 2 {
+		t.Fatalf("GuaranteedS = %d, want 2", s)
+	}
+	x1 := make([]int64, 16)
+	for i := range x1 {
+		x1[i] = int64(7*i + 3)
+	}
+	runAudited(t, b, NewSendRound(), x1, 400,
+		core.NewSelfPreferenceAuditor(s),
+		core.NewRoundFairAuditor(),
+	)
+}
+
+func TestSendRoundGuaranteedSTable(t *testing.T) {
+	cases := []struct {
+		d, loops, want int
+	}{
+		{2, 2, 0}, // d⁺ = 2d: not a good s-balancer
+		{2, 3, 1}, // d⁺ = 5: min(1, 2+1-2) = 1
+		{2, 4, 2}, // d⁺ = 6 = 3d
+		{4, 8, 3}, // d⁺ = 12 = 3d: ⌊12/2⌋+1−4 = 3 < d⁺−2d = 4
+		{1, 3, 2}, // d⁺ = 4: min(2, 2+1-1) = 2
+		{3, 3, 0}, // d⁺ = 2d
+	}
+	for _, c := range cases {
+		var g *graph.Graph
+		if c.d == 1 {
+			g = graph.CompleteBipartite(1)
+		} else {
+			g = graph.CliqueCirculant(4*c.d+8, c.d)
+		}
+		b := graph.WithLoops(g, c.loops)
+		if got := NewSendRound().GuaranteedS(b); got != c.want {
+			t.Errorf("GuaranteedS(d=%d,d°=%d) = %d, want %d", c.d, c.loops, got, c.want)
+		}
+	}
+}
+
+func TestSendRoundPanicsBelowTwoD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for d⁺ < 2d")
+		}
+	}()
+	NewSendRound().Bind(graph.WithLoops(graph.Cycle(8), 1))
+}
+
+func TestSendRoundNeverOversends(t *testing.T) {
+	f := func(loadRaw uint32, loopsRaw uint8) bool {
+		load := int64(loadRaw % 10000)
+		loops := int(loopsRaw%6) + 2 // d° ≥ d = 2
+		b := graph.WithLoops(graph.Cycle(8), loops)
+		nodes := NewSendRound().Bind(b)
+		sends := make([]int64, 2)
+		selfLoops := make([]int64, loops)
+		nodes[0].Distribute(load, sends, selfLoops)
+		var sum int64
+		for _, s := range sends {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		var loopSum int64
+		for _, s := range selfLoops {
+			if s < 0 {
+				return false
+			}
+			loopSum += s
+		}
+		return sum <= load && sum+loopSum == load
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendAlgorithmsAreStateless(t *testing.T) {
+	if !core.IsStateless(NewSendFloor()) || !core.IsStateless(NewSendRound()) {
+		t.Fatal("SEND algorithms must declare statelessness")
+	}
+}
+
+func TestSendFloorNilSelfLoopsMatches(t *testing.T) {
+	// Distribute must produce identical sends whether or not self-loop
+	// reporting is requested.
+	b := graph.Lazy(graph.Cycle(6))
+	nodes := NewSendFloor().Bind(b)
+	a := make([]int64, 2)
+	bb := make([]int64, 2)
+	loops := make([]int64, 2)
+	for load := int64(0); load < 40; load++ {
+		nodes[0].Distribute(load, a, nil)
+		nodes[0].Distribute(load, bb, loops)
+		if a[0] != bb[0] || a[1] != bb[1] {
+			t.Fatalf("load %d: sends differ with/without self-loop reporting", load)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"detlb/internal/graph"
+)
+
+// leaky is a broken balancer that destroys a token per round at node 0.
+type leaky struct{}
+
+func (leaky) Name() string { return "leaky" }
+
+func (leaky) Bind(b *graph.Balancing) []NodeBalancer {
+	nodes := make([]NodeBalancer, b.N())
+	for u := range nodes {
+		nodes[u] = leakyNode{first: u == 0}
+	}
+	return nodes
+}
+
+type leakyNode struct{ first bool }
+
+func (n leakyNode) Distribute(load int64, sends, selfLoops []int64) {
+	for i := range sends {
+		sends[i] = 0
+	}
+	if n.first && load > 0 {
+		// "Send" one token over edge 0 of node 0... but the test graph wiring
+		// makes this legal; the leak is simulated by the oversend below.
+		sends[0] = load + 1 // sends more than it has -> negative load
+	}
+}
+
+// unfair favours edge 0 with one extra token every round.
+type unfair struct{}
+
+func (unfair) Name() string { return "unfair" }
+
+func (unfair) Bind(b *graph.Balancing) []NodeBalancer {
+	nodes := make([]NodeBalancer, b.N())
+	for u := range nodes {
+		nodes[u] = unfairNode{dplus: b.DegreePlus()}
+	}
+	return nodes
+}
+
+type unfairNode struct{ dplus int }
+
+func (n unfairNode) Distribute(load int64, sends, selfLoops []int64) {
+	share := FloorShare(load, n.dplus)
+	for i := range sends {
+		sends[i] = share
+	}
+	if load-share*int64(len(sends)) > 0 {
+		sends[0]++
+	}
+	if selfLoops != nil {
+		for j := range selfLoops {
+			selfLoops[j] = share
+		}
+	}
+}
+
+func TestConservationAuditorCatchesLeak(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(4))
+	eng := MustEngine(b, leaky{}, []int64{10, 0, 0, 0},
+		WithAuditor(NewConservationAuditor()))
+	err := eng.Step()
+	// leaky sends load+1 over an edge: tokens are conserved (they arrive at
+	// the neighbor) but node 0 goes negative. Conservation holds...
+	if err != nil {
+		t.Fatalf("conservation should hold for oversending: %v", err)
+	}
+	// ...while the non-negativity auditor must fire.
+	eng2 := MustEngine(b, leaky{}, []int64{10, 0, 0, 0},
+		WithAuditor(NewNonNegativeAuditor()))
+	if err := eng2.Step(); err == nil {
+		t.Fatal("non-negative auditor missed a negative load")
+	} else if !strings.Contains(err.Error(), "negative load") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestNegativeLoadCounterCounts(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(4))
+	counter := NewNegativeLoadCounter()
+	eng := MustEngine(b, leaky{}, []int64{10, 0, 0, 0}, WithAuditor(counter))
+	for i := 0; i < 3; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counter.Rounds == 0 || counter.Events == 0 {
+		t.Fatalf("counter did not record negatives: %+v", counter)
+	}
+}
+
+func TestCumulativeFairnessAuditorEnforces(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	x1 := make([]int64, 8)
+	for i := range x1 {
+		x1[i] = 101 // odd load: one extra token per round to edge 0
+	}
+	eng := MustEngine(b, unfair{}, x1, WithAuditor(NewCumulativeFairnessAuditor(3)))
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		err = eng.Step()
+	}
+	if err == nil {
+		t.Fatal("unfair balancer passed a δ=3 cumulative fairness audit")
+	}
+	if !strings.Contains(err.Error(), "cumulative fairness violated") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCumulativeFairnessAuditorRecordOnly(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	x1 := make([]int64, 8)
+	for i := range x1 {
+		x1[i] = 101
+	}
+	rec := NewCumulativeFairnessAuditor(-1)
+	eng := MustEngine(b, unfair{}, x1, WithAuditor(rec))
+	for i := 0; i < 50; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.MaxDelta < 10 {
+		t.Fatalf("recorded δ = %d, expected growth with rounds", rec.MaxDelta)
+	}
+}
+
+func TestMinShareAuditorPassesEvenSplit(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	eng := MustEngine(b, evenSplit{}, pointMass(16, 997),
+		WithAuditor(NewMinShareAuditor()))
+	for i := 0; i < 100; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMinShareAuditorCatchesHoarder(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(4))
+	eng := MustEngine(b, hoarder{}, []int64{100, 0, 0, 0},
+		WithAuditor(NewMinShareAuditor()))
+	err := eng.Step()
+	if err == nil {
+		t.Fatal("hoarder with load 100 violates the ⌊x/d⁺⌋ minimum")
+	}
+	if !strings.Contains(err.Error(), "min-share violated") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRoundFairAuditorCatchesRemainder(t *testing.T) {
+	// evenSplit with excess e ≤ d° distributes everything within
+	// {floor, ceil} and passes; hoarder keeps everything unassigned and
+	// fails.
+	b := graph.Lazy(graph.Cycle(4))
+	eng := MustEngine(b, evenSplit{}, []int64{5, 5, 5, 5},
+		WithAuditor(NewRoundFairAuditor()))
+	if err := eng.Step(); err != nil {
+		t.Fatalf("evenSplit should be round-fair here: %v", err)
+	}
+	eng2 := MustEngine(b, hoarder{}, []int64{7, 7, 7, 7},
+		WithAuditor(NewRoundFairAuditor()))
+	if err := eng2.Step(); err == nil {
+		t.Fatal("hoarder is not round-fair (keeps load off the loops)")
+	}
+}
+
+func TestRoundFairAuditorCatchesOverCeil(t *testing.T) {
+	// evenSplit with excess e = 3 > d° = 2 must stack ⌊x/d⁺⌋+2 on a
+	// self-loop (it is cumulatively fair but not round-fair — exactly the
+	// separation between Def 2.1 and Def 3.1).
+	b := graph.Lazy(graph.Cycle(4))
+	eng := MustEngine(b, evenSplit{}, []int64{7, 7, 7, 7},
+		WithAuditor(NewRoundFairAuditor()))
+	if err := eng.Step(); err == nil {
+		t.Fatal("excess 3 over 2 self-loops cannot be round-fair")
+	}
+	// unfair with load ≡ 2 (mod d⁺) hands out one extra but owes two: the
+	// distributed total misses the load and the audit must fail.
+	eng2 := MustEngine(b, unfair{}, []int64{10, 10, 10, 10},
+		WithAuditor(NewRoundFairAuditor()))
+	if err := eng2.Step(); err == nil {
+		t.Fatal("unfair drops part of its excess; round-fair audit must fail")
+	}
+}
+
+func TestSelfPreferenceAuditor(t *testing.T) {
+	// evenSplit gives self-loops the excess first (they soak up everything
+	// beyond d·⌊x/d⁺⌋), so it is s-self-preferring for s = d°... up to the
+	// round-fair cap. Verify it passes s=1 on a lazy cycle.
+	b := graph.Lazy(graph.Cycle(8))
+	x1 := make([]int64, 8)
+	for i := range x1 {
+		x1[i] = int64(13 + i)
+	}
+	eng := MustEngine(b, evenSplit{}, x1, WithAuditor(NewSelfPreferenceAuditor(1)))
+	for i := 0; i < 50; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// unfair gives the excess to edge 0, never a self-loop: must fail.
+	eng2 := MustEngine(b, unfair{}, []int64{9, 9, 9, 9, 9, 9, 9, 9},
+		WithAuditor(NewSelfPreferenceAuditor(1)))
+	if err := eng2.Step(); err == nil {
+		t.Fatal("unfair is not self-preferring")
+	}
+}
+
+func TestAuditRequirementsWireTracking(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(4))
+	eng := MustEngine(b, evenSplit{}, []int64{5, 5, 5, 5},
+		WithAuditor(NewCumulativeFairnessAuditor(-1)))
+	if eng.Flows() == nil {
+		t.Fatal("fairness auditor must enable flow tracking")
+	}
+}

@@ -1,0 +1,87 @@
+// Package core implements the synchronous diffusive load-balancing framework
+// of the paper (Section 1.3): load vectors, the round engine, cumulative flow
+// accounting F_t(e), the fairness definitions (cumulative δ-fairness of
+// Def 2.1, round-fairness, s-self-preference of Def 3.1) as runtime auditors,
+// and the potential functions φ_t(c), φ′_t(c) of Section 3.
+package core
+
+import "detlb/internal/graph"
+
+// NodeBalancer computes one node's token distribution each round.
+//
+// Implementations may be stateful per node (e.g. a rotor position); the
+// engine guarantees Distribute is called exactly once per round per node and
+// never concurrently for the same node.
+type NodeBalancer interface {
+	// Distribute decides where the node's current load goes this round.
+	//
+	// sends has length d (the node's original edges, in adjacency order) and
+	// must be filled with the token count for each edge. selfLoops, when
+	// non-nil, has length d° and must be filled with the per-self-loop token
+	// counts; implementations must tolerate selfLoops == nil (auditing off)
+	// and behave identically. Tokens not placed on any edge are the node's
+	// remainder r_t(u).
+	//
+	// The engine derives the retained load as load − Σ sends; a distribution
+	// whose sends exceed the load produces negative load, which the engine
+	// permits (some baselines from the literature do this) and the auditor
+	// records.
+	Distribute(load int64, sends, selfLoops []int64)
+}
+
+// Balancer is a load-balancing algorithm: a factory of per-node balancers
+// bound to a concrete balancing graph.
+type Balancer interface {
+	// Name identifies the algorithm in tables, e.g. "rotor-router".
+	Name() string
+	// Bind instantiates per-node state for every node of b. The returned
+	// slice has length b.N().
+	Bind(b *graph.Balancing) []NodeBalancer
+}
+
+// RoundObserver is an optional interface for balancers that need a global
+// per-round hook (e.g. the continuous-flow-mimicking baseline advances its
+// continuous simulation once per round). The engine invokes BeginRound with
+// the round number (1-based, matching the paper's x_t indexing) and the
+// current load vector before any Distribute call of that round. The loads
+// slice is read-only and only valid for the duration of the call.
+type RoundObserver interface {
+	BeginRound(round int, loads []int64)
+}
+
+// Stateless marks balancers whose Distribute depends only on the current
+// load (Theorem 4.2's class). It is informational: auditors and experiment
+// tables use it, the engine does not.
+type Stateless interface {
+	IsStateless() bool
+}
+
+// IsStateless reports whether balancer b declares itself stateless.
+func IsStateless(b Balancer) bool {
+	s, ok := b.(Stateless)
+	return ok && s.IsStateless()
+}
+
+// FloorShare returns ⌊x/d⁺⌋, the per-edge minimum of Def 2.1, handling
+// negative loads with floor (not truncation) semantics so invariants remain
+// meaningful if a baseline drives a load negative.
+func FloorShare(x int64, dplus int) int64 {
+	d := int64(dplus)
+	q := x / d
+	if x%d != 0 && (x < 0) != (d < 0) {
+		q--
+	}
+	return q
+}
+
+// CeilShare returns ⌈x/d⁺⌉.
+func CeilShare(x int64, dplus int) int64 {
+	return FloorShare(x+int64(dplus)-1, dplus)
+}
+
+// NearestShare returns [x/d⁺], rounding to the nearest integer with halves
+// rounded up. |x| must stay below 2⁶² (the computation doubles x); token
+// counts in this library are far smaller.
+func NearestShare(x int64, dplus int) int64 {
+	return FloorShare(2*x+int64(dplus), 2*dplus)
+}

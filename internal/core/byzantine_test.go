@@ -1,0 +1,131 @@
+package core
+
+// Failure-injection tests: balancers that violate exactly one condition of
+// the paper's definitions, and the assertion that exactly the matching
+// auditor — and only that auditor — rejects them.
+
+import (
+	"strings"
+	"testing"
+
+	"detlb/internal/graph"
+)
+
+// violator wraps evenSplit and perturbs its output in one specific way.
+type violator struct {
+	mode string
+}
+
+func (v violator) Name() string { return "violator-" + v.mode }
+
+func (v violator) Bind(b *graph.Balancing) []NodeBalancer {
+	inner := evenSplit{}.Bind(b)
+	nodes := make([]NodeBalancer, b.N())
+	for u := range nodes {
+		nodes[u] = violatorNode{mode: v.mode, inner: inner[u], first: u == 0, dplus: b.DegreePlus()}
+	}
+	return nodes
+}
+
+type violatorNode struct {
+	mode  string
+	inner NodeBalancer
+	first bool
+	dplus int
+}
+
+func (n violatorNode) Distribute(load int64, sends, selfLoops []int64) {
+	n.inner.Distribute(load, sends, selfLoops)
+	if !n.first {
+		return
+	}
+	switch n.mode {
+	case "starve-edge":
+		// Breaks Def 2.1(i): edge 0 gets less than ⌊x/d⁺⌋ (push the token to
+		// a self-loop to keep the rest consistent).
+		if sends[0] > 0 {
+			sends[0]--
+			if selfLoops != nil {
+				selfLoops[0]++
+			}
+		}
+	case "over-ceil":
+		// Breaks Def 3.1(3): edge 0 gets ⌈x/d⁺⌉ + 1 (taken from edge 1 so
+		// conservation still holds).
+		if sends[1] > 0 {
+			sends[1]--
+			sends[0] += 2
+			if selfLoops != nil && selfLoops[0] > 0 {
+				selfLoops[0]--
+			}
+		}
+	case "oversend":
+		// Breaks non-negativity: sends more than it holds.
+		sends[0] += load + 1
+	case "skim":
+		// Breaks round-fairness' full-distribution requirement: reports one
+		// token fewer on a self-loop than it actually keeps.
+		if selfLoops != nil && selfLoops[0] > 0 {
+			selfLoops[0]--
+		}
+	}
+}
+
+func TestFailureInjectionMatrix(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	x1 := make([]int64, 8)
+	for i := range x1 {
+		x1[i] = 21 // x mod d⁺ = 1: evenSplit sends 5 per edge, loops get 6,5
+	}
+	cases := []struct {
+		mode      string
+		caughtBy  string
+		mkAuditor func() Auditor
+	}{
+		{"starve-edge", "min-share", func() Auditor { return NewMinShareAuditor() }},
+		{"over-ceil", "round-fair", func() Auditor { return NewRoundFairAuditor() }},
+		{"oversend", "non-negative", func() Auditor { return NewNonNegativeAuditor() }},
+		{"skim", "round-fair", func() Auditor { return NewRoundFairAuditor() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mode, func(t *testing.T) {
+			// The matching auditor must fire within a few rounds.
+			eng := MustEngine(b, violator{mode: tc.mode}, x1, WithAuditor(tc.mkAuditor()))
+			var err error
+			for i := 0; i < 20 && err == nil; i++ {
+				err = eng.Step()
+			}
+			if err == nil {
+				t.Fatalf("%s auditor missed the %s violation", tc.caughtBy, tc.mode)
+			}
+			// Token conservation must be unaffected by every mode except
+			// the reporting-only "skim" (which lies to the auditor, not to
+			// the engine).
+			eng2 := MustEngine(b, violator{mode: tc.mode}, x1, WithAuditor(NewConservationAuditor()))
+			for i := 0; i < 20; i++ {
+				if err := eng2.Step(); err != nil {
+					t.Fatalf("conservation broke under %s: %v", tc.mode, err)
+				}
+			}
+		})
+	}
+}
+
+func TestViolationErrorsAreDescriptive(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	x1 := make([]int64, 8)
+	for i := range x1 {
+		x1[i] = 21
+	}
+	eng := MustEngine(b, violator{mode: "starve-edge"}, x1, WithAuditor(NewMinShareAuditor()))
+	var err error
+	for i := 0; i < 5 && err == nil; i++ {
+		err = eng.Step()
+	}
+	if err == nil || !strings.Contains(err.Error(), "node 0") {
+		t.Fatalf("error should name the offending node: %v", err)
+	}
+	if !strings.Contains(err.Error(), "round") {
+		t.Fatalf("error should name the round: %v", err)
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"detlb/internal/graph"
+)
+
+// Engine runs the synchronous diffusive process of Section 1.3: in every
+// round each node u applies its NodeBalancer to its current load x_t(u); the
+// tokens placed on original edges move to the corresponding neighbors, all
+// other tokens stay at u. Steps are deterministic and, with Workers > 1,
+// computed in parallel with results bit-identical to the serial engine (the
+// round is two data-parallel phases: distribute, then apply via the
+// precomputed reverse edge index).
+type Engine struct {
+	bal   *graph.Balancing
+	algo  Balancer
+	nodes []NodeBalancer
+
+	x     []int64   // current loads, x_{t} at the start of round t+1 (0-based storage)
+	sends [][]int64 // sends[u][i] = tokens over u's i-th original edge this round
+	next  []int64   // scratch for the apply phase
+
+	selfLoops [][]int64 // per-node self-loop assignments; nil unless auditing
+	flows     [][]int64 // cumulative F_t(e) per arc; nil unless tracking enabled
+	round     int
+
+	auditors []Auditor
+	workers  int
+	par      *parallelizer
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets the number of worker goroutines used per phase. Values
+// below 2 select the serial path. The engine is deterministic regardless.
+func WithWorkers(w int) Option {
+	return func(e *Engine) { e.workers = w }
+}
+
+// WithFlowTracking allocates cumulative per-arc flow counters F_t(e), needed
+// by the cumulative-fairness auditor and by flow-based experiments.
+func WithFlowTracking() Option {
+	return func(e *Engine) {
+		if e.flows == nil {
+			d := e.bal.Degree()
+			e.flows = make([][]int64, e.bal.N())
+			for u := range e.flows {
+				e.flows[u] = make([]int64, d)
+			}
+		}
+	}
+}
+
+// WithAuditor attaches an invariant auditor, implicitly enabling whatever
+// tracking it requires.
+func WithAuditor(a Auditor) Option {
+	return func(e *Engine) {
+		e.auditors = append(e.auditors, a)
+		req := a.Requires()
+		if req.Flows {
+			WithFlowTracking()(e)
+		}
+		if req.SelfLoops && e.selfLoops == nil {
+			e.selfLoops = make([][]int64, e.bal.N())
+			for u := range e.selfLoops {
+				e.selfLoops[u] = make([]int64, e.bal.SelfLoops())
+			}
+		}
+	}
+}
+
+// NewEngine binds algo to the balancing graph b with initial load vector x1.
+// The initial vector is copied.
+func NewEngine(b *graph.Balancing, algo Balancer, x1 []int64, opts ...Option) (*Engine, error) {
+	if len(x1) != b.N() {
+		return nil, fmt.Errorf("core: load vector has %d entries for %d nodes", len(x1), b.N())
+	}
+	e := &Engine{
+		bal:  b,
+		algo: algo,
+		x:    append([]int64(nil), x1...),
+		next: make([]int64, b.N()),
+	}
+	e.sends = make([][]int64, b.N())
+	for u := range e.sends {
+		e.sends[u] = make([]int64, b.Degree())
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.nodes = algo.Bind(b)
+	if len(e.nodes) != b.N() {
+		return nil, fmt.Errorf("core: balancer %q bound %d nodes for %d-node graph", algo.Name(), len(e.nodes), b.N())
+	}
+	e.par = newParallelizer(e.workers)
+	// Materialize the reverse index up front so Step never mutates the graph.
+	b.Graph().ReverseIndex()
+	return e, nil
+}
+
+// MustEngine is NewEngine for known-good inputs; it panics on error.
+func MustEngine(b *graph.Balancing, algo Balancer, x1 []int64, opts ...Option) *Engine {
+	e, err := NewEngine(b, algo, x1, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Balancing returns the balancing graph the engine runs on.
+func (e *Engine) Balancing() *graph.Balancing { return e.bal }
+
+// Algorithm returns the bound balancer.
+func (e *Engine) Algorithm() Balancer { return e.algo }
+
+// Round returns the number of completed rounds (t in the paper's x_{t+1}).
+func (e *Engine) Round() int { return e.round }
+
+// Loads returns the current load vector. The slice is shared with the engine
+// and must not be modified; copy it if it needs to survive a Step.
+func (e *Engine) Loads() []int64 { return e.x }
+
+// Flows returns the cumulative per-arc flows F_t(e), or nil when flow
+// tracking is disabled. flows[u][i] is the total sent over u's i-th original
+// edge in rounds 1..t. Shared; do not modify.
+func (e *Engine) Flows() [][]int64 { return e.flows }
+
+// TotalLoad returns Σ_u x_t(u); it is invariant over time for any balancer.
+func (e *Engine) TotalLoad() int64 {
+	var sum int64
+	for _, v := range e.x {
+		sum += v
+	}
+	return sum
+}
+
+// Discrepancy returns max load − min load of the current vector.
+func (e *Engine) Discrepancy() int64 { return Discrepancy(e.x) }
+
+// Step executes one synchronous round. It returns the first auditor error
+// encountered, leaving the (already advanced) state available for debugging.
+func (e *Engine) Step() error {
+	e.round++
+	if obs, ok := e.algo.(RoundObserver); ok {
+		obs.BeginRound(e.round, e.x)
+	}
+
+	// Phase 1: every node distributes its load; pure function of (node state,
+	// x_t), so node ranges run in parallel.
+	g := e.bal.Graph()
+	e.par.run(e.bal.N(), func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			var loops []int64
+			if e.selfLoops != nil {
+				loops = e.selfLoops[u]
+				for j := range loops {
+					loops[j] = 0
+				}
+			}
+			e.nodes[u].Distribute(e.x[u], e.sends[u], loops)
+		}
+	})
+
+	// Phase 2: rebuild loads from the reverse index. next[v] depends only on
+	// x (phase-1 snapshot) and sends, so node ranges run in parallel.
+	rev := g.ReverseIndex()
+	e.par.run(e.bal.N(), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			kept := e.x[v]
+			for _, s := range e.sends[v] {
+				kept -= s
+			}
+			in := kept
+			for _, a := range rev[v] {
+				in += e.sends[a.From][a.Index]
+			}
+			e.next[v] = in
+		}
+	})
+
+	// Phase 3 (optional): cumulative flow accounting.
+	if e.flows != nil {
+		e.par.run(e.bal.N(), func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				fu := e.flows[u]
+				for i, s := range e.sends[u] {
+					fu[i] += s
+				}
+			}
+		})
+	}
+
+	prev := e.x
+	e.x, e.next = e.next, prev
+
+	for _, a := range e.auditors {
+		if err := a.Observe(e, prev, e.sends, e.selfLoops); err != nil {
+			return fmt.Errorf("core: round %d: %w", e.round, err)
+		}
+	}
+	return nil
+}
+
+// Run executes rounds until the predicate stop(engine) returns true or
+// maxRounds is reached, returning the number of rounds executed and the
+// first audit error, if any. stop is evaluated after each round; a nil stop
+// runs exactly maxRounds rounds.
+func (e *Engine) Run(maxRounds int, stop func(*Engine) bool) (int, error) {
+	for i := 0; i < maxRounds; i++ {
+		if err := e.Step(); err != nil {
+			return i + 1, err
+		}
+		if stop != nil && stop(e) {
+			return i + 1, nil
+		}
+	}
+	return maxRounds, nil
+}
+
+// Discrepancy returns max(x) − min(x).
+func Discrepancy(x []int64) int64 {
+	if len(x) == 0 {
+		return 0
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// Balancedness returns max(x) − ⌈avg⌉ in the paper's sense: the gap between
+// the most loaded node and the average load, rounded up to an integer bound.
+func Balancedness(x []int64) int64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum, hi int64
+	hi = x[0]
+	for _, v := range x {
+		sum += v
+		if v > hi {
+			hi = v
+		}
+	}
+	avgCeil := CeilShare(sum, len(x))
+	return hi - avgCeil
+}

@@ -1,0 +1,75 @@
+package core
+
+import "testing"
+
+// FuzzShares cross-checks the share helpers' algebraic invariants on
+// arbitrary (load, degree) pairs.
+func FuzzShares(f *testing.F) {
+	f.Add(int64(10), uint8(4))
+	f.Add(int64(-7), uint8(3))
+	f.Add(int64(0), uint8(1))
+	f.Add(int64(1<<39), uint8(17))
+	f.Fuzz(func(t *testing.T, xRaw int64, dRaw uint8) {
+		x := xRaw % (1 << 40)
+		d := int(dRaw%63) + 1
+		fl := FloorShare(x, d)
+		ce := CeilShare(x, d)
+		if fl*int64(d) > x {
+			t.Fatalf("floor %d·%d > %d", fl, d, x)
+		}
+		if ce*int64(d) < x {
+			t.Fatalf("ceil %d·%d < %d", ce, d, x)
+		}
+		if ce-fl != 0 && ce-fl != 1 {
+			t.Fatalf("ceil−floor = %d", ce-fl)
+		}
+		if (ce == fl) != (x%int64(d) == 0) {
+			t.Fatalf("exactness disagrees for %d/%d", x, d)
+		}
+		near := NearestShare(x, d)
+		if near != fl && near != ce {
+			t.Fatalf("nearest %d outside {%d,%d}", near, fl, ce)
+		}
+	})
+}
+
+// FuzzPhiDrop checks that the Lemma 3.5/3.7 drop formulas never return
+// negative values and never exceed the actual potential change they bound.
+func FuzzPhiDrop(f *testing.F) {
+	f.Add(int64(12), int64(7), int64(2), uint8(4), uint8(2))
+	f.Fuzz(func(t *testing.T, prev, cur, c int64, dRaw, sRaw uint8) {
+		prev %= 1 << 30
+		cur %= 1 << 30
+		c %= 1 << 20
+		dplus := int(dRaw%31) + 1
+		s := int(sRaw%uint8(dplus)) + 1
+		drop := PhiDrop(prev, cur, c, dplus, s)
+		if drop < 0 {
+			t.Fatalf("negative drop %d", drop)
+		}
+		// The drop credited to one node can never exceed that node's actual
+		// φ decrease: max(prev−thr,0) − max(cur−thr,0).
+		thr := c * int64(dplus)
+		actual := max64(prev-thr, 0) - max64(cur-thr, 0)
+		if drop > max64(actual, 0) {
+			t.Fatalf("drop %d exceeds actual φ change %d (prev=%d cur=%d thr=%d s=%d)",
+				drop, actual, prev, cur, thr, s)
+		}
+		dropP := PhiPrimeDrop(prev, cur, c, dplus, s)
+		if dropP < 0 {
+			t.Fatalf("negative φ' drop %d", dropP)
+		}
+		thrS := thr + int64(s)
+		actualP := max64(thrS-prev, 0) - max64(thrS-cur, 0)
+		if dropP > max64(actualP, 0) {
+			t.Fatalf("φ' drop %d exceeds actual change %d", dropP, actualP)
+		}
+	})
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelizer fans an index range out over a fixed number of goroutines.
+// With width <= 1 it degenerates to a direct call, which is both the
+// determinism baseline and the fast path for small graphs.
+type parallelizer struct {
+	width int
+}
+
+func newParallelizer(width int) *parallelizer {
+	if width < 0 {
+		width = 0
+	}
+	if width > runtime.NumCPU() {
+		width = runtime.NumCPU()
+	}
+	return &parallelizer{width: width}
+}
+
+// run partitions [0, n) into contiguous chunks and invokes fn on each. fn
+// must be safe to call concurrently on disjoint ranges. run returns only
+// after every chunk completes.
+func (p *parallelizer) run(n int, fn func(lo, hi int)) {
+	if p.width <= 1 || n < 2*p.width {
+		fn(0, n)
+		return
+	}
+	chunk := (n + p.width - 1) / p.width
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"detlb/internal/graph"
+)
+
+func TestPhiBasics(t *testing.T) {
+	x := []int64{0, 5, 12, 20}
+	dplus := 4
+	// threshold c=2 -> 8: contributions max(x-8,0) = 0,0,4,12.
+	if got := Phi(x, 2, dplus); got != 16 {
+		t.Fatalf("φ(2) = %d, want 16", got)
+	}
+	if got := Phi(x, 0, dplus); got != 37 {
+		t.Fatalf("φ(0) = %d, want 37", got)
+	}
+	if got := Phi(x, 100, dplus); got != 0 {
+		t.Fatalf("φ(100) = %d, want 0", got)
+	}
+}
+
+func TestPhiPrimeBasics(t *testing.T) {
+	x := []int64{0, 5, 12, 20}
+	dplus, s := 4, 2
+	// threshold c=2 -> 8+2=10: contributions max(10-x,0) = 10,5,0,0.
+	if got := PhiPrime(x, 2, dplus, s); got != 15 {
+		t.Fatalf("φ'(2) = %d, want 15", got)
+	}
+	if got := PhiPrime(x, -1, dplus, 0); got != 0 {
+		t.Fatalf("φ'(-1) = %d, want 0 (threshold -4)", got)
+	}
+}
+
+func TestPhiDropFormula(t *testing.T) {
+	dplus, s := 4, 2
+	// c=2: threshold 8, s-band [8,10].
+	cases := []struct {
+		prev, cur, want int64
+	}{
+		{12, 7, 2},  // min(12,10)-max(7,8) = 10-8
+		{12, 9, 1},  // 10-9
+		{9, 8, 1},   // min(9,10)-max(8,8) = 1
+		{12, 11, 0}, // cur ≥ threshold+s
+		{8, 7, 0},   // prev ≤ threshold
+		{7, 9, 0},   // increased
+	}
+	for _, c := range cases {
+		if got := PhiDrop(c.prev, c.cur, 2, dplus, s); got != c.want {
+			t.Errorf("PhiDrop(%d,%d) = %d, want %d", c.prev, c.cur, got, c.want)
+		}
+	}
+}
+
+func TestPhiPrimeDropFormula(t *testing.T) {
+	dplus, s := 4, 2
+	// c=2: threshold 8, band [8,10].
+	cases := []struct {
+		prev, cur, want int64
+	}{
+		{7, 12, 2},  // min(12,10)-max(7,8) = 2
+		{9, 12, 1},  // min(12,10)-max(9,8) = 1
+		{8, 9, 1},   // 9-8
+		{11, 12, 0}, // prev ≥ threshold+s
+		{7, 8, 0},   // cur ≤ threshold
+		{9, 7, 0},   // decreased
+	}
+	for _, c := range cases {
+		if got := PhiPrimeDrop(c.prev, c.cur, 2, dplus, s); got != c.want {
+			t.Errorf("PhiPrimeDrop(%d,%d) = %d, want %d", c.prev, c.cur, got, c.want)
+		}
+	}
+}
+
+func TestPhiNonNegativeProperty(t *testing.T) {
+	f := func(raw []int16, c int8, dRaw uint8) bool {
+		dplus := int(dRaw%16) + 1
+		x := make([]int64, len(raw))
+		for i, v := range raw {
+			x[i] = int64(v)
+		}
+		return Phi(x, int64(c), dplus) >= 0 && PhiPrime(x, int64(c), dplus, 2) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhiMonotoneInC(t *testing.T) {
+	f := func(raw []int16, cRaw int8) bool {
+		c := int64(cRaw % 16)
+		x := make([]int64, len(raw))
+		for i, v := range raw {
+			x[i] = int64(v)
+		}
+		// φ decreases (weakly) as the threshold rises; φ' increases.
+		return Phi(x, c, 4) >= Phi(x, c+1, 4) && PhiPrime(x, c, 4, 2) <= PhiPrime(x, c+1, 4, 2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPotentialTrackerNoViolationsForEvenSplit(t *testing.T) {
+	// evenSplit is round-fair and self-preferring (self-loops soak the
+	// excess), so φ must never increase.
+	b := graph.Lazy(graph.RandomRegular(32, 4, 9))
+	x1 := pointMass(32, 32*40+5)
+	tracker := NewPotentialTracker(1, 6, 8, 10)
+	eng := MustEngine(b, evenSplit{}, x1, WithAuditor(tracker))
+	for i := 0; i < 400; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tracker.Violations != 0 {
+		t.Fatalf("observed %d potential increases", tracker.Violations)
+	}
+	if tracker.TotalPhiDrop == 0 {
+		t.Fatal("expected the point mass to drain φ(c0)")
+	}
+}

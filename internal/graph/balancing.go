@@ -1,0 +1,72 @@
+package graph
+
+import "fmt"
+
+// Balancing is the balancing graph G+ of Section 1.3: the original graph G
+// together with d° self-loops attached to every node. d+ = d + d° is the
+// degree used by every balancer's token-splitting rule.
+//
+// Self-loops are virtual — tokens sent over them never leave the node — so
+// Balancing stores only their count. The paper's analysis requires d° >= d
+// (claims (i) and (ii) of Theorem 2.3); NewBalancing accepts any d° >= 0 and
+// exposes predicates so tests can exercise the out-of-regime cases
+// (e.g. the ROTOR-ROUTER lower bound of Theorem 4.3 with d° = 0).
+type Balancing struct {
+	g         *Graph
+	selfLoops int
+}
+
+// NewBalancing attaches selfLoops self-loops to every node of g.
+func NewBalancing(g *Graph, selfLoops int) (*Balancing, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graph: nil original graph")
+	}
+	if selfLoops < 0 {
+		return nil, fmt.Errorf("graph: negative self-loop count %d", selfLoops)
+	}
+	return &Balancing{g: g, selfLoops: selfLoops}, nil
+}
+
+// Lazy returns G+ with d° = d self-loops, the paper's default configuration
+// (d+ = 2d). It panics only on nil input.
+func Lazy(g *Graph) *Balancing {
+	b, err := NewBalancing(g, g.Degree())
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// WithLoops returns G+ with an explicit d°, panicking on invalid input; it is
+// the convenience construction used by tests and examples.
+func WithLoops(g *Graph, selfLoops int) *Balancing {
+	b, err := NewBalancing(g, selfLoops)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Graph returns the original graph G.
+func (b *Balancing) Graph() *Graph { return b.g }
+
+// N returns the number of nodes.
+func (b *Balancing) N() int { return b.g.N() }
+
+// Degree returns d, the number of original edges per node.
+func (b *Balancing) Degree() int { return b.g.Degree() }
+
+// SelfLoops returns d°.
+func (b *Balancing) SelfLoops() int { return b.selfLoops }
+
+// DegreePlus returns d+ = d + d°.
+func (b *Balancing) DegreePlus() int { return b.g.Degree() + b.selfLoops }
+
+// IsLazy reports whether d° >= d, the precondition of Theorem 2.3 (i)-(ii)
+// under which all eigenvalues of the transition matrix are non-negative.
+func (b *Balancing) IsLazy() bool { return b.selfLoops >= b.g.Degree() }
+
+// Name identifies the balancing graph, e.g. "cycle(64)+2loops".
+func (b *Balancing) Name() string {
+	return fmt.Sprintf("%s+%dloops", b.g.Name(), b.selfLoops)
+}

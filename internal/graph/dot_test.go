@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := Cycle(4)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, map[int]string{0: "root"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`graph "cycle(4)"`, `0 [label="root"]`, "0 -- 1;", "2 -- 3;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Each of the 4 undirected edges exactly once.
+	if got := strings.Count(out, "--"); got != 4 {
+		t.Fatalf("expected 4 edges, got %d", got)
+	}
+}
+
+func TestWriteDOTParallelEdges(t *testing.T) {
+	g := MustNew("multi", [][]int{{1, 1}, {0, 0}})
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "0 -- 1;"); got != 2 {
+		t.Fatalf("parallel edge multiplicity lost: %d", got)
+	}
+}

@@ -1,0 +1,336 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Cycle returns the cycle C_n (2-regular), n >= 3.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		adj[u] = []int{(u + 1) % n, (u - 1 + n) % n}
+	}
+	g := MustNew(fmt.Sprintf("cycle(%d)", n), adj)
+	g.SetNu2(math.Cos(2 * math.Pi / float64(n)))
+	return g
+}
+
+// Complete returns the complete graph K_n ((n-1)-regular), n >= 2.
+func Complete(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: complete graph needs n >= 2, got %d", n))
+	}
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		adj[u] = make([]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != u {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+	g := MustNew(fmt.Sprintf("complete(%d)", n), adj)
+	g.SetNu2(-1 / float64(n-1))
+	return g
+}
+
+// Hypercube returns the r-dimensional hypercube Q_r on n = 2^r nodes
+// (r-regular). The paper's related work reports hypercube-specific
+// discrepancy bounds (e.g. O(log^{3/2} n) for bounded-error processes).
+func Hypercube(r int) *Graph {
+	if r < 1 || r > 30 {
+		panic(fmt.Sprintf("graph: hypercube dimension out of range: %d", r))
+	}
+	n := 1 << r
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		adj[u] = make([]int, r)
+		for b := 0; b < r; b++ {
+			adj[u][b] = u ^ (1 << b)
+		}
+	}
+	g := MustNew(fmt.Sprintf("hypercube(%d)", r), adj)
+	g.SetNu2(1 - 2/float64(r))
+	return g
+}
+
+// Torus returns the r-dimensional torus (Z_side)^r, 2r-regular, with
+// wrap-around in every dimension. side >= 3 so that the ±1 neighbors in a
+// dimension are distinct (no multi-edges).
+func Torus(r, side int) *Graph {
+	if r < 1 {
+		panic(fmt.Sprintf("graph: torus needs r >= 1, got %d", r))
+	}
+	if side < 3 {
+		panic(fmt.Sprintf("graph: torus needs side >= 3, got %d", side))
+	}
+	n := 1
+	for i := 0; i < r; i++ {
+		n *= side
+	}
+	adj := make([][]int, n)
+	stride := make([]int, r)
+	stride[0] = 1
+	for i := 1; i < r; i++ {
+		stride[i] = stride[i-1] * side
+	}
+	for u := 0; u < n; u++ {
+		adj[u] = make([]int, 0, 2*r)
+		for i := 0; i < r; i++ {
+			coord := (u / stride[i]) % side
+			up := u + ((coord+1)%side-coord)*stride[i]
+			down := u + ((coord-1+side)%side-coord)*stride[i]
+			adj[u] = append(adj[u], up, down)
+		}
+	}
+	g := MustNew(fmt.Sprintf("torus(%d^%d)", side, r), adj)
+	g.SetNu2((float64(r-1) + math.Cos(2*math.Pi/float64(side))) / float64(r))
+	return g
+}
+
+// Circulant returns the circulant graph on n nodes with symmetric connection
+// offsets. Each offset s in offsets (0 < s < n, s != n-s unless handled)
+// contributes the two neighbors u±s; if n is even and s == n/2 it contributes
+// the single antipodal neighbor. Degree is 2·|{s : s != n/2}| + |{s == n/2}|.
+func Circulant(n int, offsets []int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: circulant needs n >= 3, got %d", n))
+	}
+	seen := make(map[int]bool, len(offsets))
+	for _, s := range offsets {
+		if s <= 0 || s >= n {
+			panic(fmt.Sprintf("graph: circulant offset %d out of range (0,%d)", s, n))
+		}
+		if seen[s] {
+			panic(fmt.Sprintf("graph: duplicate circulant offset %d", s))
+		}
+		seen[s] = true
+	}
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, s := range offsets {
+			if 2*s == n {
+				adj[u] = append(adj[u], (u+s)%n)
+			} else {
+				adj[u] = append(adj[u], (u+s)%n, (u-s+n)%n)
+			}
+		}
+	}
+	g := MustNew(fmt.Sprintf("circulant(%d,%v)", n, offsets), adj)
+	g.SetNu2(circulantNu2(n, g.Degree(), offsets))
+	return g
+}
+
+// circulantNu2 evaluates the circulant eigenvalues
+// ν_k = (1/d)·Σ_s weight(s)·cos(2πks/n) exactly for k = 1..n-1 and returns
+// the largest (the k = 0 eigenvalue is the trivial 1).
+func circulantNu2(n, d int, offsets []int) float64 {
+	best := math.Inf(-1)
+	for k := 1; k < n; k++ {
+		sum := 0.0
+		for _, s := range offsets {
+			c := math.Cos(2 * math.Pi * float64(k) * float64(s) / float64(n))
+			if 2*s == n {
+				sum += c
+			} else {
+				sum += 2 * c
+			}
+		}
+		if v := sum / float64(d); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// CliqueCirculant builds the d-regular graph from the proof of Theorem 4.2:
+// nodes 0..n-1, with i ~ j iff (i-j) mod n ∈ {1..⌊d/2⌋} ∪ {n-⌊d/2⌋..n-1},
+// plus antipodal edges when d is odd (requires even n). Nodes 0..⌊d/2⌋-1 form
+// a ⌊d/2⌋-clique when n is large enough.
+func CliqueCirculant(n, d int) *Graph {
+	if d < 2 || d >= n {
+		panic(fmt.Sprintf("graph: clique-circulant needs 2 <= d < n, got d=%d n=%d", d, n))
+	}
+	if d%2 == 1 && n%2 == 1 {
+		panic("graph: clique-circulant with odd d needs even n")
+	}
+	half := d / 2
+	if n <= 2*half {
+		panic(fmt.Sprintf("graph: clique-circulant needs n > d, got n=%d d=%d", n, d))
+	}
+	offsets := make([]int, 0, half+1)
+	for s := 1; s <= half; s++ {
+		offsets = append(offsets, s)
+	}
+	if d%2 == 1 {
+		offsets = append(offsets, n/2)
+	}
+	g := Circulant(n, offsets)
+	g.name = fmt.Sprintf("clique-circulant(%d,d=%d)", n, d)
+	return g
+}
+
+// GeneralizedPetersen returns GP(n, k): outer n-cycle 0..n-1, inner nodes
+// n..2n-1 connected as i ~ i+k (mod n), plus spokes. 3-regular on 2n nodes;
+// GP(5, 2) is the Petersen graph. Varying (n, k) sweeps the odd girth,
+// which makes the family a rich fixture for Theorem 4.3. Requires n ≥ 3 and
+// 1 ≤ k < n/2 (so the inner step is neither a self-arc nor an involution).
+func GeneralizedPetersen(n, k int) *Graph {
+	if n < 3 || k < 1 || 2*k >= n {
+		panic(fmt.Sprintf("graph: generalized Petersen needs n ≥ 3, 1 ≤ k < n/2, got (%d,%d)", n, k))
+	}
+	adj := make([][]int, 2*n)
+	for i := 0; i < n; i++ {
+		adj[i] = []int{(i + 1) % n, (i - 1 + n) % n, n + i}
+		adj[n+i] = []int{n + (i+k)%n, n + (i-k+n)%n, i}
+	}
+	return MustNew(fmt.Sprintf("gp(%d,%d)", n, k), adj)
+}
+
+// Petersen returns the Petersen graph: 10 nodes, 3-regular, odd girth 5.
+// It is a convenient non-bipartite fixture for Theorem 4.3 beyond cycles.
+func Petersen() *Graph {
+	adj := make([][]int, 10)
+	for u := 0; u < 5; u++ {
+		// Outer 5-cycle plus spoke.
+		adj[u] = []int{(u + 1) % 5, (u + 4) % 5, u + 5}
+		// Inner pentagram plus spoke.
+		adj[u+5] = []int{5 + (u+2)%5, 5 + (u+3)%5, u}
+	}
+	g := MustNew("petersen", adj)
+	g.SetNu2(1.0 / 3.0)
+	return g
+}
+
+// CompleteBipartite returns K_{k,k} (k-regular, bipartite), a fixture for
+// bipartiteness-sensitive behaviour (λ_min = -1 without self-loops).
+func CompleteBipartite(k int) *Graph {
+	if k < 1 {
+		panic(fmt.Sprintf("graph: complete bipartite needs k >= 1, got %d", k))
+	}
+	n := 2 * k
+	adj := make([][]int, n)
+	for u := 0; u < k; u++ {
+		for v := k; v < n; v++ {
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+	}
+	g := MustNew(fmt.Sprintf("K(%d,%d)", k, k), adj)
+	if k > 1 {
+		g.SetNu2(0)
+	}
+	return g
+}
+
+// RandomRegular samples a simple connected d-regular graph on n nodes with
+// the configuration (pairing) model followed by edge-switch repair, seeded
+// for reproducibility. n·d must be even. For d >= 3 the sample is an
+// expander with high probability, which is the "good expansion" regime of
+// Theorem 2.3(i). Panics if repair fails within a generous budget
+// (vanishingly unlikely for the sizes used here).
+func RandomRegular(n, d int, seed int64) *Graph {
+	if d < 1 || d >= n {
+		panic(fmt.Sprintf("graph: random regular needs 1 <= d < n, got d=%d n=%d", d, n))
+	}
+	if n*d%2 != 0 {
+		panic(fmt.Sprintf("graph: random regular needs n*d even, got n=%d d=%d", n, d))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const maxAttempts = 100
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		edges, ok := repairedPairing(n, d, rng)
+		if !ok {
+			continue
+		}
+		adj := make([][]int, n)
+		for _, e := range edges {
+			adj[e[0]] = append(adj[e[0]], e[1])
+			adj[e[1]] = append(adj[e[1]], e[0])
+		}
+		for u := range adj {
+			sort.Ints(adj[u])
+		}
+		g, err := New(fmt.Sprintf("random-regular(%d,d=%d,seed=%d)", n, d, seed), adj)
+		if err != nil {
+			continue
+		}
+		if !g.IsConnected() {
+			continue
+		}
+		return g
+	}
+	panic(fmt.Sprintf("graph: failed to sample a simple connected %d-regular graph on %d nodes", d, n))
+}
+
+// repairedPairing draws a random stub pairing and removes self-loops and
+// parallel edges by random 2-switches, preserving the degree sequence.
+func repairedPairing(n, d int, rng *rand.Rand) ([][2]int, bool) {
+	stubs := make([]int, 0, n*d)
+	for u := 0; u < n; u++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, u)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	m := len(stubs) / 2
+	edges := make([][2]int, m)
+	used := make(map[[2]int]int, m) // multiplicity per unordered pair
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	for i := 0; i < m; i++ {
+		u, v := stubs[2*i], stubs[2*i+1]
+		edges[i] = [2]int{u, v}
+		used[key(u, v)]++
+	}
+	bad := func(e [2]int) bool {
+		return e[0] == e[1] || used[key(e[0], e[1])] > 1
+	}
+	budget := 200 * m
+	for iter := 0; iter < budget; iter++ {
+		// Find a bad edge; scanning from a random start keeps the walk fair.
+		badAt := -1
+		start := rng.Intn(m)
+		for i := 0; i < m; i++ {
+			if bad(edges[(start+i)%m]) {
+				badAt = (start + i) % m
+				break
+			}
+		}
+		if badAt < 0 {
+			return edges, true
+		}
+		other := rng.Intn(m)
+		if other == badAt {
+			continue
+		}
+		a, b := edges[badAt], edges[other]
+		// 2-switch: (a0,a1)+(b0,b1) -> (a0,b1)+(b0,a1).
+		na, nb := [2]int{a[0], b[1]}, [2]int{b[0], a[1]}
+		if na[0] == na[1] || nb[0] == nb[1] {
+			continue
+		}
+		used[key(a[0], a[1])]--
+		used[key(b[0], b[1])]--
+		if used[key(na[0], na[1])] > 0 || used[key(nb[0], nb[1])] > 0 || key(na[0], na[1]) == key(nb[0], nb[1]) {
+			used[key(a[0], a[1])]++
+			used[key(b[0], b[1])]++
+			continue
+		}
+		used[key(na[0], na[1])]++
+		used[key(nb[0], nb[1])]++
+		edges[badAt], edges[other] = na, nb
+	}
+	return nil, false
+}

@@ -1,0 +1,237 @@
+package irregular
+
+import "fmt"
+
+// NodeBalancer is the per-node distribution rule, as in the regular case but
+// with the node's own degree: sends has length d(u).
+type NodeBalancer interface {
+	Distribute(load int64, sends []int64)
+}
+
+// Balancer binds per-node rules to an irregular balancing graph.
+type Balancer interface {
+	Name() string
+	Bind(b *Balancing) []NodeBalancer
+}
+
+// Engine runs the synchronous process on an irregular balancing graph.
+type Engine struct {
+	b     *Balancing
+	nodes []NodeBalancer
+	x     []int64
+	next  []int64
+	sends [][]int64
+	round int
+}
+
+// NewEngine binds algo to b with initial loads x1 (copied).
+func NewEngine(b *Balancing, algo Balancer, x1 []int64) (*Engine, error) {
+	if len(x1) != b.N() {
+		return nil, fmt.Errorf("irregular: load vector has %d entries for %d nodes", len(x1), b.N())
+	}
+	e := &Engine{
+		b:    b,
+		x:    append([]int64(nil), x1...),
+		next: make([]int64, b.N()),
+	}
+	e.sends = make([][]int64, b.N())
+	for u := range e.sends {
+		e.sends[u] = make([]int64, b.Graph().Degree(u))
+	}
+	e.nodes = algo.Bind(b)
+	if len(e.nodes) != b.N() {
+		return nil, fmt.Errorf("irregular: balancer %q bound %d nodes for %d-node graph",
+			algo.Name(), len(e.nodes), b.N())
+	}
+	b.Graph().reverseIndex()
+	return e, nil
+}
+
+// MustEngine is NewEngine, panicking on error.
+func MustEngine(b *Balancing, algo Balancer, x1 []int64) *Engine {
+	e, err := NewEngine(b, algo, x1)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Loads returns the current load vector (shared).
+func (e *Engine) Loads() []int64 { return e.x }
+
+// Round returns completed rounds.
+func (e *Engine) Round() int { return e.round }
+
+// TotalLoad returns Σ x(u).
+func (e *Engine) TotalLoad() int64 {
+	var sum int64
+	for _, v := range e.x {
+		sum += v
+	}
+	return sum
+}
+
+// Step executes one synchronous round.
+func (e *Engine) Step() {
+	e.round++
+	g := e.b.Graph()
+	for u := range e.nodes {
+		e.nodes[u].Distribute(e.x[u], e.sends[u])
+	}
+	rev := g.reverseIndex()
+	for v := 0; v < g.N(); v++ {
+		kept := e.x[v]
+		for _, s := range e.sends[v] {
+			kept -= s
+		}
+		in := kept
+		for _, a := range rev[v] {
+			in += e.sends[a.from][a.index]
+		}
+		e.next[v] = in
+	}
+	e.x, e.next = e.next, e.x
+}
+
+// Run executes the given number of rounds.
+func (e *Engine) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		e.Step()
+	}
+}
+
+// SendFloor is the degree-aware SEND(⌊x/d⁺(u)⌋).
+type SendFloor struct{}
+
+// Name implements Balancer.
+func (SendFloor) Name() string { return "irregular-send-floor" }
+
+// Bind implements Balancer.
+func (SendFloor) Bind(b *Balancing) []NodeBalancer {
+	nodes := make([]NodeBalancer, b.N())
+	for u := range nodes {
+		nodes[u] = &floorNode{dplus: int64(b.DegreePlus(u))}
+	}
+	return nodes
+}
+
+type floorNode struct{ dplus int64 }
+
+func (n *floorNode) Distribute(load int64, sends []int64) {
+	share := load / n.dplus
+	if load < 0 {
+		share = 0
+	}
+	for i := range sends {
+		sends[i] = share
+	}
+}
+
+// RotorRouter is the degree-aware rotor-router: each node round-robins its
+// load over its own d⁺(u) slots (edges interleaved with self-loops).
+type RotorRouter struct{}
+
+// Name implements Balancer.
+func (RotorRouter) Name() string { return "irregular-rotor-router" }
+
+// Bind implements Balancer.
+func (RotorRouter) Bind(b *Balancing) []NodeBalancer {
+	nodes := make([]NodeBalancer, b.N())
+	for u := range nodes {
+		d := b.Graph().Degree(u)
+		loops := b.SelfLoops(u)
+		order := make([]int, 0, d+loops)
+		for i := 0; i < d || i < loops; i++ {
+			if i < d {
+				order = append(order, i)
+			}
+			if i < loops {
+				order = append(order, d+i)
+			}
+		}
+		nodes[u] = &rotorNode{d: d, dplus: d + loops, order: order}
+	}
+	return nodes
+}
+
+type rotorNode struct {
+	d     int
+	dplus int
+	order []int
+	rotor int
+}
+
+func (n *rotorNode) Distribute(load int64, sends []int64) {
+	if load < 0 {
+		for i := range sends {
+			sends[i] = 0
+		}
+		return
+	}
+	base := load / int64(n.dplus)
+	excess := int(load % int64(n.dplus))
+	for i := range sends {
+		sends[i] = base
+	}
+	for k := 0; k < excess; k++ {
+		slot := n.order[(n.rotor+k)%n.dplus]
+		if slot < n.d {
+			sends[slot]++
+		}
+	}
+	n.rotor = (n.rotor + excess) % n.dplus
+}
+
+// Continuous runs the real-valued diffusion x_{t+1} = Pᵀ x_t whose fixed
+// point is the degree-proportional fair share.
+type Continuous struct {
+	b    *Balancing
+	x    []float64
+	next []float64
+}
+
+// NewContinuous starts from the integer loads x1.
+func NewContinuous(b *Balancing, x1 []int64) *Continuous {
+	c := &Continuous{b: b, x: make([]float64, b.N()), next: make([]float64, b.N())}
+	for u, v := range x1 {
+		c.x[u] = float64(v)
+	}
+	return c
+}
+
+// Loads returns the current real loads (shared).
+func (c *Continuous) Loads() []float64 { return c.x }
+
+// Step advances one round.
+func (c *Continuous) Step() {
+	g := c.b.Graph()
+	rev := g.reverseIndex()
+	for v := 0; v < g.N(); v++ {
+		sum := c.x[v] * float64(c.b.SelfLoops(v)) / float64(c.b.DegreePlus(v))
+		for _, a := range rev[v] {
+			sum += c.x[a.from] / float64(c.b.DegreePlus(a.from))
+		}
+		c.next[v] = sum
+	}
+	c.x, c.next = c.next, c.x
+}
+
+// MaxDeviation returns max_u |x(u) − target(u)| against the fair share.
+func (c *Continuous) MaxDeviation() float64 {
+	var total float64
+	for _, v := range c.x {
+		total += v
+	}
+	z := float64(c.b.TotalDegreePlus())
+	worst := 0.0
+	for u, v := range c.x {
+		dev := v - total*float64(c.b.DegreePlus(u))/z
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}

@@ -1,0 +1,178 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"detlb/internal/balancer"
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+func TestSteadyFlowIsSteadyAndRoundFair(t *testing.T) {
+	for _, b := range []*graph.Balancing{
+		graph.Lazy(graph.Cycle(21)),
+		graph.Lazy(graph.Torus(2, 7)),
+		graph.Lazy(graph.Hypercube(5)),
+		graph.Lazy(graph.RandomRegular(40, 4, 1)),
+	} {
+		fixed, x1 := SteadyFlowInstance(b)
+		eng := core.MustEngine(b, fixed, x1,
+			core.WithAuditor(core.NewConservationAuditor()),
+			core.WithAuditor(core.NewRoundFairAuditor()),
+			core.WithAuditor(core.NewNonNegativeAuditor()),
+		)
+		for i := 0; i < 100; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatalf("%s: %v", b.Name(), err)
+			}
+		}
+		for u, x := range eng.Loads() {
+			if x != x1[u] {
+				t.Fatalf("%s: node %d moved from %d to %d", b.Name(), u, x1[u], x)
+			}
+		}
+	}
+}
+
+func TestSteadyFlowDiscrepancyScale(t *testing.T) {
+	// The construction's discrepancy must be at least d⁺·(diam−1)-ish; check
+	// a concrete constant: ≥ d·diam.
+	for _, b := range []*graph.Balancing{
+		graph.Lazy(graph.Cycle(31)),
+		graph.Lazy(graph.Torus(2, 9)),
+	} {
+		_, x1 := SteadyFlowInstance(b)
+		disc := core.Discrepancy(x1)
+		floor := int64(b.Degree() * b.Graph().Diameter())
+		if disc < floor {
+			t.Fatalf("%s: discrepancy %d below d·diam = %d", b.Name(), disc, floor)
+		}
+	}
+}
+
+func TestSteadyFlowIsNotCumulativelyFair(t *testing.T) {
+	// The whole point: the frozen flow violates cumulative fairness for any
+	// constant δ, because neighboring levels carry different flow values.
+	b := graph.Lazy(graph.Cycle(21))
+	fixed, x1 := SteadyFlowInstance(b)
+	fair := core.NewCumulativeFairnessAuditor(-1)
+	eng := core.MustEngine(b, fixed, x1, core.WithAuditor(fair))
+	for i := 0; i < 200; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fair.MaxDelta < 100 {
+		t.Fatalf("expected unbounded cumulative unfairness, δ = %d", fair.MaxDelta)
+	}
+}
+
+func TestStatelessTrapPinsSendAlgorithms(t *testing.T) {
+	for _, algo := range []core.Balancer{
+		balancer.NewSendFloor(), balancer.NewSendRound(), balancer.NewBiasedRounding(),
+	} {
+		res, err := StatelessTrap(algo, 48, 12, 500)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		if res.Discrepancy != int64(12/2-1) {
+			t.Fatalf("%s: discrepancy %d, want %d", algo.Name(), res.Discrepancy, 12/2-1)
+		}
+		if res.Rounds != 500 {
+			t.Fatalf("%s: verified %d rounds", algo.Name(), res.Rounds)
+		}
+	}
+}
+
+func TestStatelessTrapRejectsStateful(t *testing.T) {
+	if _, err := StatelessTrap(balancer.NewRotorRouter(), 48, 12, 10); err == nil {
+		t.Fatal("rotor-router is stateful; the trap must refuse it")
+	}
+}
+
+func TestStatelessTrapRejectsTinyDegree(t *testing.T) {
+	if _, err := StatelessTrap(balancer.NewSendFloor(), 16, 2, 10); err == nil {
+		t.Fatal("degree 2 has no clique to trap in")
+	}
+}
+
+func TestStatelessTrapDirectSimulation(t *testing.T) {
+	// Cross-validate the trap's claim by direct engine simulation for
+	// SEND(⌊x/d⁺⌋): loads below d⁺ never move at all, so the discrepancy is
+	// pinned automatically (no adversary needed for this algorithm).
+	d := 10
+	g := graph.CliqueCirculant(40, d)
+	b := graph.Lazy(g)
+	x1 := make([]int64, g.N())
+	for i := 0; i < d/2; i++ {
+		x1[i] = int64(d/2 - 1)
+	}
+	eng := core.MustEngine(b, balancer.NewSendFloor(), x1)
+	for i := 0; i < 300; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Discrepancy() != int64(d/2-1) {
+		t.Fatalf("discrepancy moved to %d", eng.Discrepancy())
+	}
+}
+
+func TestRotorAlternatingPeriodTwo(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(9), graph.Cycle(33), graph.Petersen(), graph.Complete(6),
+	} {
+		rr, x1, err := RotorAlternatingInstance(g, int64(g.Phi()+3))
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		b := graph.WithLoops(g, 0)
+		eng := core.MustEngine(b, rr, x1,
+			core.WithAuditor(core.NewConservationAuditor()),
+			core.WithAuditor(core.NewNonNegativeAuditor()),
+		)
+		x0 := append([]int64(nil), x1...)
+		for i := 0; i < 40; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatalf("%s: %v", g.Name(), err)
+			}
+			if i%2 == 1 {
+				for u := range x0 {
+					if eng.Loads()[u] != x0[u] {
+						t.Fatalf("%s: period-2 broken at round %d node %d", g.Name(), i+1, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRotorAlternatingDiscrepancy(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(17), graph.Cycle(65)} {
+		_, x1, err := RotorAlternatingInstance(g, int64(g.Phi()+3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		disc := core.Discrepancy(x1)
+		want := int64(g.Degree() * g.Phi())
+		if disc < want {
+			t.Fatalf("%s: discrepancy %d below d·φ = %d", g.Name(), disc, want)
+		}
+	}
+}
+
+func TestRotorAlternatingRejectsBipartite(t *testing.T) {
+	if _, _, err := RotorAlternatingInstance(graph.Cycle(8), 10); err == nil {
+		t.Fatal("bipartite graphs have no odd cycle")
+	}
+	if _, _, err := RotorAlternatingInstance(graph.Hypercube(3), 10); err == nil {
+		t.Fatal("hypercube is bipartite")
+	}
+}
+
+func TestRotorAlternatingRejectsSmallBaseline(t *testing.T) {
+	g := graph.Cycle(9)
+	if _, _, err := RotorAlternatingInstance(g, int64(g.Phi()-1)); err == nil {
+		t.Fatal("baseline below φ would create negative flows")
+	}
+}

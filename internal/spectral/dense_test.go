@@ -1,0 +1,204 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"detlb/internal/graph"
+)
+
+func TestDenseTransitionRowsStochastic(t *testing.T) {
+	b := graph.Lazy(graph.Petersen())
+	m := DenseTransition(b)
+	for i := 0; i < m.N; i++ {
+		sum := 0.0
+		for j := 0; j < m.N; j++ {
+			sum += m.At(i, j)
+		}
+		if !almostEqual(sum, 1, 1e-12) {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestDenseMatchesOperator(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(10))
+	m := DenseTransition(b)
+	op := NewOperator(b)
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = float64(i*i%7) - 2
+	}
+	viaOp := make([]float64, 10)
+	op.Apply(viaOp, x)
+	for i := 0; i < 10; i++ {
+		sum := 0.0
+		for j := 0; j < 10; j++ {
+			sum += m.At(i, j) * x[j]
+		}
+		if !almostEqual(sum, viaOp[i], 1e-12) {
+			t.Fatalf("row %d: dense %v vs operator %v", i, sum, viaOp[i])
+		}
+	}
+}
+
+func TestPowIdentityAndAssociativity(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	p := DenseTransition(b)
+	p0 := p.Pow(0)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(p0.At(i, j), want, 1e-15) {
+				t.Fatal("P^0 must be the identity")
+			}
+		}
+	}
+	// P^5 == P^2 · P^3.
+	p5 := p.Pow(5)
+	p23 := p.Pow(2).Mul(p.Pow(3))
+	for i := range p5.Data {
+		if !almostEqual(p5.Data[i], p23.Data[i], 1e-12) {
+			t.Fatal("P^5 != P^2·P^3")
+		}
+	}
+}
+
+func TestErrorTermDecays(t *testing.T) {
+	// Lemma A.1's engine: ‖Λ_t‖ decays geometrically at rate (1−µ).
+	b := graph.Lazy(graph.Hypercube(4))
+	mu := Gap(b)
+	norm10 := ErrorTerm(b, 10).MaxAbsRowSum()
+	norm40 := ErrorTerm(b, 40).MaxAbsRowSum()
+	if norm40 >= norm10 {
+		t.Fatalf("Λ_t norm must decay: %v at 10, %v at 40", norm10, norm40)
+	}
+	// Quantitative check: ‖Λ_40‖∞ ≤ n·(1−µ)^40 (loose version of the lemma).
+	bound := float64(b.N()) * math.Pow(1-mu, 40)
+	if norm40 > bound {
+		t.Fatalf("‖Λ_40‖ = %v exceeds n(1−µ)^t = %v", norm40, bound)
+	}
+}
+
+func TestLemmaA1Claim1(t *testing.T) {
+	// Lemma A.1(i) with q_t = a point mass of discrepancy K: for
+	// t ≥ 4c·log(nK)/µ, ‖Λ_t q‖∞ ≤ 2^{-c}. Verify for c = 2 on a hypercube.
+	b := graph.Lazy(graph.Hypercube(4))
+	n := b.N()
+	mu := Gap(b)
+	k := 100.0
+	q := make([]float64, n)
+	q[0] = k
+	c := 2.0
+	tMin := int(math.Ceil(c * 4 * math.Log(float64(n)*k) / mu))
+	lam := ErrorTerm(b, tMin)
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += lam.At(i, j) * q[j]
+		}
+		worst = math.Max(worst, math.Abs(sum))
+	}
+	if worst > math.Pow(2, -c) {
+		t.Fatalf("‖Λ_t q‖∞ = %v > 2^{-%v} at t = %d", worst, c, tMin)
+	}
+}
+
+func TestProbabilityCurrentBound(t *testing.T) {
+	// The [14]-style bound used in Theorem 2.3(i): for lazy chains,
+	// max_w Σ_v |P^{a+1}(w,v) − P^a(w,v)| < 24/√a.
+	for _, b := range []*graph.Balancing{
+		graph.Lazy(graph.Cycle(16)),
+		graph.Lazy(graph.Hypercube(4)),
+		graph.Lazy(graph.Petersen()),
+	} {
+		for _, a := range []int{1, 4, 16, 64} {
+			cur := ProbabilityCurrent(b, a)
+			bound := 24 / math.Sqrt(float64(a))
+			if cur >= bound {
+				t.Fatalf("%s: current at a=%d is %v, bound %v", b.Name(), a, cur, bound)
+			}
+		}
+	}
+}
+
+func TestProbabilityCurrentSummable(t *testing.T) {
+	// The discrepancy bound integrates the current over a ≤ 24·log n/µ; the
+	// partial sums must stay well below the Theorem 2.3(i) scale √(log n/µ).
+	b := graph.Lazy(graph.Hypercube(4))
+	mu := Gap(b)
+	horizon := int(24 * math.Log(float64(b.N())) / mu)
+	if horizon > 400 {
+		horizon = 400
+	}
+	sum := 0.0
+	for a := 1; a <= horizon; a++ {
+		sum += ProbabilityCurrent(b, a)
+	}
+	scale := 96 * math.Sqrt(math.Log(float64(b.N()))/mu)
+	if sum > scale {
+		t.Fatalf("current sum %v exceeds proof scale %v", sum, scale)
+	}
+}
+
+func TestSpectrumDenseMatchesAnalytic(t *testing.T) {
+	// Full spectrum of the lazy cycle via Jacobi vs the closed form
+	// λ_k = (d° + d·cos(2πk/n)) / d⁺.
+	n := 8
+	b := graph.Lazy(graph.Cycle(n))
+	got := SpectrumDense(b)
+	want := make([]float64, 0, n)
+	for k := 0; k < n; k++ {
+		want = append(want, (2+2*math.Cos(2*math.Pi*float64(k)/float64(n)))/4)
+	}
+	// Sort want descending.
+	for i := range want {
+		for j := i + 1; j < len(want); j++ {
+			if want[j] > want[i] {
+				want[i], want[j] = want[j], want[i]
+			}
+		}
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-9) {
+			t.Fatalf("eig[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpectrumDenseTopIsOne(t *testing.T) {
+	for _, b := range []*graph.Balancing{
+		graph.Lazy(graph.Petersen()),
+		graph.Lazy(graph.Complete(7)),
+		graph.WithLoops(graph.CompleteBipartite(3), 0),
+	} {
+		eig := SpectrumDense(b)
+		if !almostEqual(eig[0], 1, 1e-9) {
+			t.Fatalf("%s: λ₁ = %v", b.Name(), eig[0])
+		}
+		// Second eigenvalue must match Lambda2.
+		if !almostEqual(eig[1], Lambda2(b), 1e-6) {
+			t.Fatalf("%s: Jacobi λ₂ = %v, Lambda2 = %v", b.Name(), eig[1], Lambda2(b))
+		}
+	}
+}
+
+func TestLazySpectrumNonNegative(t *testing.T) {
+	// d° ≥ d makes every eigenvalue ≥ 0 — the fact Theorem 2.3(ii)'s proof
+	// relies on (λ ∈ [0,1]).
+	for _, b := range []*graph.Balancing{
+		graph.Lazy(graph.Cycle(9)),
+		graph.Lazy(graph.Petersen()),
+		graph.Lazy(graph.CompleteBipartite(4)),
+	} {
+		for i, l := range SpectrumDense(b) {
+			if l < -1e-9 {
+				t.Fatalf("%s: eigenvalue %d is %v < 0 despite d° ≥ d", b.Name(), i, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package spectral computes the spectral quantities the paper's analysis is
+// phrased in: the transition matrix P of the balancing graph G+, its second
+// largest eigenvalue λ₂, the eigenvalue gap µ = 1 − λ₂, and the balancing
+// time T = O(log(Kn)/µ) after which the theorems' discrepancy bounds apply.
+//
+// For a d-regular graph G with d° self-loops per node,
+//
+//	P(u,v) = 1/d⁺ for (u,v) ∈ E, P(u,u) = d°/d⁺, d⁺ = d + d°,
+//
+// so P = (d°/d⁺)·I + (d/d⁺)·(A/d) and every eigenvalue of P is
+// λ = (d° + d·ν)/d⁺ for an eigenvalue ν of the normalized adjacency A/d.
+// This affine correspondence lets the package reuse a family's analytic ν₂
+// (recorded on graph.Graph by its constructor) and fall back to projected
+// power iteration otherwise.
+package spectral
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"detlb/internal/graph"
+)
+
+// Operator is the transition matrix P of a balancing graph, exposed as a
+// matrix-free matvec so that no O(n²) storage is required.
+type Operator struct {
+	b *graph.Balancing
+}
+
+// NewOperator wraps the balancing graph's transition matrix.
+func NewOperator(b *graph.Balancing) *Operator {
+	return &Operator{b: b}
+}
+
+// N returns the dimension of the operator.
+func (op *Operator) N() int { return op.b.N() }
+
+// Apply computes dst = P·x. dst and x must have length N and must not alias.
+func (op *Operator) Apply(dst, x []float64) {
+	g := op.b.Graph()
+	n := g.N()
+	if len(dst) != n || len(x) != n {
+		panic(fmt.Sprintf("spectral: dimension mismatch: n=%d len(dst)=%d len(x)=%d", n, len(dst), len(x)))
+	}
+	dplus := float64(op.b.DegreePlus())
+	self := float64(op.b.SelfLoops())
+	for u := 0; u < n; u++ {
+		sum := self * x[u]
+		for _, v := range g.Neighbors(u) {
+			sum += x[v]
+		}
+		dst[u] = sum / dplus
+	}
+}
+
+// Entry returns P(u,v), counting parallel edges. O(d).
+func (op *Operator) Entry(u, v int) float64 {
+	if u == v {
+		return float64(op.b.SelfLoops()) / float64(op.b.DegreePlus())
+	}
+	cnt := 0
+	for _, w := range op.b.Graph().Neighbors(u) {
+		if w == v {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(op.b.DegreePlus())
+}
+
+// Lambda2 returns the second largest eigenvalue of P (by value, not modulus).
+// It uses the family's analytic ν₂ when available, else power iteration on
+// the shifted operator P + I restricted to the space orthogonal to the
+// all-ones vector. The shift makes all eigenvalues of the iterated matrix
+// non-negative, so the iteration converges to λ₂ + 1 even when P has
+// eigenvalues below −(λ₂) in modulus.
+func Lambda2(b *graph.Balancing) float64 {
+	d := float64(b.Degree())
+	dplus := float64(b.DegreePlus())
+	self := float64(b.SelfLoops())
+	if nu2, ok := b.Graph().Nu2(); ok {
+		return (self + d*nu2) / dplus
+	}
+	return powerLambda2(b)
+}
+
+// Gap returns the eigenvalue gap µ = 1 − λ₂ of the balancing graph.
+func Gap(b *graph.Balancing) float64 {
+	return 1 - Lambda2(b)
+}
+
+// powerLambda2 estimates λ₂ via shifted projected power iteration.
+func powerLambda2(b *graph.Balancing) float64 {
+	op := NewOperator(b)
+	n := op.N()
+	if n == 1 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	projectAndNormalize(x)
+
+	const (
+		maxIter = 200000
+		tol     = 1e-12
+	)
+	prev := math.Inf(1)
+	for iter := 0; iter < maxIter; iter++ {
+		op.Apply(y, x)
+		// y = (P+I)x
+		for i := range y {
+			y[i] += x[i]
+		}
+		projectAndNormalize(y)
+		x, y = y, x
+		// Rayleigh quotient of P on x (x is unit, orthogonal to ones).
+		op.Apply(y, x)
+		lam := dot(x, y)
+		if math.Abs(lam-prev) < tol {
+			return lam
+		}
+		prev = lam
+	}
+	return prev
+}
+
+// projectAndNormalize removes the all-ones component and rescales to unit
+// 2-norm (re-randomizing deterministically if the vector collapses).
+func projectAndNormalize(x []float64) {
+	n := float64(len(x))
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= n
+	norm := 0.0
+	for i := range x {
+		x[i] -= mean
+		norm += x[i] * x[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-300 {
+		// Degenerate start: seed with an alternating vector.
+		for i := range x {
+			if i%2 == 0 {
+				x[i] = 1
+			} else {
+				x[i] = -1
+			}
+		}
+		projectAndNormalize(x)
+		return
+	}
+	for i := range x {
+		x[i] /= norm
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// BalancingTime returns the paper's T = ⌈16·ln(nK)/µ⌉ (the time after which
+// Theorem 2.3's discrepancy bounds hold), with K the initial discrepancy.
+// K < 1 is treated as 1 so that an already-balanced input yields a small
+// positive horizon.
+func BalancingTime(n int, initialDiscrepancy int, mu float64) int {
+	if mu <= 0 {
+		panic(fmt.Sprintf("spectral: non-positive eigenvalue gap %v", mu))
+	}
+	k := initialDiscrepancy
+	if k < 1 {
+		k = 1
+	}
+	t := 16 * math.Log(float64(n)*float64(k)) / mu
+	return int(math.Ceil(t))
+}
+
+// MixingTime returns t_µ = 6·ln(n)/µ, the quantity the proofs of Section 2
+// phase their interval arguments in.
+func MixingTime(n int, mu float64) int {
+	if mu <= 0 {
+		panic(fmt.Sprintf("spectral: non-positive eigenvalue gap %v", mu))
+	}
+	return int(math.Ceil(6 * math.Log(float64(n)) / mu))
+}

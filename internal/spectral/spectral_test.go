@@ -1,0 +1,225 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"detlb/internal/graph"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestOperatorRowsAreStochastic(t *testing.T) {
+	for _, b := range []*graph.Balancing{
+		graph.Lazy(graph.Cycle(12)),
+		graph.WithLoops(graph.Petersen(), 5),
+		graph.WithLoops(graph.Hypercube(4), 0),
+	} {
+		op := NewOperator(b)
+		n := b.N()
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = 1
+		}
+		op.Apply(y, x)
+		for u, v := range y {
+			if !almostEqual(v, 1, 1e-12) {
+				t.Fatalf("%s: row %d sums to %v", b.Name(), u, v)
+			}
+		}
+	}
+}
+
+func TestOperatorEntry(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(6)) // d⁺ = 4
+	op := NewOperator(b)
+	if got := op.Entry(0, 1); !almostEqual(got, 0.25, 1e-15) {
+		t.Fatalf("P(0,1) = %v", got)
+	}
+	if got := op.Entry(0, 0); !almostEqual(got, 0.5, 1e-15) {
+		t.Fatalf("P(0,0) = %v", got)
+	}
+	if got := op.Entry(0, 3); got != 0 {
+		t.Fatalf("P(0,3) = %v", got)
+	}
+}
+
+func TestOperatorPreservesTotal(t *testing.T) {
+	b := graph.Lazy(graph.RandomRegular(40, 4, 1))
+	op := NewOperator(b)
+	x := make([]float64, b.N())
+	for i := range x {
+		x[i] = float64(i * i % 17)
+	}
+	var before float64
+	for _, v := range x {
+		before += v
+	}
+	y := make([]float64, b.N())
+	op.Apply(y, x)
+	var after float64
+	for _, v := range y {
+		after += v
+	}
+	if !almostEqual(before, after, 1e-9) {
+		t.Fatalf("mass not preserved: %v -> %v", before, after)
+	}
+}
+
+func TestLambda2AnalyticCycle(t *testing.T) {
+	// Lazy cycle: λ₂ = (d° + d·cos(2π/n)) / d⁺ with d = d° = 2.
+	n := 16
+	b := graph.Lazy(graph.Cycle(n))
+	want := (2 + 2*math.Cos(2*math.Pi/float64(n))) / 4
+	if got := Lambda2(b); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("λ₂ = %v, want %v", got, want)
+	}
+}
+
+func TestLambda2AnalyticHypercube(t *testing.T) {
+	r := 5
+	b := graph.Lazy(graph.Hypercube(r))
+	// ν₂ = 1 − 2/r; λ₂ = (d + d·ν₂)/(2d) = (1+ν₂)/2.
+	want := (1 + (1 - 2/float64(r))) / 2
+	if got := Lambda2(b); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("λ₂ = %v, want %v", got, want)
+	}
+}
+
+func TestLambda2PowerIterationMatchesAnalytic(t *testing.T) {
+	// Strip the analytic hint off structured graphs and compare the power
+	// iteration against the closed form.
+	for _, tc := range []struct {
+		make func() *graph.Graph
+	}{
+		{func() *graph.Graph { return graph.Cycle(12) }},
+		{func() *graph.Graph { return graph.Hypercube(4) }},
+		{func() *graph.Graph { return graph.Complete(9) }},
+		{func() *graph.Graph { return graph.Petersen() }},
+	} {
+		g := tc.make()
+		b := graph.Lazy(g)
+		want := Lambda2(b)
+		// Rebuild the same adjacency without hints.
+		adj := make([][]int, g.N())
+		for u := 0; u < g.N(); u++ {
+			adj[u] = append([]int(nil), g.Neighbors(u)...)
+		}
+		plain, err := graph.New("plain", adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Lambda2(graph.Lazy(plain))
+		if !almostEqual(got, want, 1e-6) {
+			t.Fatalf("%s: power iteration λ₂ = %v, analytic %v", g.Name(), got, want)
+		}
+	}
+}
+
+func TestLambda2NonLazyNegativeSpectrum(t *testing.T) {
+	// K_{k,k} without self-loops has spectrum {1, 0…, −1}: the second
+	// largest eigenvalue by value is 0, and the shifted iteration must not
+	// report |−1| = 1.
+	b := graph.WithLoops(graph.CompleteBipartite(4), 0)
+	got := Lambda2(b)
+	if !almostEqual(got, 0, 1e-6) {
+		t.Fatalf("λ₂ = %v, want 0", got)
+	}
+}
+
+func TestGapPositiveOnFamilies(t *testing.T) {
+	for _, b := range []*graph.Balancing{
+		graph.Lazy(graph.Cycle(32)),
+		graph.Lazy(graph.Torus(2, 8)),
+		graph.Lazy(graph.Hypercube(6)),
+		graph.Lazy(graph.RandomRegular(64, 6, 1)),
+	} {
+		mu := Gap(b)
+		if mu <= 0 || mu >= 1 {
+			t.Fatalf("%s: µ = %v out of (0,1)", b.Name(), mu)
+		}
+	}
+}
+
+func TestExpanderGapBeatsCycle(t *testing.T) {
+	cyc := Gap(graph.Lazy(graph.Cycle(64)))
+	exp := Gap(graph.Lazy(graph.RandomRegular(64, 8, 1)))
+	if exp < 20*cyc {
+		t.Fatalf("expander gap %v should dwarf cycle gap %v", exp, cyc)
+	}
+}
+
+func TestBalancingTime(t *testing.T) {
+	tt := BalancingTime(256, 1024, 0.125)
+	want := int(math.Ceil(16 * math.Log(256.0*1024.0) / 0.125))
+	if tt != want {
+		t.Fatalf("T = %d, want %d", tt, want)
+	}
+	// K < 1 treated as 1.
+	if got := BalancingTime(16, 0, 0.5); got != int(math.Ceil(16*math.Log(16)/0.5)) {
+		t.Fatalf("T(K=0) = %d", got)
+	}
+}
+
+func TestBalancingTimePanicsOnZeroGap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for µ = 0")
+		}
+	}()
+	BalancingTime(10, 10, 0)
+}
+
+func TestMixingTimeMonotoneInGap(t *testing.T) {
+	a := MixingTime(256, 0.5)
+	b := MixingTime(256, 0.05)
+	if a >= b {
+		t.Fatalf("smaller gap must mix slower: %d vs %d", a, b)
+	}
+}
+
+func TestLambda2MonotoneInLaziness(t *testing.T) {
+	// More self-loops push λ₂ toward 1 (slower chain).
+	g := graph.Hypercube(4)
+	l1 := Lambda2(graph.WithLoops(g, 4))
+	l2 := Lambda2(graph.WithLoops(g, 12))
+	if l1 >= l2 {
+		t.Fatalf("λ₂ should increase with laziness: %v vs %v", l1, l2)
+	}
+}
+
+// TestBalancingTimeIsSufficientForContinuous validates the meaning of T:
+// the continuous diffusion starting from a point mass of discrepancy K is
+// (essentially) balanced after T = ⌈16·ln(nK)/µ⌉ rounds.
+func TestBalancingTimeIsSufficientForContinuous(t *testing.T) {
+	for _, b := range []*graph.Balancing{
+		graph.Lazy(graph.Cycle(24)),
+		graph.Lazy(graph.Hypercube(5)),
+		graph.Lazy(graph.RandomRegular(64, 6, 3)),
+	} {
+		n := b.N()
+		k := int64(50 * n)
+		x1 := make([]int64, n)
+		x1[0] = k
+		mu := Gap(b)
+		horizon := BalancingTime(n, int(k), mu)
+		// Continuous process: x_{t+1} = P x_t via the operator.
+		op := NewOperator(b)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		x[0] = float64(k)
+		for i := 0; i < horizon; i++ {
+			op.Apply(y, x)
+			x, y = y, x
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range x {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if hi-lo > 1 {
+			t.Fatalf("%s: continuous discrepancy %v after T=%d", b.Name(), hi-lo, horizon)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"detlb/internal/balancer"
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+func record(t *testing.T, interval, rounds int, phi int64) *Recorder {
+	t.Helper()
+	b := graph.Lazy(graph.Hypercube(4))
+	x1 := make([]int64, 16)
+	x1[0] = 1601
+	rec := NewRecorder(interval)
+	rec.PhiThreshold = phi
+	eng := core.MustEngine(b, balancer.NewRotorRouter(), x1, core.WithAuditor(rec))
+	for i := 0; i < rounds; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rec
+}
+
+func TestRecorderSampling(t *testing.T) {
+	rec := record(t, 10, 100, -1)
+	if len(rec.Samples()) != 10 {
+		t.Fatalf("got %d samples", len(rec.Samples()))
+	}
+	first := rec.Samples()[0]
+	if first.Round != 10 || first.Max < first.Min {
+		t.Fatalf("bad sample %+v", first)
+	}
+	if first.Discrepancy != first.Max-first.Min {
+		t.Fatal("discrepancy must equal max-min")
+	}
+}
+
+func TestRecorderEveryRound(t *testing.T) {
+	rec := record(t, 0, 25, -1)
+	if len(rec.Samples()) != 25 {
+		t.Fatalf("interval ≤ 1 must record every round, got %d", len(rec.Samples()))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rec := record(t, 5, 50, -1)
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost samples: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSVWithPhiColumn(t *testing.T) {
+	rec := record(t, 10, 50, 3)
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(head, "phi_3") {
+		t.Fatalf("header missing phi column: %s", head)
+	}
+}
+
+func TestJSONL(t *testing.T) {
+	rec := record(t, 10, 30, -1)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 JSONL lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"round":10`) {
+		t.Fatalf("line = %s", lines[0])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("round,discrepancy,max,min\nnot,a,number,row\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err != nil {
+		t.Fatalf("empty input should be fine: %v", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n")); err != nil {
+		t.Fatalf("header-only input should be fine: %v", err)
+	}
+}

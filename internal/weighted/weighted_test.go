@@ -1,0 +1,180 @@
+package weighted
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"detlb/internal/graph"
+)
+
+func TestEngineValidation(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(4))
+	if _, err := NewEngine(b, RotorDealer{}, make([][]Token, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+	bad := make([][]Token, 4)
+	bad[0] = []Token{{Weight: -1}}
+	if _, err := NewEngine(b, RotorDealer{}, bad); err == nil {
+		t.Fatal("expected negative weight error")
+	}
+}
+
+func TestTokenConservationByID(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	weights := make([]int64, 200)
+	for i := range weights {
+		weights[i] = int64(1 + i%7)
+	}
+	eng, err := NewEngine(b, RotorDealer{}, SpreadTokens(16, 0, weights))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWeight := eng.TotalWeight()
+	eng.Run(300)
+	if eng.TokenCount() != 200 {
+		t.Fatalf("token count %d", eng.TokenCount())
+	}
+	if eng.TotalWeight() != wantWeight {
+		t.Fatalf("weight %d, want %d", eng.TotalWeight(), wantWeight)
+	}
+	seen := make(map[int64]bool, 200)
+	for u := 0; u < 16; u++ {
+		for _, tok := range eng.Tokens(u) {
+			if seen[tok.ID] {
+				t.Fatalf("token %d duplicated", tok.ID)
+			}
+			seen[tok.ID] = true
+		}
+	}
+	if len(seen) != 200 {
+		t.Fatalf("lost tokens: %d ids", len(seen))
+	}
+}
+
+func TestUniformWeightsMatchUnweightedBehaviour(t *testing.T) {
+	// With unit weights the weighted rotor balances weight like the ordinary
+	// rotor balances counts: down to O(d).
+	b := graph.Lazy(graph.Hypercube(5))
+	eng, err := NewEngine(b, RotorDealer{}, UniformTokens(32, 0, 32*20+5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(1500)
+	if eng.WeightDiscrepancy() > int64(2*b.Degree()) {
+		t.Fatalf("unit-weight discrepancy %d", eng.WeightDiscrepancy())
+	}
+}
+
+func TestHeavyTokensAddWmaxTerm(t *testing.T) {
+	// Mixed weights: discrepancy lands at O(d·w_max) rather than O(d).
+	b := graph.Lazy(graph.Hypercube(5))
+	rng := rand.New(rand.NewSource(5))
+	weights := make([]int64, 600)
+	var wmax int64
+	for i := range weights {
+		weights[i] = 1 + rng.Int63n(16)
+		if weights[i] > wmax {
+			wmax = weights[i]
+		}
+	}
+	eng, err := NewEngine(b, RotorDealer{}, SpreadTokens(32, 0, weights))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(3000)
+	if eng.WeightDiscrepancy() > int64(2*b.Degree())*wmax {
+		t.Fatalf("weighted discrepancy %d > 2d·wmax = %d",
+			eng.WeightDiscrepancy(), int64(2*b.Degree())*wmax)
+	}
+}
+
+func TestRotorBeatsHalfDealer(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(5))
+	weights := make([]int64, 500)
+	rng := rand.New(rand.NewSource(7))
+	for i := range weights {
+		weights[i] = 1 + rng.Int63n(9)
+	}
+	run := func(algo Balancer) int64 {
+		eng, err := NewEngine(b, algo, SpreadTokens(32, 0, weights))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(2000)
+		return eng.WeightDiscrepancy()
+	}
+	rotor := run(RotorDealer{})
+	half := run(HalfDealer{})
+	// The hoarding baseline spreads light tokens aggressively, so on mild
+	// weight mixes the two end up close; the rotor must never be
+	// meaningfully worse, and both must land in the O(d·w̄) regime.
+	if rotor > half+int64(2*b.Degree()) {
+		t.Fatalf("weighted rotor (%d) much worse than the hoarding baseline (%d)", rotor, half)
+	}
+	if rotor > 10*int64(b.Degree()) {
+		t.Fatalf("weighted rotor stuck at discrepancy %d", rotor)
+	}
+}
+
+func TestDealersPartitionTokens(t *testing.T) {
+	// Property: every dealer outputs each input token exactly once.
+	f := func(seed int64, countRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(countRaw%50) + 1
+		tokens := make([]Token, count)
+		for i := range tokens {
+			tokens[i] = Token{Weight: rng.Int63n(20), ID: int64(i)}
+		}
+		for _, mk := range []func() Dealer{
+			func() Dealer { return &rotorDealer{d: 3, dplus: 6} },
+			func() Dealer { return &halfDealer{d: 3} },
+		} {
+			out, kept := mk().Deal(append([]Token(nil), tokens...))
+			seen := make(map[int64]int)
+			for _, bucket := range out {
+				for _, tok := range bucket {
+					seen[tok.ID]++
+				}
+			}
+			for _, tok := range kept {
+				seen[tok.ID]++
+			}
+			if len(seen) != count {
+				return false
+			}
+			for _, c := range seen {
+				if c != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotorDealerCountFairness(t *testing.T) {
+	// The weighted rotor's per-edge token-count stream stays cumulatively
+	// 1-fair, exactly like the unweighted rotor-router.
+	dealer := &rotorDealer{d: 2, dplus: 4}
+	counts := make([]int64, 2)
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 500; round++ {
+		k := int(rng.Int63n(11))
+		tokens := make([]Token, k)
+		for i := range tokens {
+			tokens[i] = Token{Weight: rng.Int63n(5), ID: int64(round*100 + i)}
+		}
+		out, _ := dealer.Deal(tokens)
+		for i, bucket := range out {
+			counts[i] += int64(len(bucket))
+		}
+		diff := counts[0] - counts[1]
+		if diff < -1 || diff > 1 {
+			t.Fatalf("round %d: cumulative count spread %d", round, diff)
+		}
+	}
+}

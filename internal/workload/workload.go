@@ -1,0 +1,129 @@
+// Package workload generates initial load vectors x₁ with controlled total
+// load m and initial discrepancy K — the two quantities the paper's time
+// bound T = O(log(Kn)/µ) is parameterized by.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PointMass places total tokens on a single node — the canonical
+// worst-case input with K = total.
+func PointMass(n int, node int, total int64) []int64 {
+	if node < 0 || node >= n {
+		panic(fmt.Sprintf("workload: node %d out of range [0,%d)", node, n))
+	}
+	x := make([]int64, n)
+	x[node] = total
+	return x
+}
+
+// Uniform gives every node the same load (discrepancy 0), a fixture for
+// stability tests: a balanced system should stay balanced.
+func Uniform(n int, each int64) []int64 {
+	x := make([]int64, n)
+	for i := range x {
+		x[i] = each
+	}
+	return x
+}
+
+// Bimodal loads the first half of the nodes with hi and the rest with lo
+// (K = hi − lo).
+func Bimodal(n int, lo, hi int64) []int64 {
+	x := make([]int64, n)
+	for i := range x {
+		if i < n/2 {
+			x[i] = hi
+		} else {
+			x[i] = lo
+		}
+	}
+	return x
+}
+
+// Random draws each node's load uniformly from [0, max], seeded.
+func Random(n int, max int64, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]int64, n)
+	for i := range x {
+		x[i] = rng.Int63n(max + 1)
+	}
+	return x
+}
+
+// Ramp assigns node i the load base + i·step, a linear gradient whose
+// discrepancy is (n−1)·step.
+func Ramp(n int, base, step int64) []int64 {
+	x := make([]int64, n)
+	for i := range x {
+		x[i] = base + int64(i)*step
+	}
+	return x
+}
+
+// Discrepancy returns max − min of a load vector.
+func Discrepancy(x []int64) int64 {
+	if len(x) == 0 {
+		return 0
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// Total returns the token count Σ x(u).
+func Total(x []int64) int64 {
+	var sum int64
+	for _, v := range x {
+		sum += v
+	}
+	return sum
+}
+
+// PowerLaw draws loads from a discrete Pareto-like distribution: node load
+// ⌊scale / U^alpha⌋ with U uniform in (0,1], capped at maxLoad. Heavy-tailed
+// inputs stress the high-φ thresholds of Section 3's potential argument.
+func PowerLaw(n int, scale float64, alpha float64, maxLoad int64, seed int64) []int64 {
+	if alpha <= 0 || scale <= 0 {
+		panic(fmt.Sprintf("workload: power law needs positive scale and alpha, got %v, %v", scale, alpha))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]int64, n)
+	for i := range x {
+		u := rng.Float64()
+		if u == 0 {
+			u = 1e-12
+		}
+		v := int64(scale * math.Pow(1/u, alpha))
+		if v > maxLoad {
+			v = maxLoad
+		}
+		x[i] = v
+	}
+	return x
+}
+
+// Checkerboard alternates lo and hi by node index — the maximally
+// oscillatory input, adversarial for non-lazy chains (eigenvalue −1
+// territory on bipartite graphs).
+func Checkerboard(n int, lo, hi int64) []int64 {
+	x := make([]int64, n)
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = hi
+		} else {
+			x[i] = lo
+		}
+	}
+	return x
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointMass(t *testing.T) {
+	x := PointMass(8, 3, 100)
+	if Total(x) != 100 || x[3] != 100 {
+		t.Fatalf("x = %v", x)
+	}
+	if Discrepancy(x) != 100 {
+		t.Fatalf("K = %d", Discrepancy(x))
+	}
+}
+
+func TestPointMassPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PointMass(4, 4, 10)
+}
+
+func TestUniform(t *testing.T) {
+	x := Uniform(5, 7)
+	if Total(x) != 35 || Discrepancy(x) != 0 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestBimodal(t *testing.T) {
+	x := Bimodal(6, 2, 10)
+	if Discrepancy(x) != 8 {
+		t.Fatalf("K = %d", Discrepancy(x))
+	}
+	if x[0] != 10 || x[5] != 2 {
+		t.Fatalf("x = %v", x)
+	}
+	// Odd n: first half (n/2 nodes) high.
+	y := Bimodal(5, 0, 4)
+	if y[1] != 4 || y[2] != 0 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestRandomSeeded(t *testing.T) {
+	a := Random(32, 50, 9)
+	b := Random(32, 50, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+		if a[i] < 0 || a[i] > 50 {
+			t.Fatalf("out of range: %d", a[i])
+		}
+	}
+	c := Random(32, 50, 10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	x := Ramp(4, 10, 3)
+	want := []int64{10, 13, 16, 19}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("x = %v", x)
+		}
+	}
+	if Discrepancy(x) != 9 {
+		t.Fatalf("K = %d", Discrepancy(x))
+	}
+}
+
+func TestDiscrepancyTotalEmpty(t *testing.T) {
+	if Discrepancy(nil) != 0 || Total(nil) != 0 {
+		t.Fatal("empty vectors")
+	}
+}
+
+func TestDiscrepancyProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		x := make([]int64, len(raw))
+		var lo, hi int64
+		for i, v := range raw {
+			x[i] = int64(v)
+			if i == 0 || x[i] < lo {
+				lo = x[i]
+			}
+			if i == 0 || x[i] > hi {
+				hi = x[i]
+			}
+		}
+		if len(x) == 0 {
+			return Discrepancy(x) == 0
+		}
+		return Discrepancy(x) == hi-lo && Discrepancy(x) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLaw(t *testing.T) {
+	x := PowerLaw(256, 4, 1.2, 10000, 3)
+	if len(x) != 256 {
+		t.Fatal("length")
+	}
+	for _, v := range x {
+		if v < 0 || v > 10000 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+	// Heavy tail: max should dwarf the median.
+	a := append([]int64(nil), x...)
+	var max int64
+	var sum int64
+	for _, v := range a {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if max < 4*(sum/int64(len(a))) {
+		t.Fatalf("tail not heavy: max %d mean %d", max, sum/int64(len(a)))
+	}
+	// Determinism.
+	y := PowerLaw(256, 4, 1.2, 10000, 3)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+func TestPowerLawPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PowerLaw(4, 0, 1, 10, 1)
+}
+
+func TestCheckerboard(t *testing.T) {
+	x := Checkerboard(5, 1, 9)
+	want := []int64{9, 1, 9, 1, 9}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("x = %v", x)
+		}
+	}
+	if Discrepancy(x) != 8 {
+		t.Fatal("discrepancy")
+	}
+}

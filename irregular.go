@@ -1,0 +1,33 @@
+package detlb
+
+import "detlb/internal/irregular"
+
+// Non-regular extension (the paper: "our results can be extended to
+// non-regular graphs"). On irregular graphs the diffusion's fixed point is
+// the degree-proportional fair share m·d⁺(u)/Σd⁺ rather than the uniform
+// load, and the discrepancy is measured per unit of degree.
+type (
+	// IrregularGraph is a symmetric graph with arbitrary per-node degrees.
+	IrregularGraph = irregular.Graph
+	// IrregularBalancing attaches per-node self-loop counts d°(u).
+	IrregularBalancing = irregular.Balancing
+	// IrregularEngine runs the synchronous process on irregular graphs.
+	IrregularEngine = irregular.Engine
+	// IrregularSendFloor is the degree-aware SEND(⌊x/d⁺(u)⌋).
+	IrregularSendFloor = irregular.SendFloor
+	// IrregularRotorRouter is the degree-aware rotor-router.
+	IrregularRotorRouter = irregular.RotorRouter
+)
+
+var (
+	// NewIrregularGraph validates an arbitrary symmetric adjacency list.
+	NewIrregularGraph = irregular.New
+	// IrregularLazy attaches d°(u) = d(u) self-loops per node.
+	IrregularLazy = irregular.Lazy
+	// IrregularWithLoops attaches explicit per-node self-loop counts.
+	IrregularWithLoops = irregular.WithLoops
+	// NewIrregularEngine binds an algorithm to an irregular balancing graph.
+	NewIrregularEngine = irregular.NewEngine
+	// NewIrregularContinuous runs the degree-weighted continuous diffusion.
+	NewIrregularContinuous = irregular.NewContinuous
+)

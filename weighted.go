@@ -1,0 +1,25 @@
+package detlb
+
+import "detlb/internal/weighted"
+
+// Non-uniform tokens extension (related work [4]): tokens carry integer
+// weights and the discrepancy is measured in total weight per node.
+type (
+	// WeightedToken is one indivisible weighted work item.
+	WeightedToken = weighted.Token
+	// WeightedEngine runs the weighted diffusive process.
+	WeightedEngine = weighted.Engine
+	// WeightedRotorDealer is the weighted rotor-router (largest-first deal).
+	WeightedRotorDealer = weighted.RotorDealer
+	// WeightedHalfDealer is the hoarding baseline dealer.
+	WeightedHalfDealer = weighted.HalfDealer
+)
+
+var (
+	// NewWeightedEngine binds a weighted balancer to a balancing graph.
+	NewWeightedEngine = weighted.NewEngine
+	// UniformTokens places equal-weight tokens on one node.
+	UniformTokens = weighted.UniformTokens
+	// SpreadTokens places tokens with explicit weights on one node.
+	SpreadTokens = weighted.SpreadTokens
+)
