@@ -13,6 +13,13 @@
 //   - the deterministic synchronous engine with invariant auditors
 //     (cumulative δ-fairness, round-fairness, s-self-preference, token
 //     conservation) and the φ/φ′ potential functions of Section 3;
+//   - a flat-memory engine core: graphs carry a CSR-style contiguous
+//     adjacency and reverse index, per-arc engine state lives in single
+//     backing arrays sub-sliced per node, rounds run on a persistent worker
+//     pool with a distribute/apply barrier, and the paper's schemes
+//     distribute through a compressed (base, extra-token mask) bulk path —
+//     Step performs zero steady-state allocations, and load trajectories are
+//     bit-identical for every worker count (see internal/core);
 //   - spectral utilities (eigenvalue gap µ, balancing time T = O(log(Kn)/µ));
 //   - the experiment harness regenerating the paper's Table 1 and one
 //     experiment per theorem (see DESIGN.md and EXPERIMENTS.md);

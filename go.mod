@@ -1,0 +1,3 @@
+module detlb
+
+go 1.24

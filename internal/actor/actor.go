@@ -64,19 +64,24 @@ func New(b *graph.Balancing, algo core.Balancer, x1 []int64) (*Network, error) {
 	for u := range inboxes {
 		inboxes[u] = make(chan message, g.Degree())
 	}
+	// Per-arc state (out-channels, send buffers) lives in flat backing arrays
+	// sub-sliced per node — the same CSR layout the round engine uses. Each
+	// node goroutine only ever touches its own sub-slice.
+	d := g.Degree()
+	outFlat := make([]chan<- message, b.N()*d)
+	for p, v := range g.Heads() {
+		outFlat[p] = inboxes[v]
+	}
+	sendsFlat := make([]int64, b.N()*d)
 	for u := 0; u < b.N(); u++ {
-		out := make([]chan<- message, g.Degree())
-		for i, v := range g.Neighbors(u) {
-			out[i] = inboxes[v]
-		}
 		nw.nodes[u] = &node{
 			id:    u,
 			load:  x1[u],
 			bal:   balancers[u],
-			out:   out,
+			out:   outFlat[u*d : (u+1)*d : (u+1)*d],
 			inbox: inboxes[u],
 			start: make(chan struct{}, 1),
-			sends: make([]int64, g.Degree()),
+			sends: sendsFlat[u*d : (u+1)*d : (u+1)*d],
 		}
 	}
 	for _, nd := range nw.nodes {

@@ -38,14 +38,18 @@ func DetectOrbit(b *graph.Balancing, algo core.Balancer, x1 []int64, warmup, max
 			return nil, fmt.Errorf("analysis: orbit warm-up: %w", err)
 		}
 	}
-	seen := make(map[uint64][]int) // fingerprint -> rounds (relative)
+	seen := make(map[uint64][]int) // fingerprint -> indices into snaps
 	var snaps [][]int64
 	snapshot := func() []int64 { return append([]int64(nil), eng.Loads()...) }
-	record := func(round int, x []int64) {
-		seen[fingerprint(x)] = append(seen[fingerprint(x)], round)
+	// record always files the vector under its index in snaps, so the
+	// indices stored in seen stay valid across the rebuilds below (recording
+	// absolute round numbers would run past len(snaps) after a rebuild).
+	record := func(x []int64) {
+		seen[fingerprint(x)] = append(seen[fingerprint(x)], len(snaps))
 		snaps = append(snaps, x)
 	}
-	record(0, snapshot())
+	base := eng.Round() // engine rounds when the current bookkeeping epoch began
+	record(snapshot())
 	for round := 1; round <= maxRounds; round++ {
 		if err := eng.Step(); err != nil {
 			return nil, fmt.Errorf("analysis: orbit: %w", err)
@@ -59,16 +63,13 @@ func DetectOrbit(b *graph.Balancing, algo core.Balancer, x1 []int64, warmup, max
 			// A load repeat does not by itself prove periodicity for
 			// stateful balancers (rotors may differ); verify by replaying
 			// one full period and comparing the whole load sequence.
-			period := round - prev
+			period := len(snaps) - prev
 			ok := true
 			for k := 1; k <= period && ok; k++ {
 				if err := eng.Step(); err != nil {
 					return nil, fmt.Errorf("analysis: orbit verify: %w", err)
 				}
-				want := snaps[prev+k%period]
-				if k < period {
-					want = snaps[prev+k]
-				}
+				want := snaps[prev+k%period] // k == period wraps to the cycle start
 				if !equalVec(eng.Loads(), want) {
 					ok = false
 				}
@@ -77,10 +78,10 @@ func DetectOrbit(b *graph.Balancing, algo core.Balancer, x1 []int64, warmup, max
 				matched = true // state advanced past the candidate; rebuild from here
 				break
 			}
-			o := &Orbit{Preperiod: warmup + prev, Period: period}
+			o := &Orbit{Preperiod: base + prev, Period: period}
 			o.MinDiscrepancy = core.Discrepancy(snaps[prev])
 			o.MaxDiscrepancy = o.MinDiscrepancy
-			for t := prev + 1; t < round; t++ {
+			for t := prev + 1; t < len(snaps); t++ {
 				d := core.Discrepancy(snaps[t])
 				if d < o.MinDiscrepancy {
 					o.MinDiscrepancy = d
@@ -95,11 +96,12 @@ func DetectOrbit(b *graph.Balancing, algo core.Balancer, x1 []int64, warmup, max
 			// Failed verification consumed extra rounds; restart bookkeeping
 			// from the current state to stay sound.
 			seen = make(map[uint64][]int)
-			snaps = snaps[:0]
-			record(0, snapshot())
+			snaps = nil
+			base = eng.Round()
+			record(snapshot())
 			continue
 		}
-		record(round, x)
+		record(x)
 	}
 	return nil, nil
 }

@@ -87,3 +87,18 @@ func TestFingerprintDistinguishes(t *testing.T) {
 		t.Fatal("fingerprint must be deterministic")
 	}
 }
+
+func TestDetectOrbitSurvivesFailedVerification(t *testing.T) {
+	// Regression: rotor-router* on cycle(16) produces load repeats whose
+	// verification fails (rotor state differs), forcing the bookkeeping
+	// rebuild. Recording absolute round numbers after a rebuild used to
+	// index past the rebuilt snapshot slice and panic.
+	b := graph.Lazy(graph.Cycle(16))
+	o, err := DetectOrbit(b, balancer.NewRotorRouterStar(), workload.PointMass(16, 0, 123), 200, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil && o.Period <= 0 {
+		t.Fatalf("degenerate orbit %+v", o)
+	}
+}

@@ -59,12 +59,16 @@ func (c *Continuous) Step() {
 			fu[i] += share
 		}
 	}
-	rev := g.ReverseIndex()
+	// The inflow sum walks the flat reverse index; RevArcSrc gives each
+	// in-arc's source node directly.
+	d := g.Degree()
+	src := g.RevArcSrc()
 	selfShare := float64(c.b.SelfLoops())
 	for v := 0; v < n; v++ {
 		sum := c.x[v] * selfShare
-		for _, a := range rev[v] {
-			sum += c.x[a.From]
+		base := v * d
+		for k := base; k < base+d; k++ {
+			sum += c.x[src[k]]
 		}
 		c.next[v] = sum / dplus
 	}

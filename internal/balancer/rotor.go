@@ -125,15 +125,21 @@ func (n *rotorNode) Distribute(load int64, sends, selfLoops []int64) {
 			selfLoops[j] = base
 		}
 	}
+	// Walk the cycle with increment-and-wrap instead of a modulo per token;
+	// excess < d⁺ so at most one wrap occurs per pass over the order.
+	pos := n.rotor
 	for k := 0; k < excess; k++ {
-		slot := n.order[(n.rotor+k)%n.dplus]
+		slot := n.order[pos]
+		if pos++; pos == n.dplus {
+			pos = 0
+		}
 		if slot < n.d {
 			sends[slot]++
 		} else if selfLoops != nil {
 			selfLoops[slot-n.d]++
 		}
 	}
-	n.rotor = (n.rotor + excess) % n.dplus
+	n.rotor = pos
 }
 
 // RotorRouterStar is the ROTOR-ROUTER* variant of Observation 3.2: with

@@ -3,6 +3,18 @@
 // accounting F_t(e), the fairness definitions (cumulative δ-fairness of
 // Def 2.1, round-fairness, s-self-preference of Def 3.1) as runtime auditors,
 // and the potential functions φ_t(c), φ′_t(c) of Section 3.
+//
+// The engine is built around a flat memory layout: per-arc state (sends,
+// cumulative flows) lives in single contiguous backing arrays of length n·d
+// indexed by arc position p = u·d+i, sub-sliced per node for the NodeBalancer
+// and Auditor interfaces, and the apply phase walks the graph's flat CSR
+// reverse index. Rounds are dispatched to a persistent worker pool (one
+// channel send per worker per round, no goroutine churn) with a barrier
+// between the distribute and apply phases; the load trajectories are
+// bit-identical for every worker count, including the serial engine, because
+// both phases are pure functions of (node state, x_t) over disjoint node
+// ranges and token arithmetic is associative. Step performs zero heap
+// allocations in steady state.
 package core
 
 import "detlb/internal/graph"
@@ -37,6 +49,50 @@ type Balancer interface {
 	// Bind instantiates per-node state for every node of b. The returned
 	// slice has length b.N().
 	Bind(b *graph.Balancing) []NodeBalancer
+}
+
+// RangeDistributor is the engine's bulk fast path: a bound balancer whose
+// per-node distribution runs directly on the engine's flat arrays, one
+// contiguous node range at a time, with no per-node interface call.
+//
+// It exploits a structural property shared by every deterministic scheme in
+// the paper: in any round, the tokens a node sends over its original edges
+// take only two values, a per-node base q and q+1. A node's whole
+// distribution therefore compresses to the pair (q, mask) — mask bit i set
+// iff edge i receives the extra token. The engine expands the pairs into the
+// per-arc sends array itself, with a branch-free sequential fill that beats
+// any per-node token-placement loop a balancer could write.
+//
+// DistributeRange must, for every node u in [lo, hi), write
+//
+//	bp[2u]   = q(u), the base tokens sent over every original edge,
+//	bp[2u+1] = the extra-token bitmask, reinterpreted as int64,
+//	kept[u]  = x[u] − Σ_i sends(u,i), the tokens u retains,
+//
+// such that q(u) + bit_i(mask) equals exactly what u's
+// NodeBalancer.Distribute(x[u], sends, nil) would have written to sends[i].
+// The base and mask are interleaved in one array so the apply phase touches
+// a single cache line per source node. The engine guarantees ranges never
+// overlap across concurrent calls. Implementations must be deterministic:
+// the engine's bit-identical-to-serial contract extends to the fast path,
+// and the balancer package cross-checks DistributeRange against Distribute
+// in tests.
+//
+// The engine only engages the fast path for graphs with d ≤ 64 (the mask
+// width) and falls back to Bind otherwise.
+type RangeDistributor interface {
+	DistributeRange(x, bp, kept []int64, lo, hi int)
+}
+
+// FlatBalancer is an optional Balancer extension for algorithms that can
+// bind their per-node state into flat arrays and distribute via
+// RangeDistributor. BindFlat may return nil to decline (e.g. a configuration
+// the flat path does not cover); the engine then falls back to Bind. The
+// fast path is only used when no auditor requires per-self-loop assignments,
+// since DistributeRange does not produce them.
+type FlatBalancer interface {
+	Balancer
+	BindFlat(b *graph.Balancing) RangeDistributor
 }
 
 // RoundObserver is an optional interface for balancers that need a global

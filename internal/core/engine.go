@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 
 	"detlb/internal/graph"
 )
@@ -10,32 +12,80 @@ import (
 // round each node u applies its NodeBalancer to its current load x_t(u); the
 // tokens placed on original edges move to the corresponding neighbors, all
 // other tokens stay at u. Steps are deterministic and, with Workers > 1,
-// computed in parallel with results bit-identical to the serial engine (the
-// round is two data-parallel phases: distribute, then apply via the
-// precomputed reverse edge index).
+// computed in parallel with results bit-identical to the serial engine.
+//
+// Memory layout: every per-arc quantity (sends, cumulative flows) lives in a
+// single flat backing array of length n·d indexed by arc position p = u*d+i,
+// with per-node [][]int64 headers sub-slicing it for the NodeBalancer and
+// Auditor interfaces. The apply phase reads the graph's flat reverse index
+// (arc positions, not Arc structs), so one round is two linear passes over
+// contiguous memory. All state is allocated at construction; Step performs
+// zero allocations.
+//
+// Scheduling: a round is one dispatch to a persistent worker pool — each
+// worker runs the distribute phase (with flow accounting fused in) on its
+// node range, meets the others at a barrier, then runs the apply phase on the
+// same range. The barrier guarantees the apply phase sees every node's sends,
+// which is exactly the property that makes the parallel schedule bit-identical
+// to the serial one: both compute the same pure function of (node state, x_t).
 type Engine struct {
 	bal   *graph.Balancing
 	algo  Balancer
 	nodes []NodeBalancer
 
-	x     []int64   // current loads, x_{t} at the start of round t+1 (0-based storage)
-	sends [][]int64 // sends[u][i] = tokens over u's i-th original edge this round
-	next  []int64   // scratch for the apply phase
+	// bulk, when non-nil, selects the compressed flat fast path over nodes:
+	// bp holds the interleaved (base, extra-token mask) pairs it produces.
+	// expandSends records whether the per-arc sends array must be
+	// materialized from them every round (flow tracking and auditors read
+	// it; the parallel gather also wants one load per arc). The serial
+	// engine without auditing skips materialization entirely and pushes
+	// inflows straight from the compressed pairs.
+	bulk        RangeDistributor
+	bp          []int64
+	expandSends bool
 
-	selfLoops [][]int64 // per-node self-loop assignments; nil unless auditing
-	flows     [][]int64 // cumulative F_t(e) per arc; nil unless tracking enabled
-	round     int
+	x    []int64 // current loads, x_{t} at the start of round t+1 (0-based storage)
+	next []int64 // scratch for the apply phase
+
+	// sendsFlat[u*d+i] = tokens over u's i-th original edge this round;
+	// sends[u] is the header sendsFlat[u*d : (u+1)*d].
+	sendsFlat []int64
+	sends     [][]int64
+
+	// loopsFlat/selfLoops mirror the layout for per-self-loop assignments
+	// (stride d° instead of d); nil unless auditing requires them.
+	loopsFlat []int64
+	selfLoops [][]int64
+
+	// flowsFlat/flows mirror sends for the cumulative F_t(e) counters; nil
+	// unless tracking is enabled.
+	flowsFlat []int64
+	flows     [][]int64
+
+	heads  []int32 // graph's flat CSR adjacency, cached at construction
+	revPos []int32 // graph's flat reverse index, cached at construction
+	d      int     // original degree, the stride of the flat arrays
+
+	round int
 
 	auditors []Auditor
 	workers  int
 	par      *parallelizer
+
+	// distribute and apply are the two phase closures, bound once at
+	// construction so Step allocates nothing.
+	distribute phaseFunc
+	apply      phaseFunc
 }
 
 // Option configures an Engine.
 type Option func(*Engine)
 
-// WithWorkers sets the number of worker goroutines used per phase. Values
-// below 2 select the serial path. The engine is deterministic regardless.
+// WithWorkers sets the number of worker goroutines in the engine's persistent
+// pool. Values below 2 select the serial path; values above GOMAXPROCS are
+// clamped to it (extra workers cannot run simultaneously and only add handoff
+// overhead). The engine is deterministic regardless: load vectors are
+// bit-identical for every worker count.
 func WithWorkers(w int) Option {
 	return func(e *Engine) { e.workers = w }
 }
@@ -44,12 +94,8 @@ func WithWorkers(w int) Option {
 // by the cumulative-fairness auditor and by flow-based experiments.
 func WithFlowTracking() Option {
 	return func(e *Engine) {
-		if e.flows == nil {
-			d := e.bal.Degree()
-			e.flows = make([][]int64, e.bal.N())
-			for u := range e.flows {
-				e.flows[u] = make([]int64, d)
-			}
+		if e.flowsFlat == nil {
+			e.flowsFlat, e.flows = flatPerNode(e.bal.N(), e.bal.Degree())
 		}
 	}
 }
@@ -63,41 +109,74 @@ func WithAuditor(a Auditor) Option {
 		if req.Flows {
 			WithFlowTracking()(e)
 		}
-		if req.SelfLoops && e.selfLoops == nil {
-			e.selfLoops = make([][]int64, e.bal.N())
-			for u := range e.selfLoops {
-				e.selfLoops[u] = make([]int64, e.bal.SelfLoops())
-			}
+		if req.SelfLoops && e.loopsFlat == nil {
+			e.loopsFlat, e.selfLoops = flatPerNode(e.bal.N(), e.bal.SelfLoops())
 		}
 	}
 }
 
+// flatPerNode allocates one flat backing array of n·stride entries plus the
+// n per-node headers sub-slicing it. Each header has capacity clamped to its
+// own range so a misbehaving balancer cannot append into a neighbor's span.
+func flatPerNode(n, stride int) ([]int64, [][]int64) {
+	flat := make([]int64, n*stride)
+	headers := make([][]int64, n)
+	for u := range headers {
+		headers[u] = flat[u*stride : (u+1)*stride : (u+1)*stride]
+	}
+	return flat, headers
+}
+
 // NewEngine binds algo to the balancing graph b with initial load vector x1.
 // The initial vector is copied.
+//
+// Engines with workers > 1 own a persistent goroutine pool. Close releases it
+// deterministically; an engine that is simply dropped is also safe — a GC
+// cleanup shuts the pool down when the engine becomes unreachable.
 func NewEngine(b *graph.Balancing, algo Balancer, x1 []int64, opts ...Option) (*Engine, error) {
 	if len(x1) != b.N() {
 		return nil, fmt.Errorf("core: load vector has %d entries for %d nodes", len(x1), b.N())
 	}
 	e := &Engine{
-		bal:  b,
-		algo: algo,
-		x:    append([]int64(nil), x1...),
-		next: make([]int64, b.N()),
+		bal:    b,
+		algo:   algo,
+		x:      append([]int64(nil), x1...),
+		next:   make([]int64, b.N()),
+		heads:  b.Graph().Heads(),
+		revPos: b.Graph().RevArcPos(),
+		d:      b.Degree(),
 	}
-	e.sends = make([][]int64, b.N())
-	for u := range e.sends {
-		e.sends[u] = make([]int64, b.Degree())
-	}
+	e.sendsFlat, e.sends = flatPerNode(b.N(), b.Degree())
 	for _, opt := range opts {
 		opt(e)
 	}
-	e.nodes = algo.Bind(b)
-	if len(e.nodes) != b.N() {
-		return nil, fmt.Errorf("core: balancer %q bound %d nodes for %d-node graph", algo.Name(), len(e.nodes), b.N())
+	// Prefer the flat bulk path when the balancer offers one, the degree fits
+	// the extra-token mask, and no auditor needs per-self-loop assignments
+	// (DistributeRange does not fill them).
+	if fb, ok := algo.(FlatBalancer); ok && e.loopsFlat == nil && b.Degree() <= 64 {
+		e.bulk = fb.BindFlat(b)
 	}
-	e.par = newParallelizer(e.workers)
-	// Materialize the reverse index up front so Step never mutates the graph.
-	b.Graph().ReverseIndex()
+	if e.bulk != nil {
+		e.bp = make([]int64, 2*b.N())
+		e.expandSends = e.flowsFlat != nil || len(e.auditors) > 0
+	} else {
+		e.nodes = algo.Bind(b)
+		if len(e.nodes) != b.N() {
+			return nil, fmt.Errorf("core: balancer %q bound %d nodes for %d-node graph", algo.Name(), len(e.nodes), b.N())
+		}
+	}
+	// More pool workers than schedulable CPUs cannot run simultaneously and
+	// only add handoff overhead, so the pool sizes itself to the smaller.
+	width := e.workers
+	if p := runtime.GOMAXPROCS(0); width > p {
+		width = p
+	}
+	e.par = newParallelizer(width)
+	if width > 1 {
+		runtime.AddCleanup(e, func(p *parallelizer) { p.close() }, e.par)
+	}
+	e.distribute = e.distributePhase
+	e.apply = e.applyPhase
 	return e, nil
 }
 
@@ -109,6 +188,11 @@ func MustEngine(b *graph.Balancing, algo Balancer, x1 []int64, opts ...Option) *
 	}
 	return e
 }
+
+// Close releases the engine's worker pool. It is optional — the pool is also
+// reclaimed when the engine is garbage collected — and idempotent; the engine
+// must not Step after Close.
+func (e *Engine) Close() { e.par.close() }
 
 // Balancing returns the balancing graph the engine runs on.
 func (e *Engine) Balancing() *graph.Balancing { return e.bal }
@@ -140,6 +224,113 @@ func (e *Engine) TotalLoad() int64 {
 // Discrepancy returns max load − min load of the current vector.
 func (e *Engine) Discrepancy() int64 { return Discrepancy(e.x) }
 
+// distributePhase runs phase 1 on the node range [lo, hi): every node
+// distributes its load — a pure function of (node state, x_t) — and the
+// tokens it keeps are written to next[u] while the node's sends are still
+// cache-hot (the apply phase then only adds the inflows). When flow tracking
+// is on, this round's sends are folded into the cumulative F_t(e) counters
+// here too. Both fusions are safe because next[u], flows[u] and sends[u] are
+// written only by the worker that owns u.
+func (e *Engine) distributePhase(lo, hi int) {
+	if e.bulk != nil {
+		e.bulk.DistributeRange(e.x, e.bp, e.next, lo, hi)
+		// Expand (base, mask) into the per-arc sends: a uniform fill plus
+		// one increment per set mask bit. The parallel apply gather always
+		// reads the per-arc array; the serial step only needs it for flow
+		// tracking and auditors, and otherwise skips this expansion.
+		if e.par.width > 1 || e.expandSends {
+			d, bp, sends := e.d, e.bp, e.sendsFlat
+			for u := lo; u < hi; u++ {
+				base := bp[2*u]
+				su := sends[u*d : (u+1)*d]
+				for i := range su {
+					su[i] = base
+				}
+				for m := uint64(bp[2*u+1]); m != 0; m &= m - 1 {
+					su[bits.TrailingZeros64(m)]++
+				}
+			}
+		}
+	} else {
+		x, next := e.x, e.next
+		for u := lo; u < hi; u++ {
+			var loops []int64
+			if e.loopsFlat != nil {
+				loops = e.selfLoops[u]
+				for j := range loops {
+					loops[j] = 0
+				}
+			}
+			su := e.sends[u]
+			e.nodes[u].Distribute(x[u], su, loops)
+			kept := x[u]
+			for _, s := range su {
+				kept -= s
+			}
+			next[u] = kept
+		}
+	}
+	if e.flowsFlat != nil {
+		flows, sends := e.flowsFlat, e.sendsFlat
+		for p, end := lo*e.d, hi*e.d; p < end; p++ {
+			flows[p] += sends[p]
+		}
+	}
+}
+
+// applyPhase runs phase 2 on the node range [lo, hi): add to the kept tokens
+// (written by phase 1) the inflow over each in-arc, read through the flat
+// reverse index. next[v] depends only on phase-1 results, whose completeness
+// the round barrier guarantees.
+func (e *Engine) applyPhase(lo, hi int) {
+	d := e.d
+	next := e.next
+	sends := e.sendsFlat
+	rev := e.revPos
+	for v := lo; v < hi; v++ {
+		in := next[v]
+		for _, p := range rev[v*d : (v+1)*d] {
+			in += sends[p]
+		}
+		next[v] = in
+	}
+}
+
+// applySerial is the apply phase of the single-worker engine: instead of
+// gathering each node's inflows through the reverse index (one random read
+// per arc), it pushes every arc's tokens onto its head in one linear sweep
+// of the adjacency — the random accesses then hit the n-word next array
+// rather than the n·d-word sends array. int64 addition is commutative and
+// associative, so the resulting vector is bit-identical to the gather's.
+func (e *Engine) applySerial() {
+	next := e.next
+	if e.bulk != nil && !e.expandSends {
+		// Per-arc sends were never materialized: push base tokens along
+		// every out-arc, folding each set mask bit's extra token into the
+		// same read-modify-write.
+		d, bp, heads := e.d, e.bp, e.heads
+		n := e.bal.N()
+		for u := 0; u < n; u++ {
+			base := bp[2*u]
+			hu := heads[u*d : (u+1)*d]
+			if m := uint64(bp[2*u+1]); m != 0 {
+				for i, h := range hu {
+					next[h] += base + int64((m>>uint(i))&1)
+				}
+			} else {
+				for _, h := range hu {
+					next[h] += base
+				}
+			}
+		}
+		return
+	}
+	sends := e.sendsFlat
+	for p, h := range e.heads {
+		next[h] += sends[p]
+	}
+}
+
 // Step executes one synchronous round. It returns the first auditor error
 // encountered, leaving the (already advanced) state available for debugging.
 func (e *Engine) Step() error {
@@ -148,49 +339,14 @@ func (e *Engine) Step() error {
 		obs.BeginRound(e.round, e.x)
 	}
 
-	// Phase 1: every node distributes its load; pure function of (node state,
-	// x_t), so node ranges run in parallel.
-	g := e.bal.Graph()
-	e.par.run(e.bal.N(), func(lo, hi int) {
-		for u := lo; u < hi; u++ {
-			var loops []int64
-			if e.selfLoops != nil {
-				loops = e.selfLoops[u]
-				for j := range loops {
-					loops[j] = 0
-				}
-			}
-			e.nodes[u].Distribute(e.x[u], e.sends[u], loops)
-		}
-	})
-
-	// Phase 2: rebuild loads from the reverse index. next[v] depends only on
-	// x (phase-1 snapshot) and sends, so node ranges run in parallel.
-	rev := g.ReverseIndex()
-	e.par.run(e.bal.N(), func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			kept := e.x[v]
-			for _, s := range e.sends[v] {
-				kept -= s
-			}
-			in := kept
-			for _, a := range rev[v] {
-				in += e.sends[a.From][a.Index]
-			}
-			e.next[v] = in
-		}
-	})
-
-	// Phase 3 (optional): cumulative flow accounting.
-	if e.flows != nil {
-		e.par.run(e.bal.N(), func(lo, hi int) {
-			for u := lo; u < hi; u++ {
-				fu := e.flows[u]
-				for i, s := range e.sends[u] {
-					fu[i] += s
-				}
-			}
-		})
+	// One fused dispatch: distribute (+ flow accounting) on every node range,
+	// round barrier, then apply on the same ranges. The single-worker engine
+	// runs the same distribute followed by the linear push variant of apply.
+	if e.par.width > 1 {
+		e.par.runRound(e.bal.N(), e.distribute, e.apply)
+	} else {
+		e.distributePhase(0, e.bal.N())
+		e.applySerial()
 	}
 
 	prev := e.x

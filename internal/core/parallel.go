@@ -1,47 +1,149 @@
 package core
 
 import (
-	"runtime"
 	"sync"
 )
 
-// parallelizer fans an index range out over a fixed number of goroutines.
-// With width <= 1 it degenerates to a direct call, which is both the
-// determinism baseline and the fast path for small graphs.
+// phaseFunc processes the half-open node range [lo, hi) of one engine phase.
+type phaseFunc func(lo, hi int)
+
+// parallelizer fans an index range out over a persistent pool of worker
+// goroutines. With width <= 1 it degenerates to a direct call, which is both
+// the determinism baseline and the fast path for small graphs.
+//
+// The pool is spawned once at construction and reused for every round: a
+// round dispatch is one channel send per worker plus one WaitGroup wait,
+// instead of the goroutine spawn per phase per round the engine used to pay.
+// Workers idle on their task channel between rounds and exit when the channel
+// is closed (see close).
 type parallelizer struct {
 	width int
+	tasks []chan roundTask
+	wg    sync.WaitGroup
+	bar   barrier
+	once  sync.Once
+}
+
+// roundTask is one worker's share of a round: run first on [lo, hi), then —
+// when second is non-nil — meet the other workers at the round barrier and
+// run second on the same range. Fusing both phases into a single dispatch
+// halves the per-round wakeups versus dispatching each phase separately.
+type roundTask struct {
+	lo, hi        int
+	first, second phaseFunc
 }
 
 func newParallelizer(width int) *parallelizer {
 	if width < 0 {
 		width = 0
 	}
-	if width > runtime.NumCPU() {
-		width = runtime.NumCPU()
+	p := &parallelizer{width: width}
+	if width > 1 {
+		p.tasks = make([]chan roundTask, width)
+		for w := range p.tasks {
+			ch := make(chan roundTask, 1)
+			p.tasks[w] = ch
+			go p.worker(ch)
+		}
 	}
-	return &parallelizer{width: width}
+	return p
 }
 
-// run partitions [0, n) into contiguous chunks and invokes fn on each. fn
-// must be safe to call concurrently on disjoint ranges. run returns only
-// after every chunk completes.
-func (p *parallelizer) run(n int, fn func(lo, hi int)) {
-	if p.width <= 1 || n < 2*p.width {
-		fn(0, n)
+func (p *parallelizer) worker(ch <-chan roundTask) {
+	for t := range ch {
+		t.first(t.lo, t.hi)
+		if t.second != nil {
+			p.bar.await()
+			t.second(t.lo, t.hi)
+		}
+		p.wg.Done()
+	}
+}
+
+// close shuts the pool down; idempotent. Workers drain their channels and
+// exit. The parallelizer must not be used afterwards.
+func (p *parallelizer) close() {
+	p.once.Do(func() {
+		for _, ch := range p.tasks {
+			close(ch)
+		}
+	})
+}
+
+// chunkBounds returns the half-open boundary of chunk c when [0, n) is split
+// into the given number of chunks.
+//
+// Determinism contract: the chunk boundaries are a pure function of
+// (n, width) — chunks = min(width, n), the first n mod chunks chunks have
+// size ⌈n/chunks⌉ and the rest ⌊n/chunks⌋, so no chunk is ever empty and the
+// same (n, width) always yields the same partition. Engine results do not
+// depend on the partition (phases write disjoint ranges of shared flat
+// arrays), but stable boundaries mean any balancer or auditor bug that did
+// depend on it reproduces exactly, and TestChunkBounds pins the contract.
+func chunkBounds(n, chunks, c int) (lo, hi int) {
+	q, r := n/chunks, n%chunks
+	lo = c*q + min(c, r)
+	hi = lo + q
+	if c < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// runRound executes one fused engine round: first over all of [0, n), then —
+// after every worker has finished its share of first — second over all of
+// [0, n). second may be nil. Both phases use the same chunk partition, and
+// the inter-phase barrier guarantees second never observes a partially
+// written first phase.
+func (p *parallelizer) runRound(n int, first, second phaseFunc) {
+	chunks := p.width
+	if n < chunks {
+		chunks = n
+	}
+	if p.width <= 1 || chunks <= 1 {
+		first(0, n)
+		if second != nil {
+			second(0, n)
+		}
 		return
 	}
-	chunk := (n + p.width - 1) / p.width
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+	// No round is in flight here (wg.Wait below is the only exit), so the
+	// barrier width can be set without locking: the write is ordered before
+	// the task sends and after the previous round's Done calls.
+	p.bar.parties = chunks
+	p.wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		lo, hi := chunkBounds(n, chunks, c)
+		p.tasks[c] <- roundTask{lo: lo, hi: hi, first: first, second: second}
 	}
-	wg.Wait()
+	p.wg.Wait()
+}
+
+// barrier is a reusable generation-counted rendezvous for the workers of one
+// round. parties is set by runRound before dispatch.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     uint64
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
 }

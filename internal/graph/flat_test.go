@@ -1,0 +1,67 @@
+package graph
+
+import "testing"
+
+// TestFlatAdjacencyMatchesRagged checks the CSR arrays against the ragged
+// adjacency and Arc-based reverse index on several families.
+func TestFlatAdjacencyMatchesRagged(t *testing.T) {
+	for _, g := range []*Graph{
+		Cycle(17),
+		Hypercube(4),
+		Torus(2, 5),
+		RandomRegular(64, 6, 9),
+	} {
+		d := g.Degree()
+		heads := g.Heads()
+		if len(heads) != g.N()*d {
+			t.Fatalf("%s: %d flat entries, want %d", g.Name(), len(heads), g.N()*d)
+		}
+		for u := 0; u < g.N(); u++ {
+			for i, v := range g.Neighbors(u) {
+				if int(heads[u*d+i]) != v {
+					t.Fatalf("%s: heads[%d*%d+%d] = %d, want %d", g.Name(), u, d, i, heads[u*d+i], v)
+				}
+			}
+		}
+
+		// The flat reverse index must agree with the Arc-based one entry for
+		// entry (both are built in ascending arc order).
+		revPos := g.RevArcPos()
+		rev := g.ReverseIndex()
+		for v := 0; v < g.N(); v++ {
+			if len(rev[v]) != d {
+				t.Fatalf("%s: node %d has %d in-arcs, want %d", g.Name(), v, len(rev[v]), d)
+			}
+			for k, a := range rev[v] {
+				p := int(revPos[v*d+k])
+				if p != a.From*d+a.Index {
+					t.Fatalf("%s: revPos[%d*%d+%d] = %d, want arc (%d,%d) = %d",
+						g.Name(), v, d, k, p, a.From, a.Index, a.From*d+a.Index)
+				}
+				if int(heads[p]) != v {
+					t.Fatalf("%s: reverse entry %d of node %d points to arc with head %d", g.Name(), k, v, heads[p])
+				}
+			}
+		}
+
+		// The source-node component must match the positions it was derived from.
+		src := g.RevArcSrc()
+		for k, p := range revPos {
+			if int(src[k]) != int(p)/d {
+				t.Fatalf("%s: rev entry %d: src=%d, want %d", g.Name(), k, src[k], int(p)/d)
+			}
+		}
+	}
+}
+
+// TestFlatArraysSharedAndStable ensures accessors return the same backing
+// arrays on every call (the engine caches them at construction).
+func TestFlatArraysSharedAndStable(t *testing.T) {
+	g := Cycle(8)
+	if &g.Heads()[0] != &g.Heads()[0] {
+		t.Fatal("Heads returns different backing arrays")
+	}
+	if &g.RevArcPos()[0] != &g.RevArcPos()[0] {
+		t.Fatal("RevArcPos returns different backing arrays")
+	}
+}

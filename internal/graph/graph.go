@@ -30,15 +30,38 @@ type Arc struct {
 //   - the arc multiset is symmetric: the number of arcs u->v equals the
 //     number of arcs v->u for every pair (u, v),
 //   - no self-arcs (self-loops are modeled separately by Balancing).
+//
+// Because the graph is d-regular, the CSR offsets are implicit: the arc
+// (u, i) has flat position p = u*d + i, and the d entries for node u occupy
+// heads[u*d : (u+1)*d]. Both flat arrays are built once at construction and
+// are the representation the engine's hot loops and the spectral matvec run
+// on; the ragged adj is kept for the traversal helpers (BFS, Validate, ...).
 type Graph struct {
 	name string
 	n    int
 	d    int
 	adj  [][]int
 
+	// heads is the CSR-style flat adjacency: heads[u*d+i] = adj[u][i]. One
+	// contiguous int32 array, 4 bytes per arc, indexed by arc position.
+	heads []int32
+
+	// revPos is the flat reverse index: revPos[v*d : (v+1)*d] lists, in
+	// ascending order, the arc positions p = u*d+i with heads[p] == v — the
+	// in-arcs of v. Regularity and symmetry guarantee exactly d entries per
+	// node, so the layout mirrors heads.
+	revPos []int32
+
+	// revSrc resolves each reverse entry to its tail node:
+	// revSrc[k] = revPos[k]/d. It lets consumers that only need per-node
+	// quantities (e.g. the continuous diffusion inflow sum) avoid a
+	// division per arc.
+	revSrc []int32
+
 	// rev[v] lists the arcs (u, i) with adj[u][i] == v, i.e. the in-edges of
 	// v. For a valid symmetric regular graph len(rev[v]) == d. It is built
-	// lazily by ReverseIndex and used by the engine's parallel apply phase.
+	// lazily by ReverseIndex for callers that want Arc values; the engine
+	// itself uses the flat revPos.
 	rev [][]Arc
 
 	// nu2 is the analytically known second-largest eigenvalue of the
@@ -76,8 +99,55 @@ func New(name string, adj [][]int) (*Graph, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	if err := g.buildFlat(); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
+
+// buildFlat materializes the CSR arrays from the validated adjacency.
+func (g *Graph) buildFlat() error {
+	arcs := g.n * g.d
+	if int64(g.n)*int64(g.d) != int64(arcs) || arcs > 1<<31-1 {
+		return fmt.Errorf("graph %s: %d×%d arcs overflow the int32 flat index", g.name, g.n, g.d)
+	}
+	g.heads = make([]int32, arcs)
+	g.revPos = make([]int32, arcs)
+	for u, nbrs := range g.adj {
+		base := u * g.d
+		for i, v := range nbrs {
+			g.heads[base+i] = int32(v)
+		}
+	}
+	// Every node has in-degree exactly d, so node v's reverse entries occupy
+	// revPos[v*d : (v+1)*d]; a single cursor pass fills them in arc order.
+	cursor := make([]int32, g.n)
+	for v := range cursor {
+		cursor[v] = int32(v * g.d)
+	}
+	for p, v := range g.heads {
+		g.revPos[cursor[v]] = int32(p)
+		cursor[v]++
+	}
+	g.revSrc = make([]int32, arcs)
+	for k, p := range g.revPos {
+		g.revSrc[k] = p / int32(g.d)
+	}
+	return nil
+}
+
+// Heads returns the flat CSR adjacency: heads[u*d+i] is the head of the arc
+// (u, i). The slice is shared with the graph and must not be modified.
+func (g *Graph) Heads() []int32 { return g.heads }
+
+// RevArcPos returns the flat reverse index: revPos[v*d : (v+1)*d] lists the
+// positions p = u*d+i of the arcs whose head is v, in ascending order. The
+// slice is shared with the graph and must not be modified.
+func (g *Graph) RevArcPos() []int32 { return g.revPos }
+
+// RevArcSrc returns the tail-node component of the flat reverse index
+// (RevArcPos entry-wise divided by d). Shared; do not modify.
+func (g *Graph) RevArcSrc() []int32 { return g.revSrc }
 
 // MustNew is New for statically known-good constructions; it panics on error.
 // It is intended for the family constructors in this package and for tests.

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench.sh — run the engine micro-benchmarks and record the perf trajectory.
+#
+# Runs the BenchmarkStep* hot-path benchmarks (plus the spectral power
+# iteration) with -benchmem -count=5 and writes BENCH_step.json at the repo
+# root. The "baseline" section of an existing BENCH_step.json is preserved
+# across runs so future PRs always compare against the recorded pre-refactor
+# numbers; pass BASELINE=1 to (re)record the current results as the baseline
+# instead.
+#
+# Usage:
+#   scripts/bench.sh                # refresh the "current" section
+#   BASELINE=1 scripts/bench.sh    # also overwrite the "baseline" section
+#   COUNT=3 PATTERN=BenchmarkStepRotor scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+PATTERN="${PATTERN:-BenchmarkStep|BenchmarkSpectralGap}"
+OUT="${OUT:-BENCH_step.json}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" . | tee "$RAW"
+
+# Each benchmark line: Name[-procs] iters ns/op "ns/op" B/op "B/op" allocs "allocs/op".
+RESULTS="$(awk '/^Benchmark/ { name=$1; sub(/-[0-9]+$/, "", name); print name, $3, $5, $7 }' "$RAW" |
+  jq -Rn '[inputs | select(length > 0) | split(" ") |
+           {name: .[0], ns: (.[1]|tonumber), bytes: (.[2]|tonumber), allocs: (.[3]|tonumber)}] |
+          group_by(.name) |
+          map({key: .[0].name,
+               value: {ns_op: [.[].ns], ns_op_min: ([.[].ns] | min),
+                       bytes_op: .[0].bytes, allocs_op: .[0].allocs}}) |
+          from_entries')"
+
+BASE_JSON='{}'
+if [[ "${BASELINE:-0}" == "1" ]]; then
+  BASE_JSON="$RESULTS"
+elif [[ -f "$OUT" ]]; then
+  BASE_JSON="$(jq '.baseline // {}' "$OUT")"
+fi
+
+jq -n \
+  --argjson baseline "$BASE_JSON" \
+  --argjson current "$RESULTS" \
+  --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  --arg go "$(go env GOVERSION)" \
+  --arg cpu "$(awk -F': ' '/^cpu:/ {print $2; exit}' "$RAW")" \
+  --arg count "$COUNT" \
+  '{generated: $date, go: $go, cpu: $cpu, count_per_benchmark: ($count|tonumber),
+    note: "ns_op_min is the noise-robust statistic on shared machines; baseline is the pre-refactor engine (see CHANGES.md)",
+    baseline: $baseline, current: $current}' > "$OUT"
+
+echo "wrote $OUT"
