@@ -79,6 +79,92 @@ func BenchmarkAblationSelfLoops(b *testing.B) { benchExperiment(b, analysis.Abla
 // BenchmarkAblationRotorOrder regenerates ABL2 (slot-order ablation).
 func BenchmarkAblationRotorOrder(b *testing.B) { benchExperiment(b, analysis.AblationRotorOrder) }
 
+// --- sweep harness ----------------------------------------------------------
+
+// sweepBenchSpecs builds the acceptance workload: 100 specs over 4 repeated
+// expanders (25 workloads each), every run capped at 64 rounds so engine and
+// gap costs are visible over the round loop.
+func sweepBenchSpecs() []detlb.RunSpec {
+	const perGraph = 25
+	var specs []detlb.RunSpec
+	for seed := int64(1); seed <= 4; seed++ {
+		g := detlb.RandomRegular(256, 8, seed)
+		bg := detlb.Lazy(g)
+		algo := detlb.NewRotorRouter()
+		for w := 0; w < perGraph; w++ {
+			specs = append(specs, detlb.RunSpec{
+				Balancing: bg,
+				Algorithm: algo,
+				Initial:   detlb.PointMass(g.N(), w%g.N(), int64(32*(w+1))+7),
+				MaxRounds: 64,
+			})
+		}
+	}
+	return specs
+}
+
+func reportSweepMetrics(b *testing.B, runs int) {
+	b.ReportMetric(float64(runs)*float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+}
+
+// BenchmarkSweep100 measures the concurrent sweep harness on the 100-spec
+// family: engines reused per (graph, algorithm) group via Engine.Reset,
+// spectral gap memoized per graph, groups fanned out over 4 sweep workers.
+func BenchmarkSweep100(b *testing.B) {
+	specs := sweepBenchSpecs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range detlb.Sweep(specs, detlb.SweepOptions{Workers: 4}) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	reportSweepMetrics(b, len(specs))
+}
+
+// BenchmarkSweep100SerialWarmGap measures the equivalent serial analysis.Run
+// loop with this PR's gap cache warm: a fresh engine per run, but each
+// graph's power iteration already memoized.
+func BenchmarkSweep100SerialWarmGap(b *testing.B) {
+	specs := sweepBenchSpecs()
+	for _, spec := range specs {
+		_ = detlb.SpectralGap(spec.Balancing) // warm the cache for every graph
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			if res := detlb.Run(spec); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	reportSweepMetrics(b, len(specs))
+}
+
+// BenchmarkSweep100SerialColdGap measures the pre-sweep harness behavior —
+// the acceptance baseline: a serial Run loop that recomputes each spec's
+// spectral gap from scratch (what analysis.Run did before the per-graph
+// cache) and constructs a fresh engine per run.
+func BenchmarkSweep100SerialColdGap(b *testing.B) {
+	specs := sweepBenchSpecs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			if detlb.SpectralGapFresh(spec.Balancing) <= 0 {
+				b.Fatal("bad gap")
+			}
+			if res := detlb.Run(spec); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	reportSweepMetrics(b, len(specs))
+}
+
 // --- micro-benchmarks -------------------------------------------------------
 
 func benchStep(b *testing.B, algo detlb.Balancer, workers int) {
@@ -164,13 +250,15 @@ func BenchmarkSpectralGapAnalytic(b *testing.B) {
 }
 
 // BenchmarkSpectralGapPowerIteration measures the projected power iteration
-// on a 256-node expander (no analytic hint).
+// on a 256-node expander (no analytic hint), bypassing the per-graph cache —
+// the cached SpectralGap would reduce every iteration after the first to a
+// map lookup.
 func BenchmarkSpectralGapPowerIteration(b *testing.B) {
 	bg := detlb.Lazy(detlb.RandomRegular(256, 8, 1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if detlb.SpectralGap(bg) <= 0 {
+		if detlb.SpectralGapFresh(bg) <= 0 {
 			b.Fatal("bad gap")
 		}
 	}

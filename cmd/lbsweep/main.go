@@ -1,0 +1,349 @@
+// Command lbsweep runs a scenario sweep: the cross product of graph ×
+// algorithm × workload specs, fanned out over the concurrent sweep harness
+// (engines reused per (graph, algorithm) group, spectral gaps memoized per
+// graph), with per-spec rows and per-(graph, algorithm) aggregate tables
+// emitted as text, CSV, or JSON.
+//
+// Usage:
+//
+//	lbsweep -graphs "random:256,8,1;cycle:128" \
+//	        -algos "send-floor;rotor-router;good:2" \
+//	        -workloads "point:2048;bimodal:0,64" \
+//	        [-rounds 0] [-loops -1] [-patience 0] [-sample 0] \
+//	        [-workers 0] [-sweep-workers 0] \
+//	        [-csv rows.csv] [-json sweep.json] [-series DIR]
+//
+// Spec lists are semicolon-separated; the mini-language is lbsim's (see
+// internal/specparse). -rounds 0 uses the paper's horizon T = ⌈16·ln(nK)/µ⌉
+// per instance; -loops -1 uses d° = d. -sweep-workers bounds the concurrent
+// (graph, algorithm) groups; results are bit-identical for every value.
+// -series writes one JSONL trajectory file per sampled spec via
+// internal/trace.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"detlb/internal/analysis"
+	"detlb/internal/graph"
+	"detlb/internal/specparse"
+	"detlb/internal/stats"
+	"detlb/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// row is one per-spec record of the sweep report.
+type row struct {
+	Graph       string  `json:"graph"`
+	Algo        string  `json:"algo"`
+	Workload    string  `json:"workload"`
+	N           int     `json:"n"`
+	Degree      int     `json:"d"`
+	SelfLoops   int     `json:"self_loops"`
+	Gap         float64 `json:"gap"`
+	T           int     `json:"balancing_time"`
+	Horizon     int     `json:"horizon"`
+	Rounds      int     `json:"rounds"`
+	InitialDisc int64   `json:"initial_discrepancy"`
+	FinalDisc   int64   `json:"final_discrepancy"`
+	MinDisc     int64   `json:"min_discrepancy"`
+	Stopped     bool    `json:"stopped_early"`
+	Err         string  `json:"error,omitempty"`
+}
+
+// aggregate summarizes one (graph, algorithm) group over its workloads.
+type aggregate struct {
+	Graph     string  `json:"graph"`
+	Algo      string  `json:"algo"`
+	Specs     int     `json:"specs"`
+	Errors    int     `json:"errors"`
+	Gap       float64 `json:"gap"`
+	MeanFinal float64 `json:"mean_final_discrepancy"`
+	MinFinal  float64 `json:"min_final_discrepancy"`
+	MaxFinal  float64 `json:"max_final_discrepancy"`
+	P50Final  float64 `json:"p50_final_discrepancy"`
+	MeanRound float64 `json:"mean_rounds"`
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("lbsweep", flag.ContinueOnError)
+	graphsFlag := fs.String("graphs", "random:256,8,1;random:256,8,2", "semicolon-separated graph specs")
+	algosFlag := fs.String("algos", "send-floor;rotor-router", "semicolon-separated algorithm specs")
+	workloadsFlag := fs.String("workloads", "point:2048", "semicolon-separated workload specs")
+	rounds := fs.Int("rounds", 0, "round cap per run (0 = paper horizon T)")
+	loops := fs.Int("loops", -1, "self-loops per node (-1 = d, the lazy default)")
+	patience := fs.Int("patience", 0, "early-stop patience in rounds (0 = none)")
+	sample := fs.Int("sample", 0, "record the discrepancy every k rounds (0 = off)")
+	workers := fs.Int("workers", 0, "engine worker goroutines per run")
+	sweepWorkers := fs.Int("sweep-workers", 0, "concurrent sweep groups (0 = GOMAXPROCS)")
+	csvPath := fs.String("csv", "", "write per-spec rows to this CSV file")
+	jsonPath := fs.String("json", "", "write rows + aggregates to this JSON file")
+	seriesDir := fs.String("series", "", "write one JSONL trajectory per sampled spec into this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	type meta struct{ graphName, algoSpec, workloadSpec string }
+	var specs []analysis.RunSpec
+	var metas []meta
+	for _, gs := range splitList(*graphsFlag) {
+		g, err := specparse.Graph(gs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsweep:", err)
+			return 2
+		}
+		selfLoops := *loops
+		if selfLoops < 0 {
+			selfLoops = g.Degree()
+		}
+		b, err := graph.NewBalancing(g, selfLoops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsweep:", err)
+			return 2
+		}
+		for _, as := range splitList(*algosFlag) {
+			// One algorithm instance per (graph, algo) pair: the sweep
+			// groups on it for engine reuse, and instance-stateful
+			// algorithms are never shared across graphs.
+			algo, err := specparse.Algo(as, b)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lbsweep:", err)
+				return 2
+			}
+			for _, ws := range splitList(*workloadsFlag) {
+				x1, err := specparse.Workload(ws, g.N())
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "lbsweep:", err)
+					return 2
+				}
+				specs = append(specs, analysis.RunSpec{
+					Balancing:   b,
+					Algorithm:   algo,
+					Initial:     x1,
+					MaxRounds:   *rounds,
+					Patience:    *patience,
+					Workers:     *workers,
+					SampleEvery: *sample,
+				})
+				metas = append(metas, meta{graphName: b.Name(), algoSpec: as, workloadSpec: ws})
+			}
+		}
+	}
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "lbsweep: empty sweep (no graphs, algorithms, or workloads)")
+		return 2
+	}
+
+	start := time.Now()
+	results := analysis.Sweep(specs, analysis.SweepOptions{Workers: *sweepWorkers})
+	elapsed := time.Since(start)
+
+	rows := make([]row, len(results))
+	failures := 0
+	for i, res := range results {
+		m := metas[i]
+		r := row{
+			Graph:       m.graphName,
+			Algo:        m.algoSpec,
+			Workload:    m.workloadSpec,
+			N:           specs[i].Balancing.N(),
+			Degree:      specs[i].Balancing.Degree(),
+			SelfLoops:   specs[i].Balancing.SelfLoops(),
+			Gap:         res.Gap,
+			T:           res.BalancingTime,
+			Horizon:     res.Horizon,
+			Rounds:      res.Rounds,
+			InitialDisc: res.InitialDiscrepancy,
+			FinalDisc:   res.FinalDiscrepancy,
+			MinDisc:     res.MinDiscrepancy,
+			Stopped:     res.StoppedEarly,
+		}
+		if res.Err != nil {
+			r.Err = res.Err.Error()
+			failures++
+		}
+		rows[i] = r
+	}
+	aggs := aggregateRows(rows)
+
+	tab := &analysis.Table{
+		Title: fmt.Sprintf("sweep: %d specs in %v (%.1f runs/sec, %d failed)",
+			len(specs), elapsed.Round(time.Millisecond), float64(len(specs))/elapsed.Seconds(), failures),
+		Header: []string{"graph", "algo", "specs", "err", "µ", "final mean", "min", "max", "p50", "rounds mean"},
+		Note:   "final columns aggregate the final discrepancy over the group's workloads",
+	}
+	for _, a := range aggs {
+		tab.AddRow(a.Graph, a.Algo, strconv.Itoa(a.Specs), strconv.Itoa(a.Errors),
+			fmt.Sprintf("%.4g", a.Gap), fmt.Sprintf("%.2f", a.MeanFinal),
+			fmt.Sprintf("%.0f", a.MinFinal), fmt.Sprintf("%.0f", a.MaxFinal),
+			fmt.Sprintf("%.1f", a.P50Final), fmt.Sprintf("%.1f", a.MeanRound))
+	}
+	fmt.Fprint(stdout, tab.String())
+
+	if *csvPath != "" {
+		if err := writeRowsCSV(*csvPath, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsweep:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d rows to %s\n", len(rows), *csvPath)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, rows, aggs, elapsed); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsweep:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+	}
+	if *seriesDir != "" {
+		n, err := writeSeries(*seriesDir, results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsweep:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d trajectory files to %s\n", n, *seriesDir)
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// aggregateRows groups rows by (graph, algo) in first-seen order and
+// summarizes the final discrepancies of the group's non-failed specs.
+func aggregateRows(rows []row) []aggregate {
+	type key struct{ graph, algo string }
+	idx := map[key]int{}
+	var aggs []aggregate
+	finals := map[key][]float64{}
+	roundsSum := map[key]int{}
+	for _, r := range rows {
+		k := key{r.Graph, r.Algo}
+		if _, ok := idx[k]; !ok {
+			idx[k] = len(aggs)
+			aggs = append(aggs, aggregate{Graph: r.Graph, Algo: r.Algo, Gap: r.Gap})
+		}
+		a := &aggs[idx[k]]
+		a.Specs++
+		if r.Err != "" {
+			a.Errors++
+			continue
+		}
+		finals[k] = append(finals[k], float64(r.FinalDisc))
+		roundsSum[k] += r.Rounds
+	}
+	for k, i := range idx {
+		a := &aggs[i]
+		fs := finals[k]
+		if len(fs) == 0 {
+			continue
+		}
+		a.MeanFinal = stats.Mean(fs)
+		a.MinFinal = stats.Min(fs)
+		a.MaxFinal = stats.Max(fs)
+		a.P50Final = stats.Quantile(fs, 0.5)
+		a.MeanRound = float64(roundsSum[k]) / float64(len(fs))
+	}
+	return aggs
+}
+
+func writeRowsCSV(path string, rows []row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{
+		"graph", "algo", "workload", "n", "d", "self_loops", "gap", "T",
+		"horizon", "rounds", "initial_disc", "final_disc", "min_disc", "stopped_early", "error",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write([]string{
+			r.Graph, r.Algo, r.Workload, strconv.Itoa(r.N), strconv.Itoa(r.Degree),
+			strconv.Itoa(r.SelfLoops), strconv.FormatFloat(r.Gap, 'g', -1, 64),
+			strconv.Itoa(r.T), strconv.Itoa(r.Horizon), strconv.Itoa(r.Rounds),
+			strconv.FormatInt(r.InitialDisc, 10), strconv.FormatInt(r.FinalDisc, 10),
+			strconv.FormatInt(r.MinDisc, 10), strconv.FormatBool(r.Stopped), r.Err,
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeJSON(path string, rows []row, aggs []aggregate, elapsed time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ElapsedSeconds float64     `json:"elapsed_seconds"`
+		RunsPerSecond  float64     `json:"runs_per_second"`
+		Rows           []row       `json:"rows"`
+		Aggregates     []aggregate `json:"aggregates"`
+	}{
+		ElapsedSeconds: elapsed.Seconds(),
+		RunsPerSecond:  float64(len(rows)) / elapsed.Seconds(),
+		Rows:           rows,
+		Aggregates:     aggs,
+	})
+}
+
+// writeSeries exports every sampled trajectory as trace JSONL, one file per
+// spec index (sweep-0007.jsonl, …).
+func writeSeries(dir string, results []analysis.RunResult) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	written := 0
+	for i, res := range results {
+		if len(res.Series) == 0 {
+			continue
+		}
+		samples := make([]trace.Sample, len(res.Series))
+		for j, p := range res.Series {
+			samples[j] = trace.Sample{Round: p.Round, Discrepancy: p.Discrepancy, Max: p.Max, Min: p.Min}
+		}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("sweep-%04d.jsonl", i)))
+		if err != nil {
+			return written, err
+		}
+		if err := trace.WriteSamplesJSONL(f, samples); err != nil {
+			f.Close()
+			return written, err
+		}
+		if err := f.Close(); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, nil
+}

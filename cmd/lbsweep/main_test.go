@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSweepEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "rows.csv")
+	jsonPath := filepath.Join(dir, "sweep.json")
+	seriesDir := filepath.Join(dir, "series")
+
+	var out strings.Builder
+	code := run([]string{
+		"-graphs", "hypercube:4;cycle:32",
+		"-algos", "send-floor;rotor-router",
+		"-workloads", "point:160;bimodal:0,16",
+		"-rounds", "50",
+		"-sample", "10",
+		"-sweep-workers", "3",
+		"-csv", csvPath,
+		"-json", jsonPath,
+		"-series", seriesDir,
+	}, &out)
+	if code != 0 {
+		t.Fatalf("exit code %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "8 specs") {
+		t.Fatalf("expected 8-spec sweep summary:\n%s", out.String())
+	}
+
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(csvData)), "\n"); len(lines) != 9 {
+		t.Fatalf("expected header + 8 CSV rows, got %d lines", len(lines))
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		RunsPerSecond float64 `json:"runs_per_second"`
+		Rows          []struct {
+			Graph string `json:"graph"`
+			Err   string `json:"error"`
+		} `json:"rows"`
+		Aggregates []struct {
+			Specs  int `json:"specs"`
+			Errors int `json:"errors"`
+		} `json:"aggregates"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 8 || len(report.Aggregates) != 4 {
+		t.Fatalf("report shape: %d rows, %d aggregates", len(report.Rows), len(report.Aggregates))
+	}
+	for _, r := range report.Rows {
+		if r.Err != "" {
+			t.Fatalf("unexpected failure: %+v", r)
+		}
+	}
+	for _, a := range report.Aggregates {
+		if a.Specs != 2 || a.Errors != 0 {
+			t.Fatalf("aggregate shape: %+v", a)
+		}
+	}
+
+	series, err := filepath.Glob(filepath.Join(seriesDir, "sweep-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 8 {
+		t.Fatalf("expected 8 trajectory files, got %d", len(series))
+	}
+	sample, err := os.ReadFile(series[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sample), `"round":10`) {
+		t.Fatalf("trajectory missing sampled round:\n%s", sample)
+	}
+}
+
+func TestSweepRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-graphs", "dodecahedron:12"}, &out); code != 2 {
+		t.Fatalf("bad graph spec should exit 2, got %d", code)
+	}
+	if code := run([]string{"-algos", "quantum"}, &out); code != 2 {
+		t.Fatalf("bad algo spec should exit 2, got %d", code)
+	}
+	if code := run([]string{"-graphs", " ; "}, &out); code != 2 {
+		t.Fatalf("empty sweep should exit 2, got %d", code)
+	}
+}
+
+// TestSweepFailedSpecExitCode: a spec whose balancer rejects the graph
+// configuration reports through the row's error and flips the exit code,
+// without killing the other specs.
+func TestSweepFailedSpecExitCode(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{
+		"-graphs", "hypercube:4",
+		"-algos", "send-floor;good:99", // s > d° panics at bind; contained per spec
+		"-workloads", "point:160",
+		"-rounds", "10",
+	}, &out)
+	if code != 1 {
+		t.Fatalf("expected exit 1 for failed spec, got %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1 failed") {
+		t.Fatalf("summary missing failure count:\n%s", out.String())
+	}
+}

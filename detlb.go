@@ -69,6 +69,10 @@ type (
 	RunSpec = analysis.RunSpec
 	// RunResult captures a harness simulation outcome.
 	RunResult = analysis.RunResult
+	// SweepOptions configures the concurrent sweep harness.
+	SweepOptions = analysis.SweepOptions
+	// StateResetter is the optional rewind interface engine reuse relies on.
+	StateResetter = core.StateResetter
 )
 
 // Engine construction and options.
@@ -154,8 +158,11 @@ type RotorRouter = balancer.RotorRouter
 
 // Spectral quantities.
 var (
-	// SpectralGap returns µ = 1 − λ₂ of the balancing graph.
+	// SpectralGap returns µ = 1 − λ₂ of the balancing graph, memoized per
+	// (graph, d°) pair.
 	SpectralGap = spectral.Gap
+	// SpectralGapFresh recomputes µ from scratch, bypassing the cache.
+	SpectralGapFresh = spectral.GapFresh
 	// Lambda2 returns the second largest transition-matrix eigenvalue.
 	Lambda2 = spectral.Lambda2
 	// BalancingTime returns the paper's T = ⌈16·ln(nK)/µ⌉.
@@ -191,6 +198,10 @@ var (
 var (
 	// Run executes a RunSpec to the paper's horizon T with early stopping.
 	Run = analysis.Run
+	// Sweep executes many RunSpecs concurrently: engines are reused per
+	// (graph, algorithm) group via Engine.Reset and spectral gaps are
+	// memoized per graph, with results bit-identical to a serial Run loop.
+	Sweep = analysis.Sweep
 	// RunToTarget measures the first round reaching a discrepancy target.
 	RunToTarget = analysis.RunToTarget
 	// AllExperiments regenerates every experiment table (E1–E10 + EXT).

@@ -20,9 +20,17 @@
 //     distribute through a compressed (base, extra-token mask) bulk path —
 //     Step performs zero steady-state allocations, and load trajectories are
 //     bit-identical for every worker count (see internal/core);
-//   - spectral utilities (eigenvalue gap µ, balancing time T = O(log(Kn)/µ));
+//   - spectral utilities (eigenvalue gap µ, balancing time T = O(log(Kn)/µ)),
+//     with power-iteration results memoized per graph behind weak references;
 //   - the experiment harness regenerating the paper's Table 1 and one
 //     experiment per theorem (see DESIGN.md and EXPERIMENTS.md);
+//   - a concurrent scenario-sweep subsystem (Sweep): spec families — graph ×
+//     balancer × initial-load grids, the shape of the paper's claims — fan
+//     out over a bounded runner pool with engines reused across runs of the
+//     same (graph, algorithm) pair via Engine.Reset, per-spec results
+//     bit-identical to a serial Run loop at every worker count, and one bad
+//     spec reported through its RunResult.Err instead of killing the sweep
+//     (see cmd/lbsweep for the CLI);
 //   - an actor runtime executing the same model with one goroutine per
 //     processor and channel message passing.
 //

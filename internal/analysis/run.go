@@ -47,6 +47,10 @@ type RunSpec struct {
 type Point struct {
 	Round       int
 	Discrepancy int64
+	// Max and Min are the load extrema behind the discrepancy, so sampled
+	// series can be exported as full trace records.
+	Max int64
+	Min int64
 }
 
 // RunResult captures the outcome of a simulation.
@@ -78,18 +82,43 @@ type RunResult struct {
 	Err error
 }
 
-// Run executes the spec.
+// Run executes the spec. An invalid spec (nil graph or algorithm, wrong
+// vector length, a balancer that declines the graph) is reported through
+// RunResult.Err rather than by panicking, so one bad spec cannot kill a
+// sweep over many.
 func Run(spec RunSpec) RunResult {
-	b := spec.Balancing
-	mu := spectral.Gap(b)
-	k := core.Discrepancy(spec.Initial)
-	res := RunResult{
-		Gap:                mu,
-		InitialDiscrepancy: k,
-		TargetRound:        -1,
+	res, ok := prepareResult(spec)
+	if !ok {
+		return res
 	}
+	opts := []core.Option{core.WithWorkers(spec.Workers)}
+	for _, a := range spec.Auditors {
+		opts = append(opts, core.WithAuditor(a))
+	}
+	eng, err := core.NewEngine(spec.Balancing, spec.Algorithm, spec.Initial, opts...)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer eng.Close()
+	return runEngine(spec, eng, res)
+}
+
+// prepareResult computes the engine-independent result fields (gap, K, the
+// paper's T, the horizon in force). ok is false when the spec is too broken
+// to build an engine from; res.Err carries the reason.
+func prepareResult(spec RunSpec) (res RunResult, ok bool) {
+	res = RunResult{TargetRound: -1}
+	if spec.Balancing == nil || spec.Algorithm == nil {
+		res.Err = fmt.Errorf("analysis: spec needs a balancing graph and an algorithm")
+		return res, false
+	}
+	mu := spectral.Gap(spec.Balancing)
+	k := core.Discrepancy(spec.Initial)
+	res.Gap = mu
+	res.InitialDiscrepancy = k
 	if mu > 0 {
-		res.BalancingTime = spectral.BalancingTime(b.N(), int(k), mu)
+		res.BalancingTime = spectral.BalancingTime(spec.Balancing.N(), int(k), mu)
 	}
 	horizon := spec.MaxRounds
 	if horizon == 0 {
@@ -102,16 +131,19 @@ func Run(spec RunSpec) RunResult {
 		}
 	}
 	res.Horizon = horizon
+	return res, true
+}
 
-	opts := []core.Option{core.WithWorkers(spec.Workers)}
-	for _, a := range spec.Auditors {
-		opts = append(opts, core.WithAuditor(a))
-	}
-	eng := core.MustEngine(b, spec.Algorithm, spec.Initial, opts...)
-
+// runEngine drives an engine already holding the spec's initial vector
+// through the round loop. It is shared by Run (fresh engine per call) and
+// the sweep runner (engines reused across specs via Engine.Reset); both
+// produce bit-identical results because a reset engine is equivalent to a
+// fresh one.
+func runEngine(spec RunSpec, eng *core.Engine, res RunResult) RunResult {
 	best := eng.Discrepancy()
 	lastImprovement := 0
 	res.MinDiscrepancy = best
+	horizon := res.Horizon
 
 	for round := 1; round <= horizon; round++ {
 		if err := eng.Step(); err != nil {
@@ -120,9 +152,10 @@ func Run(spec RunSpec) RunResult {
 			res.FinalDiscrepancy = eng.Discrepancy()
 			return res
 		}
-		disc := eng.Discrepancy()
+		lo, hi := core.Extrema(eng.Loads())
+		disc := hi - lo
 		if spec.SampleEvery > 0 && round%spec.SampleEvery == 0 {
-			res.Series = append(res.Series, Point{Round: round, Discrepancy: disc})
+			res.Series = append(res.Series, Point{Round: round, Discrepancy: disc, Max: hi, Min: lo})
 		}
 		if disc < best {
 			best = disc

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+// SweepOptions configure Sweep's concurrent execution. The zero value is
+// ready to use.
+type SweepOptions struct {
+	// Workers is the number of concurrent group runners; 0 selects
+	// GOMAXPROCS. Results are bit-identical for every value: each spec's
+	// result is a pure function of the spec, and scheduling only decides
+	// which runner computes it.
+	Workers int
+}
+
+// Sweep executes every spec and returns one result per spec, in spec order.
+//
+// The paper's claims are statements over families of instances — graph ×
+// balancer × initial-vector grids — and Sweep is the harness layer that makes
+// such families cheap to run:
+//
+//   - Specs are grouped by (balancing graph, algorithm) identity. Each group
+//     runs sequentially on one runner, reusing a single engine across the
+//     group's specs via Engine.Reset — the worker pool, flat arrays, and
+//     bound balancer state are allocated once per group, not once per run.
+//     Specs carrying auditors opt out of reuse (auditors are per-run
+//     observers) and get a fresh engine.
+//   - Groups are fanned out over a bounded runner pool. Concurrency is
+//     across groups: within a group, sequential execution guarantees a
+//     Balancer instance that keeps per-run state on itself (continuous-mimic,
+//     bounded-error, matching) is never bound to two engines at once. Do not
+//     share such an instance across specs with *different* balancing graphs
+//     in one sweep; give each spec its own instance.
+//   - The spectral gap is memoized per graph (see spectral.Gap), so a sweep
+//     over repeated graphs pays each power iteration once.
+//
+// A panicking spec (e.g. a balancer that rejects the graph's configuration
+// at bind time) is reported through its RunResult.Err; the rest of the sweep
+// is unaffected.
+func Sweep(specs []RunSpec, opt SweepOptions) []RunResult {
+	results := make([]RunResult, len(specs))
+	if len(specs) == 0 {
+		return results
+	}
+
+	// Group spec indices by (balancing, algorithm) identity, preserving
+	// spec order within each group and group discovery order overall.
+	type sweepGroup struct{ indices []int }
+	var order []*sweepGroup
+	byKey := map[sweepKey]*sweepGroup{}
+	for i, spec := range specs {
+		key, keyed := groupKey(spec)
+		if g := byKey[key]; keyed && g != nil {
+			g.indices = append(g.indices, i)
+			continue
+		}
+		g := &sweepGroup{indices: []int{i}}
+		order = append(order, g)
+		if keyed {
+			byKey[key] = g
+		}
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers <= 1 {
+		for _, g := range order {
+			runSweepGroup(specs, g.indices, results)
+		}
+		return results
+	}
+
+	groups := make(chan *sweepGroup)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range groups {
+				runSweepGroup(specs, g.indices, results)
+			}
+		}()
+	}
+	for _, g := range order {
+		groups <- g
+	}
+	close(groups)
+	wg.Wait()
+	return results
+}
+
+// sweepKey identifies one engine-reuse group: same balancing graph, same
+// algorithm instance.
+type sweepKey struct {
+	b    *graph.Balancing
+	algo core.Balancer
+}
+
+// groupKey returns the spec's reuse key. keyed is false when the spec cannot
+// be grouped — nil fields (the spec will fail in prepareResult) or an
+// algorithm of a non-comparable dynamic type, which cannot serve as a map
+// key; such specs each form their own single-spec group.
+func groupKey(spec RunSpec) (sweepKey, bool) {
+	if spec.Balancing == nil || spec.Algorithm == nil {
+		return sweepKey{}, false
+	}
+	if t := reflect.TypeOf(spec.Algorithm); !t.Comparable() {
+		return sweepKey{}, false
+	}
+	return sweepKey{b: spec.Balancing, algo: spec.Algorithm}, true
+}
+
+// runSweepGroup executes one group's specs in order, carrying a reusable
+// engine between compatible specs.
+func runSweepGroup(specs []RunSpec, indices []int, results []RunResult) {
+	var eng *core.Engine
+	var engWorkers int
+	defer func() {
+		if eng != nil {
+			eng.Close()
+		}
+	}()
+	for _, i := range indices {
+		results[i] = runSweepSpec(specs[i], &eng, &engWorkers)
+	}
+}
+
+// runSweepSpec runs one spec, reusing *eng (resetting it in place) when the
+// spec is compatible with it, replacing it otherwise. Panics — bind-time
+// validation in balancers, hostile user implementations — are converted to
+// the spec's Err, and any cached engine is discarded since its state is
+// unknown after an unwound run.
+func runSweepSpec(spec RunSpec, eng **core.Engine, engWorkers *int) (res RunResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("analysis: sweep spec panicked: %v", r)
+			if *eng != nil {
+				(*eng).Close()
+				*eng = nil
+			}
+		}
+	}()
+
+	res, ok := prepareResult(spec)
+	if !ok {
+		return res
+	}
+
+	// Auditors are per-run observers: never share an engine across them.
+	if len(spec.Auditors) > 0 {
+		opts := []core.Option{core.WithWorkers(spec.Workers)}
+		for _, a := range spec.Auditors {
+			opts = append(opts, core.WithAuditor(a))
+		}
+		e, err := core.NewEngine(spec.Balancing, spec.Algorithm, spec.Initial, opts...)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		defer e.Close()
+		return runEngine(spec, e, res)
+	}
+
+	if *eng != nil && *engWorkers == spec.Workers {
+		if err := (*eng).Reset(spec.Initial); err == nil {
+			return runEngine(spec, *eng, res)
+		}
+		// Reset declined (wrong vector length, unresettable bound state):
+		// fall through to a fresh engine, which surfaces any real error.
+	}
+	if *eng != nil {
+		(*eng).Close()
+		*eng = nil
+	}
+	e, err := core.NewEngine(spec.Balancing, spec.Algorithm, spec.Initial, core.WithWorkers(spec.Workers))
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	*eng, *engWorkers = e, spec.Workers
+	return runEngine(spec, e, res)
+}

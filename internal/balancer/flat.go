@@ -77,6 +77,7 @@ func (r *RotorRouter) BindFlat(b *graph.Balancing) core.RangeDistributor {
 			}
 			rr.rotor[u] = int32(p)
 		}
+		rr.init = append([]int32(nil), rr.rotor...)
 	}
 	// Precompute, for every (rotor position, excess) pair, the bitmask of
 	// original edges receiving an excess token. A walk of excess < d⁺
@@ -99,12 +100,27 @@ func (r *RotorRouter) BindFlat(b *graph.Balancing) core.RangeDistributor {
 }
 
 // rotorRange is the flat-state rotor-router: rotor positions in one int32
-// array, the excess distribution as a precomputed mask table.
+// array, the excess distribution as a precomputed mask table. init holds the
+// starting rotor positions when they are not all zero, so ResetState can
+// rewind in place.
 type rotorRange struct {
 	d, dplus int
 	div      divider
 	rotor    []int32
+	init     []int32
 	masks    []uint64
+}
+
+// ResetState implements core.StateResetter: rewind every rotor to its
+// starting position without reallocating.
+func (rr *rotorRange) ResetState() {
+	if rr.init != nil {
+		copy(rr.rotor, rr.init)
+		return
+	}
+	for i := range rr.rotor {
+		rr.rotor[i] = 0
+	}
 }
 
 // DistributeRange implements core.RangeDistributor; it mirrors
@@ -148,6 +164,9 @@ type sendFloorRange struct {
 	div divider
 }
 
+// ResetState implements core.StateResetter (stateless).
+func (s *sendFloorRange) ResetState() {}
+
 // DistributeRange implements core.RangeDistributor: every edge gets exactly
 // the floor share, so the extra-token mask is always zero.
 func (s *sendFloorRange) DistributeRange(x, bp, kept []int64, lo, hi int) {
@@ -177,6 +196,9 @@ type sendRoundRange struct {
 	dplus int64
 	div   divider
 }
+
+// ResetState implements core.StateResetter (stateless).
+func (s *sendRoundRange) ResetState() {}
 
 // DistributeRange implements core.RangeDistributor: the nearest-ties-down
 // share is ⌊(2x+d⁺−1)/(2d⁺)⌋, exactly as sendRoundNode computes it, sent
@@ -221,6 +243,13 @@ type goodSRange struct {
 	rotor       []int32
 }
 
+// ResetState implements core.StateResetter: all rotors start at slot 0.
+func (gr *goodSRange) ResetState() {
+	for i := range gr.rotor {
+		gr.rotor[i] = 0
+	}
+}
+
 // DistributeRange implements core.RangeDistributor.
 func (gr *goodSRange) DistributeRange(x, bp, kept []int64, lo, hi int) {
 	d := gr.d
@@ -259,4 +288,9 @@ var (
 	_ core.FlatBalancer = SendFloor{}
 	_ core.FlatBalancer = SendRound{}
 	_ core.FlatBalancer = GoodS{}
+
+	_ core.StateResetter = (*rotorRange)(nil)
+	_ core.StateResetter = (*sendFloorRange)(nil)
+	_ core.StateResetter = (*sendRoundRange)(nil)
+	_ core.StateResetter = (*goodSRange)(nil)
 )

@@ -34,6 +34,9 @@ func NewConservationAuditor() *ConservationAuditor { return &ConservationAuditor
 // Requires implements Auditor.
 func (a *ConservationAuditor) Requires() Requirements { return Requirements{} }
 
+// ResetState implements StateResetter: the next run re-latches its total.
+func (a *ConservationAuditor) ResetState() { a.total, a.seen = 0, false }
+
 // Observe implements Auditor.
 func (a *ConservationAuditor) Observe(e *Engine, prevLoads []int64, _, _ [][]int64) error {
 	var before, after int64
@@ -65,6 +68,9 @@ func NewNonNegativeAuditor() *NonNegativeAuditor { return &NonNegativeAuditor{} 
 // Requires implements Auditor.
 func (a *NonNegativeAuditor) Requires() Requirements { return Requirements{} }
 
+// ResetState implements StateResetter (stateless).
+func (a *NonNegativeAuditor) ResetState() {}
+
 // Observe implements Auditor.
 func (a *NonNegativeAuditor) Observe(e *Engine, _ []int64, _, _ [][]int64) error {
 	for u, v := range e.Loads() {
@@ -87,6 +93,9 @@ func NewNegativeLoadCounter() *NegativeLoadCounter { return &NegativeLoadCounter
 
 // Requires implements Auditor.
 func (a *NegativeLoadCounter) Requires() Requirements { return Requirements{} }
+
+// ResetState implements StateResetter.
+func (a *NegativeLoadCounter) ResetState() { a.Events, a.Rounds = 0, 0 }
 
 // Observe implements Auditor.
 func (a *NegativeLoadCounter) Observe(e *Engine, _ []int64, _, _ [][]int64) error {
@@ -123,6 +132,9 @@ func NewCumulativeFairnessAuditor(limit int64) *CumulativeFairnessAuditor {
 // Requires implements Auditor.
 func (a *CumulativeFairnessAuditor) Requires() Requirements { return Requirements{Flows: true} }
 
+// ResetState implements StateResetter (Limit is configuration, not state).
+func (a *CumulativeFairnessAuditor) ResetState() { a.MaxDelta = 0 }
+
 // Observe implements Auditor.
 func (a *CumulativeFairnessAuditor) Observe(e *Engine, _ []int64, _, _ [][]int64) error {
 	for u, fu := range e.Flows() {
@@ -156,6 +168,9 @@ func NewMinShareAuditor() *MinShareAuditor { return &MinShareAuditor{} }
 // Requires implements Auditor.
 func (a *MinShareAuditor) Requires() Requirements { return Requirements{SelfLoops: true} }
 
+// ResetState implements StateResetter (stateless).
+func (a *MinShareAuditor) ResetState() {}
+
 // Observe implements Auditor.
 func (a *MinShareAuditor) Observe(e *Engine, prevLoads []int64, sends, selfLoops [][]int64) error {
 	dplus := e.Balancing().DegreePlus()
@@ -187,6 +202,9 @@ func NewRoundFairAuditor() *RoundFairAuditor { return &RoundFairAuditor{} }
 
 // Requires implements Auditor.
 func (a *RoundFairAuditor) Requires() Requirements { return Requirements{SelfLoops: true} }
+
+// ResetState implements StateResetter (stateless).
+func (a *RoundFairAuditor) ResetState() {}
 
 // Observe implements Auditor.
 func (a *RoundFairAuditor) Observe(e *Engine, prevLoads []int64, sends, selfLoops [][]int64) error {
@@ -228,6 +246,9 @@ func NewSelfPreferenceAuditor(s int) *SelfPreferenceAuditor {
 
 // Requires implements Auditor.
 func (a *SelfPreferenceAuditor) Requires() Requirements { return Requirements{SelfLoops: true} }
+
+// ResetState implements StateResetter (S is configuration, not state).
+func (a *SelfPreferenceAuditor) ResetState() {}
 
 // Observe implements Auditor.
 func (a *SelfPreferenceAuditor) Observe(e *Engine, prevLoads []int64, sends, selfLoops [][]int64) error {

@@ -112,6 +112,14 @@ func NewPotentialTracker(s int, cs ...int64) *PotentialTracker {
 // Requires implements Auditor.
 func (p *PotentialTracker) Requires() Requirements { return Requirements{} }
 
+// ResetState implements StateResetter.
+func (p *PotentialTracker) ResetState() {
+	p.prevPhi, p.prevPhiPrime = nil, nil
+	p.seen = false
+	p.Violations = 0
+	p.TotalPhiDrop = 0
+}
+
 // Observe implements Auditor. It never fails the run; violations are counted
 // so property tests can assert on them.
 func (p *PotentialTracker) Observe(e *Engine, prevLoads []int64, _, _ [][]int64) error {

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"detlb/internal/graph"
+)
+
+// noResetAuditor is an Auditor that deliberately does not implement
+// StateResetter.
+type noResetAuditor struct{}
+
+func (noResetAuditor) Requires() Requirements { return Requirements{} }
+func (noResetAuditor) Observe(*Engine, []int64, [][]int64, [][]int64) error {
+	return nil
+}
+
+func resetVec(n int, hot int64) []int64 {
+	x := make([]int64, n)
+	x[0] = hot
+	return x
+}
+
+func TestResetMatchesFreshEngine(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	x1 := resetVec(b.N(), 163)
+	x2 := resetVec(b.N(), 977)
+
+	dirty := MustEngine(b, evenSplit{}, x1)
+	defer dirty.Close()
+	for r := 0; r < 20; r++ {
+		if err := dirty.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dirty.Reset(x2); err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Round() != 0 {
+		t.Fatalf("round after reset = %d", dirty.Round())
+	}
+
+	fresh := MustEngine(b, evenSplit{}, x2)
+	defer fresh.Close()
+	for r := 0; r < 20; r++ {
+		if err := dirty.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for u := range fresh.Loads() {
+			if dirty.Loads()[u] != fresh.Loads()[u] {
+				t.Fatalf("round %d node %d: reset engine %d, fresh engine %d",
+					r+1, u, dirty.Loads()[u], fresh.Loads()[u])
+			}
+		}
+	}
+}
+
+func TestResetClearsFlows(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	eng := MustEngine(b, evenSplit{}, resetVec(8, 800), WithFlowTracking())
+	defer eng.Close()
+	for r := 0; r < 5; r++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := false
+	for _, fu := range eng.Flows() {
+		for _, f := range fu {
+			if f != 0 {
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("expected non-zero flows before reset")
+	}
+	if err := eng.Reset(resetVec(8, 80)); err != nil {
+		t.Fatal(err)
+	}
+	for u, fu := range eng.Flows() {
+		for i, f := range fu {
+			if f != 0 {
+				t.Fatalf("flow[%d][%d] = %d after reset", u, i, f)
+			}
+		}
+	}
+}
+
+func TestResetRejectsWrongLength(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	eng := MustEngine(b, evenSplit{}, resetVec(8, 64))
+	defer eng.Close()
+	if err := eng.Reset(make([]int64, 7)); err == nil {
+		t.Fatal("expected error for wrong vector length")
+	}
+}
+
+func TestResetRejectsUnresettableAuditor(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	eng := MustEngine(b, evenSplit{}, resetVec(8, 64), WithAuditor(noResetAuditor{}))
+	defer eng.Close()
+	if err := eng.Reset(resetVec(8, 32)); err == nil {
+		t.Fatal("expected error for auditor without StateResetter")
+	}
+}
+
+// TestResetRewindsAuditors runs a conservation audit across two runs with
+// different totals: without the auditor reset the second run's total would
+// mismatch the latched first-run total and fail the audit.
+func TestResetRewindsAuditors(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(8))
+	eng := MustEngine(b, evenSplit{}, resetVec(8, 800), WithAuditor(NewConservationAuditor()))
+	defer eng.Close()
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Reset(resetVec(8, 123)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(); err != nil {
+		t.Fatalf("conservation auditor kept stale total across reset: %v", err)
+	}
+}

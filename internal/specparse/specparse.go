@@ -1,0 +1,153 @@
+// Package specparse parses the command-line mini-language shared by the
+// harness CLIs (lbsim, lbsweep): graph family, algorithm, and workload specs
+// of the form "name:arg1,arg2".
+package specparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"detlb/internal/balancer"
+	"detlb/internal/core"
+	"detlb/internal/graph"
+	"detlb/internal/workload"
+)
+
+// Graph parses a graph spec:
+//
+//	cycle:N | torus:SIDE[,R] | hypercube:R | complete:N |
+//	random:N,D[,SEED] | petersen | gp:N,K | kbipartite:K |
+//	circulant:N,S1+S2+…
+func Graph(spec string) (*graph.Graph, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	args := strings.Split(arg, ",")
+	atoi := func(i int, def int) int {
+		if i >= len(args) || args[i] == "" {
+			return def
+		}
+		v, err := strconv.Atoi(args[i])
+		if err != nil {
+			return def
+		}
+		return v
+	}
+	switch name {
+	case "cycle":
+		return graph.Cycle(atoi(0, 64)), nil
+	case "torus":
+		return graph.Torus(atoi(1, 2), atoi(0, 16)), nil
+	case "hypercube":
+		return graph.Hypercube(atoi(0, 8)), nil
+	case "complete":
+		return graph.Complete(atoi(0, 16)), nil
+	case "random":
+		return graph.RandomRegular(atoi(0, 256), atoi(1, 8), int64(atoi(2, 1))), nil
+	case "petersen":
+		return graph.Petersen(), nil
+	case "gp":
+		return graph.GeneralizedPetersen(atoi(0, 5), atoi(1, 2)), nil
+	case "kbipartite":
+		return graph.CompleteBipartite(atoi(0, 8)), nil
+	case "circulant":
+		n := atoi(0, 32)
+		var offsets []int
+		if len(args) > 1 {
+			for _, s := range strings.Split(args[1], "+") {
+				v, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, fmt.Errorf("bad circulant offset %q", s)
+				}
+				offsets = append(offsets, v)
+			}
+		} else {
+			offsets = []int{1, 2}
+		}
+		return graph.Circulant(n, offsets), nil
+	default:
+		return nil, fmt.Errorf("unknown graph %q", name)
+	}
+}
+
+// Algo parses an algorithm spec and instantiates it against the balancing
+// graph b (the matching schedulers need the graph):
+//
+//	send-floor | send-round | rotor-router | rotor-router* | good:S |
+//	biased | rand-extra[:SEED] | rand-round[:SEED] | mimic |
+//	bounded-error | matching | matching-rand
+//
+// Every call returns a fresh instance: algorithms that keep per-run state on
+// the instance (mimic, bounded-error, matching) must not be shared across
+// concurrently running engines.
+func Algo(spec string, b *graph.Balancing) (core.Balancer, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	seed := int64(1)
+	if v, err := strconv.ParseInt(arg, 10, 64); err == nil {
+		seed = v
+	}
+	switch name {
+	case "send-floor":
+		return balancer.NewSendFloor(), nil
+	case "send-round":
+		return balancer.NewSendRound(), nil
+	case "rotor-router":
+		return balancer.NewRotorRouter(), nil
+	case "rotor-router*", "rotor-star":
+		return balancer.NewRotorRouterStar(), nil
+	case "good":
+		s, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("good:S needs an integer s, got %q", arg)
+		}
+		return balancer.NewGoodS(s), nil
+	case "biased":
+		return balancer.NewBiasedRounding(), nil
+	case "rand-extra":
+		return balancer.NewRandomizedExtra(seed), nil
+	case "rand-round":
+		return balancer.NewRandomizedRounding(seed), nil
+	case "mimic":
+		return balancer.NewContinuousMimic(), nil
+	case "bounded-error":
+		return balancer.NewBoundedError(), nil
+	case "matching":
+		return balancer.NewMatchingBalancer(balancer.EdgeColoringScheduler(b.Graph()), false, seed), nil
+	case "matching-rand":
+		return balancer.NewMatchingBalancer(balancer.NewRandomMatchingScheduler(b.Graph(), seed), true, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// Workload parses an initial-load spec for an n-node graph:
+//
+//	point:TOTAL | uniform:EACH | bimodal:LO,HI | random:MAX[,SEED] |
+//	ramp:BASE,STEP
+func Workload(spec string, n int) ([]int64, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	args := strings.Split(arg, ",")
+	atoi := func(i int, def int64) int64 {
+		if i >= len(args) || args[i] == "" {
+			return def
+		}
+		v, err := strconv.ParseInt(args[i], 10, 64)
+		if err != nil {
+			return def
+		}
+		return v
+	}
+	switch name {
+	case "point":
+		return workload.PointMass(n, 0, atoi(0, int64(8*n))), nil
+	case "uniform":
+		return workload.Uniform(n, atoi(0, 8)), nil
+	case "bimodal":
+		return workload.Bimodal(n, atoi(0, 0), atoi(1, 64)), nil
+	case "random":
+		return workload.Random(n, atoi(0, 64), atoi(1, 1)), nil
+	case "ramp":
+		return workload.Ramp(n, atoi(0, 0), atoi(1, 1)), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}

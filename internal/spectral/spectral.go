@@ -11,13 +11,18 @@
 // λ = (d° + d·ν)/d⁺ for an eigenvalue ν of the normalized adjacency A/d.
 // This affine correspondence lets the package reuse a family's analytic ν₂
 // (recorded on graph.Graph by its constructor) and fall back to projected
-// power iteration otherwise.
+// power iteration otherwise; power-iteration results are memoized per
+// (graph, d°) pair behind weak references, so harness sweeps pay the
+// iteration once per graph rather than once per run.
 package spectral
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"weak"
 
 	"detlb/internal/graph"
 )
@@ -78,6 +83,13 @@ func (op *Operator) Entry(u, v int) float64 {
 // all-ones vector. The shift makes all eigenvalues of the iterated matrix
 // non-negative, so the iteration converges to λ₂ + 1 even when P has
 // eigenvalues below −(λ₂) in modulus.
+//
+// Power-iteration results are memoized per (graph, d°) pair: the iteration
+// is deterministic (fixed seed), so a sweep running many specs on the same
+// balancing graph pays its ~ms cost exactly once, and distinct Balancing
+// wrappers over the same Graph share the entry. The cache holds only weak
+// references — an entry is evicted when its graph is garbage collected, so
+// long-lived processes generating graphs on the fly do not accumulate it.
 func Lambda2(b *graph.Balancing) float64 {
 	d := float64(b.Degree())
 	dplus := float64(b.DegreePlus())
@@ -85,12 +97,67 @@ func Lambda2(b *graph.Balancing) float64 {
 	if nu2, ok := b.Graph().Nu2(); ok {
 		return (self + d*nu2) / dplus
 	}
-	return powerLambda2(b)
+	return cachedPowerLambda2(b)
 }
 
-// Gap returns the eigenvalue gap µ = 1 − λ₂ of the balancing graph.
+// Gap returns the eigenvalue gap µ = 1 − λ₂ of the balancing graph,
+// memoized per (graph, d°) pair (see Lambda2).
 func Gap(b *graph.Balancing) float64 {
 	return 1 - Lambda2(b)
+}
+
+// GapFresh recomputes the gap from scratch, bypassing the per-graph cache.
+// It exists for benchmarking the memoization itself and for tests; Gap is
+// equal (bit-identical: the power iteration is deterministic) and cheaper.
+func GapFresh(b *graph.Balancing) float64 {
+	d := float64(b.Degree())
+	dplus := float64(b.DegreePlus())
+	self := float64(b.SelfLoops())
+	if nu2, ok := b.Graph().Nu2(); ok {
+		return 1 - (self+d*nu2)/dplus
+	}
+	return 1 - powerLambda2(b)
+}
+
+// lambda2Key identifies one memoized power-iteration result. The weak graph
+// pointer keeps the cache from pinning graphs: weak.Make returns equal
+// pointers for the same object, so lookups for live graphs always hit, and
+// the per-graph cleanup removes the entry once the graph is collected.
+type lambda2Key struct {
+	g         weak.Pointer[graph.Graph]
+	selfLoops int
+}
+
+// lambda2Entry is a once-guarded cache slot: concurrent sweep workers asking
+// for the same graph's λ₂ share one power iteration instead of racing to
+// compute duplicates.
+type lambda2Entry struct {
+	once sync.Once
+	val  float64
+}
+
+var (
+	lambda2Mu    sync.Mutex
+	lambda2Cache = map[lambda2Key]*lambda2Entry{}
+)
+
+func cachedPowerLambda2(b *graph.Balancing) float64 {
+	g := b.Graph()
+	key := lambda2Key{g: weak.Make(g), selfLoops: b.SelfLoops()}
+	lambda2Mu.Lock()
+	e, ok := lambda2Cache[key]
+	if !ok {
+		e = &lambda2Entry{}
+		lambda2Cache[key] = e
+		runtime.AddCleanup(g, func(k lambda2Key) {
+			lambda2Mu.Lock()
+			delete(lambda2Cache, k)
+			lambda2Mu.Unlock()
+		}, key)
+	}
+	lambda2Mu.Unlock()
+	e.once.Do(func() { e.val = powerLambda2(b) })
+	return e.val
 }
 
 // powerLambda2 estimates λ₂ via shifted projected power iteration.

@@ -19,7 +19,11 @@ type Sample struct {
 	Discrepancy int64 `json:"discrepancy"`
 	Max         int64 `json:"max"`
 	Min         int64 `json:"min"`
-	Phi         int64 `json:"phi,omitempty"`
+	// Phi is φ(PhiThreshold) when potential tracking is enabled, nil
+	// otherwise. It is a pointer, not an omitempty int64: omitempty would
+	// silently drop a legitimate φ = 0 from JSONL output and produce ragged
+	// records when PhiThreshold ≥ 0.
+	Phi *int64 `json:"phi,omitempty"`
 }
 
 // Recorder is a core.Auditor that snapshots load statistics every Interval
@@ -68,11 +72,17 @@ func (r *Recorder) Observe(e *core.Engine, _ []int64, _, _ [][]int64) error {
 	}
 	s := Sample{Round: e.Round(), Discrepancy: hi - lo, Max: hi, Min: lo}
 	if r.PhiThreshold >= 0 {
-		s.Phi = core.Phi(loads, r.PhiThreshold, e.Balancing().DegreePlus())
+		phi := core.Phi(loads, r.PhiThreshold, e.Balancing().DegreePlus())
+		s.Phi = &phi
 	}
 	r.samples = append(r.samples, s)
 	return nil
 }
+
+// ResetState implements core.StateResetter: a reused engine starts a fresh
+// series. The old backing array is released, not truncated, so a series
+// already handed out via Samples stays intact.
+func (r *Recorder) ResetState() { r.samples = nil }
 
 // WriteCSV emits the series with a header row.
 func (r *Recorder) WriteCSV(w io.Writer) error {
@@ -93,7 +103,11 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(s.Min, 10),
 		}
 		if withPhi {
-			rec = append(rec, strconv.FormatInt(s.Phi, 10))
+			phi := ""
+			if s.Phi != nil {
+				phi = strconv.FormatInt(*s.Phi, 10)
+			}
+			rec = append(rec, phi)
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("trace: write row: %w", err)
@@ -108,9 +122,16 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 
 // WriteJSONL emits one JSON object per sample.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return WriteSamplesJSONL(w, r.samples)
+}
+
+// WriteSamplesJSONL emits one JSON object per sample; it is the free-function
+// form used by harness tools exporting series they assembled themselves
+// (e.g. sweep trajectories) rather than through a Recorder.
+func WriteSamplesJSONL(w io.Writer, samples []Sample) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, s := range r.samples {
+	for _, s := range samples {
 		if err := enc.Encode(s); err != nil {
 			return fmt.Errorf("trace: encode sample: %w", err)
 		}

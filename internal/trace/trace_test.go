@@ -95,6 +95,118 @@ func TestJSONL(t *testing.T) {
 	}
 }
 
+// TestJSONLEmitsPhiZero is the regression test for the omitempty bug: a
+// legitimate φ = 0 sample (all loads at or below the threshold) must still
+// carry its phi field in JSONL output — omitempty on a plain int64 silently
+// dropped it, producing ragged records whenever PhiThreshold ≥ 0.
+func TestJSONLEmitsPhiZero(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	x1 := make([]int64, 16)
+	for i := range x1 {
+		x1[i] = 5 // already balanced: φ(c) = 0 for any c ≥ 5
+	}
+	rec := NewRecorder(1)
+	rec.PhiThreshold = 100
+	eng := core.MustEngine(b, balancer.NewRotorRouter(), x1, core.WithAuditor(rec))
+	for i := 0; i < 5; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range rec.Samples() {
+		if s.Phi == nil || *s.Phi != 0 {
+			t.Fatalf("expected φ = 0 recorded, got %+v", s)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, `"phi":0`) {
+			t.Fatalf("φ = 0 dropped from JSONL record: %s", line)
+		}
+	}
+}
+
+// TestJSONLOmitsPhiWhenDisabled: without potential tracking the phi field
+// stays absent (nil pointer), keeping untracked series compact.
+func TestJSONLOmitsPhiWhenDisabled(t *testing.T) {
+	rec := record(t, 10, 30, -1)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "phi") {
+		t.Fatalf("phi field leaked into untracked series:\n%s", buf.String())
+	}
+}
+
+// TestCSVPhiZeroValue: the φ column carries the explicit 0, not an empty
+// cell, for tracked runs.
+func TestCSVPhiZeroValue(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	x1 := make([]int64, 16)
+	rec := NewRecorder(1)
+	rec.PhiThreshold = 7
+	eng := core.MustEngine(b, balancer.NewRotorRouter(), x1, core.WithAuditor(rec))
+	if err := eng.Step(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(rows) != 2 {
+		t.Fatalf("expected header + 1 row, got %d", len(rows))
+	}
+	if !strings.HasSuffix(rows[1], ",0") {
+		t.Fatalf("φ = 0 missing from CSV row: %s", rows[1])
+	}
+}
+
+// TestRecorderResetState: a reset recorder starts a fresh series without
+// clobbering one already handed out.
+func TestRecorderResetState(t *testing.T) {
+	rec := record(t, 1, 5, -1)
+	old := rec.Samples()
+	if len(old) != 5 {
+		t.Fatalf("expected 5 samples, got %d", len(old))
+	}
+	rec.ResetState()
+	if len(rec.Samples()) != 0 {
+		t.Fatal("reset recorder should start empty")
+	}
+	if len(old) != 5 || old[0].Round != 1 {
+		t.Fatal("previously returned series corrupted by reset")
+	}
+}
+
+// TestWriteSamplesJSONL covers the free-function form on hand-built samples.
+func TestWriteSamplesJSONL(t *testing.T) {
+	phi := int64(0)
+	samples := []Sample{
+		{Round: 1, Discrepancy: 4, Max: 5, Min: 1, Phi: &phi},
+		{Round: 2, Discrepancy: 2, Max: 3, Min: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteSamplesJSONL(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"phi":0`) || strings.Contains(lines[1], "phi") {
+		t.Fatalf("phi handling wrong:\n%s", buf.String())
+	}
+}
+
 func TestReadCSVErrors(t *testing.T) {
 	if _, err := ReadCSV(strings.NewReader("round,discrepancy,max,min\nnot,a,number,row\n")); err == nil {
 		t.Fatal("expected parse error")

@@ -1,55 +1,93 @@
 #!/usr/bin/env bash
 # bench.sh — run the engine micro-benchmarks and record the perf trajectory.
 #
-# Runs the BenchmarkStep* hot-path benchmarks (plus the spectral power
-# iteration) with -benchmem -count=5 and writes BENCH_step.json at the repo
-# root. The "baseline" section of an existing BENCH_step.json is preserved
-# across runs so future PRs always compare against the recorded pre-refactor
-# numbers; pass BASELINE=1 to (re)record the current results as the baseline
-# instead.
+# Records two files at the repo root:
+#
+#   BENCH_step.json  — the BenchmarkStep* hot-path benchmarks plus the
+#                      spectral power iteration;
+#   BENCH_sweep.json — the BenchmarkSweep100* harness benchmarks (concurrent
+#                      sweep vs the serial analysis.Run loop, warm and cold
+#                      gap cache), whose runs/sec and allocs/op columns are
+#                      the sweep subsystem's acceptance numbers.
+#
+# Each run uses -benchmem -count=$COUNT. The "baseline" section of an
+# existing output file is preserved across runs so future PRs always compare
+# against the recorded pre-refactor numbers; pass BASELINE=1 to (re)record
+# the current results as the baseline instead.
 #
 # Usage:
-#   scripts/bench.sh                # refresh the "current" section
-#   BASELINE=1 scripts/bench.sh    # also overwrite the "baseline" section
-#   COUNT=3 PATTERN=BenchmarkStepRotor scripts/bench.sh
+#   scripts/bench.sh                # refresh the "current" sections
+#   BASELINE=1 scripts/bench.sh    # also overwrite the "baseline" sections
+#   COUNT=3 PATTERN=BenchmarkStepRotor OUT=BENCH_step.json scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-PATTERN="${PATTERN:-BenchmarkStep|BenchmarkSpectralGap}"
-OUT="${OUT:-BENCH_step.json}"
 
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+# Temp files from every record() call, cleaned up even when set -e aborts.
+RAW_FILES=()
+trap 'rm -f "${RAW_FILES[@]}"' EXIT
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" . | tee "$RAW"
+# record PATTERN OUT NOTE — run one benchmark family and write its JSON.
+record() {
+  local pattern="$1" out="$2" note="$3"
+  local raw results base_json
+  raw="$(mktemp)"
+  RAW_FILES+=("$raw")
 
-# Each benchmark line: Name[-procs] iters ns/op "ns/op" B/op "B/op" allocs "allocs/op".
-RESULTS="$(awk '/^Benchmark/ { name=$1; sub(/-[0-9]+$/, "", name); print name, $3, $5, $7 }' "$RAW" |
-  jq -Rn '[inputs | select(length > 0) | split(" ") |
-           {name: .[0], ns: (.[1]|tonumber), bytes: (.[2]|tonumber), allocs: (.[3]|tonumber)}] |
-          group_by(.name) |
-          map({key: .[0].name,
-               value: {ns_op: [.[].ns], ns_op_min: ([.[].ns] | min),
-                       bytes_op: .[0].bytes, allocs_op: .[0].allocs}}) |
-          from_entries')"
+  go test -run '^$' -bench "$pattern" -benchmem -count="$COUNT" . | tee "$raw"
 
-BASE_JSON='{}'
-if [[ "${BASELINE:-0}" == "1" ]]; then
-  BASE_JSON="$RESULTS"
-elif [[ -f "$OUT" ]]; then
-  BASE_JSON="$(jq '.baseline // {}' "$OUT")"
+  # Each benchmark line: Name[-procs] iters ns/op "ns/op" [extra "unit"]...
+  # B/op and allocs/op are the last two value/unit pairs; a custom
+  # runs/sec metric, when present, sits between them and ns/op.
+  results="$(awk '/^Benchmark/ {
+      name=$1; sub(/-[0-9]+$/, "", name);
+      runs="";
+      for (i = 4; i < NF; i++) if ($(i+1) == "runs/sec") runs=$i;
+      print name, $3, $(NF-3), $(NF-1), (runs == "" ? "null" : runs)
+    }' "$raw" |
+    jq -Rn '[inputs | select(length > 0) | split(" ") |
+             {name: .[0], ns: (.[1]|tonumber), bytes: (.[2]|tonumber),
+              allocs: (.[3]|tonumber),
+              runs_per_sec: (if .[4] == "null" then null else (.[4]|tonumber) end)}] |
+            group_by(.name) |
+            map({key: .[0].name,
+                 value: ({ns_op: [.[].ns], ns_op_min: ([.[].ns] | min),
+                          bytes_op: .[0].bytes, allocs_op: .[0].allocs}
+                         + (if .[0].runs_per_sec != null
+                            then {runs_per_sec_max: ([.[].runs_per_sec] | max)}
+                            else {} end))}) |
+            from_entries')"
+
+  base_json='{}'
+  if [[ "${BASELINE:-0}" == "1" ]]; then
+    base_json="$results"
+  elif [[ -f "$out" ]]; then
+    base_json="$(jq '.baseline // {}' "$out")"
+  fi
+
+  jq -n \
+    --argjson baseline "$base_json" \
+    --argjson current "$results" \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg go "$(go env GOVERSION)" \
+    --arg cpu "$(awk -F': ' '/^cpu:/ {print $2; exit}' "$raw")" \
+    --arg count "$COUNT" \
+    --arg note "$note" \
+    '{generated: $date, go: $go, cpu: $cpu, count_per_benchmark: ($count|tonumber),
+      note: $note, baseline: $baseline, current: $current}' > "$out"
+
+  rm -f "$raw"
+  echo "wrote $out"
+}
+
+if [[ -n "${PATTERN:-}" ]]; then
+  record "$PATTERN" "${OUT:-BENCH_step.json}" "custom pattern run"
+  exit 0
 fi
 
-jq -n \
-  --argjson baseline "$BASE_JSON" \
-  --argjson current "$RESULTS" \
-  --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-  --arg go "$(go env GOVERSION)" \
-  --arg cpu "$(awk -F': ' '/^cpu:/ {print $2; exit}' "$RAW")" \
-  --arg count "$COUNT" \
-  '{generated: $date, go: $go, cpu: $cpu, count_per_benchmark: ($count|tonumber),
-    note: "ns_op_min is the noise-robust statistic on shared machines; baseline is the pre-refactor engine (see CHANGES.md)",
-    baseline: $baseline, current: $current}' > "$OUT"
+record 'BenchmarkStep|BenchmarkSpectralGap' BENCH_step.json \
+  "ns_op_min is the noise-robust statistic on shared machines; baseline is the pre-refactor engine (see CHANGES.md)"
 
-echo "wrote $OUT"
+record 'BenchmarkSweep100' BENCH_sweep.json \
+  "100-spec sweep acceptance numbers: Sweep100 is the concurrent harness (engines reused, gap memoized); SerialColdGap is the pre-sweep equivalent loop (gap recomputed per run, fresh engine per run); SerialWarmGap isolates engine reuse + scheduling. allocs_op is per 100 runs."
