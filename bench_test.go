@@ -165,6 +165,81 @@ func BenchmarkSweep100SerialColdGap(b *testing.B) {
 	reportSweepMetrics(b, len(specs))
 }
 
+// --- dynamic workloads ------------------------------------------------------
+
+// dynamicBenchSpec is the shocked-run benchmark instance: a 256-node expander
+// hit by a burst, a periodic refill adversary, and steady churn, measured
+// against a recovery target over 128 rounds.
+func dynamicBenchSpec() detlb.RunSpec {
+	g := detlb.RandomRegular(256, 8, 1)
+	return detlb.RunSpec{
+		Balancing: detlb.Lazy(g),
+		Algorithm: detlb.NewRotorRouter(),
+		Initial:   detlb.PointMass(g.N(), 0, 8192),
+		MaxRounds: 128,
+		Events: detlb.ComposeSchedules{
+			detlb.Burst{Round: 24, Node: 128, Amount: 8192},
+			detlb.Refill{Round: 64, Every: 32, Amount: 2048},
+			detlb.ChurnLoad{Every: 8, Amount: 256, Seed: 7},
+		},
+		TargetDiscrepancy: detlb.TargetDiscrepancy(16),
+	}
+}
+
+// BenchmarkDynamicShockedRun measures one full dynamic run: per-round
+// schedule evaluation, injections through Engine.ApplyDelta, and per-shock
+// recovery accounting on top of the engine's round loop.
+func BenchmarkDynamicShockedRun(b *testing.B) {
+	spec := dynamicBenchSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := detlb.Run(spec)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if len(res.Shocks) == 0 {
+			b.Fatal("no shocks recorded")
+		}
+	}
+}
+
+// BenchmarkDynamicStaticBaseline is the same instance without the schedule —
+// the overhead denominator for the dynamic harness.
+func BenchmarkDynamicStaticBaseline(b *testing.B) {
+	spec := dynamicBenchSpec()
+	spec.Events = nil
+	spec.TargetDiscrepancy = nil
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := detlb.Run(spec); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkDynamicSweep25 measures 25 shocked specs through the concurrent
+// sweep harness (engine reuse + schedule evaluation together).
+func BenchmarkDynamicSweep25(b *testing.B) {
+	base := dynamicBenchSpec()
+	specs := make([]detlb.RunSpec, 25)
+	for i := range specs {
+		specs[i] = base
+		specs[i].Initial = detlb.PointMass(256, i, int64(4096+64*i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range detlb.Sweep(specs, detlb.SweepOptions{Workers: 4}) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	reportSweepMetrics(b, len(specs))
+}
+
 // --- micro-benchmarks -------------------------------------------------------
 
 func benchStep(b *testing.B, algo detlb.Balancer, workers int) {

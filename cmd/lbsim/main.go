@@ -5,7 +5,15 @@
 // Usage:
 //
 //	lbsim -graph cycle:64 -algo rotor-router -workload point:512 \
-//	      -rounds 0 -loops -1 -sample 100 [-audit] [-workers 4]
+//	      -rounds 0 -loops -1 -sample 100 [-audit] [-workers 4] \
+//	      [-events burst:40,0,2048] [-target -1]
+//
+// -events injects load mid-run (burst:ROUND,NODE,AMOUNT | drain:FROM,TO,PERNODE |
+// periodic:EVERY,NODE,AMOUNT | churn:EVERY,AMOUNT[,SEED] |
+// refill:ROUND,AMOUNT[,EVERY], "+"-composable); each shock is reported with
+// its recovery. -target N ≥ 0 sets the discrepancy target (0 = perfect
+// balance): static runs stop there, dynamic runs measure per-shock recovery
+// against it.
 //
 // Graphs:    cycle:N | torus:SIDE[,R] | hypercube:R | complete:N |
 //
@@ -51,6 +59,8 @@ func run() int {
 	sample := flag.Int("sample", 0, "print discrepancy every k rounds (0 = only summary)")
 	audit := flag.Bool("audit", false, "attach conservation, min-share and fairness auditors")
 	workers := flag.Int("workers", 0, "engine worker goroutines")
+	events := flag.String("events", "", "dynamic-workload schedule (empty = static run)")
+	target := flag.Int64("target", -1, "discrepancy target (-1 = none; ≥ 0 stops static runs, defines dynamic recovery)")
 	csvPath := flag.String("csv", "", "write the sampled discrepancy series to this CSV file")
 	orbit := flag.Bool("orbit", false, "after the run, detect the process's eventual load cycle")
 	flag.Parse()
@@ -105,7 +115,12 @@ func run() int {
 			fair,
 		)
 	}
-	res := analysis.Run(analysis.RunSpec{
+	schedule, err := specparse.Schedule(*events, g.N())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		return 2
+	}
+	spec := analysis.RunSpec{
 		Balancing:   b,
 		Algorithm:   algo,
 		Initial:     x1,
@@ -114,11 +129,33 @@ func run() int {
 		Workers:     *workers,
 		Auditors:    auditors,
 		SampleEvery: *sample,
-	})
+		Events:      schedule,
+	}
+	if *target >= 0 {
+		spec.TargetDiscrepancy = analysis.Target(*target)
+	}
+	res := analysis.Run(spec)
 	for _, p := range res.Series {
+		if p.Shock {
+			fmt.Printf("round %8d  discrepancy %6d  <- shock (net %+d tokens)\n", p.Round, p.Discrepancy, p.Injected)
+			continue
+		}
 		fmt.Printf("round %8d  discrepancy %6d\n", p.Round, p.Discrepancy)
 	}
 	fmt.Println(res.String())
+	for i, s := range res.Shocks {
+		recov := "not recovered within the run"
+		if s.RecoveryRounds >= 0 {
+			recov = fmt.Sprintf("recovered to target in %d rounds", s.RecoveryRounds)
+		} else if spec.TargetDiscrepancy == nil {
+			recov = "no target set"
+		}
+		fmt.Printf("shock %d after round %d: +%d/-%d tokens, disc %d (peak %d), %s\n",
+			i+1, s.Round, s.Added, s.Removed, s.Discrepancy, s.PeakDiscrepancy, recov)
+	}
+	if res.ReachedTarget {
+		fmt.Printf("target %d reached at round %d\n", *target, res.TargetRound)
+	}
 	if fair != nil {
 		fmt.Printf("measured cumulative fairness δ = %d\n", fair.MaxDelta)
 	}
@@ -136,6 +173,13 @@ func run() int {
 		fmt.Printf("wrote %d samples to %s\n", len(rec.Samples()), *csvPath)
 	}
 	if *orbit {
+		if schedule != nil {
+			// DetectOrbit replays the process from x1 without the schedule,
+			// so it would report the orbit of a process the dynamic run never
+			// executed.
+			fmt.Fprintln(os.Stderr, "lbsim: -orbit cannot be combined with -events (orbit detection replays the static process)")
+			return 2
+		}
 		// Re-run from scratch warmed past the observed stopping round: the
 		// orbit detector needs its own engine (fresh balancer state).
 		o, err := analysis.DetectOrbit(b, algo, x1, res.Rounds, 4*g.N()+64)
@@ -151,7 +195,9 @@ func run() int {
 		}
 	}
 	if res.Err != nil {
-		fmt.Fprintln(os.Stderr, "lbsim: audit failed:", res.Err)
+		// Audit failures and spec-level errors (e.g. a disconnected graph
+		// with the default horizon) both surface here.
+		fmt.Fprintln(os.Stderr, "lbsim:", res.Err)
 		return 1
 	}
 	return 0

@@ -1,16 +1,17 @@
 // Command lbsweep runs a scenario sweep: the cross product of graph ×
-// algorithm × workload specs, fanned out over the concurrent sweep harness
-// (engines reused per (graph, algorithm) group, spectral gaps memoized per
-// graph), with per-spec rows and per-(graph, algorithm) aggregate tables
-// emitted as text, CSV, or JSON.
+// algorithm × workload × schedule specs, fanned out over the concurrent
+// sweep harness (engines reused per (graph, algorithm) group, spectral gaps
+// memoized per graph), with per-spec rows and per-(graph, algorithm)
+// aggregate tables emitted as text, CSV, or JSON.
 //
 // Usage:
 //
 //	lbsweep -graphs "random:256,8,1;cycle:128" \
 //	        -algos "send-floor;rotor-router;good:2" \
 //	        -workloads "point:2048;bimodal:0,64" \
-//	        [-rounds 0] [-loops -1] [-patience 0] [-sample 0] \
-//	        [-workers 0] [-sweep-workers 0] \
+//	        [-schedules "none;burst:40,0,2048;refill:40,1024,40"] \
+//	        [-target -1] [-rounds 0] [-loops -1] [-patience 0] [-sample 0] \
+//	        [-workers 0] [-sweep-workers 0] [-progress] \
 //	        [-csv rows.csv] [-json sweep.json] [-series DIR]
 //
 // Spec lists are semicolon-separated; the mini-language is lbsim's (see
@@ -18,16 +19,25 @@
 // per instance; -loops -1 uses d° = d. -sweep-workers bounds the concurrent
 // (graph, algorithm) groups; results are bit-identical for every value.
 // -series writes one JSONL trajectory file per sampled spec via
-// internal/trace.
+// internal/trace (dynamic runs carry shock markers).
+//
+// -schedules makes runs dynamic: each schedule injects load between rounds
+// (burst:ROUND,NODE,AMOUNT | drain:FROM,TO,PERNODE | periodic:EVERY,NODE,AMOUNT |
+// churn:EVERY,AMOUNT[,SEED] | refill:ROUND,AMOUNT[,EVERY], composable with
+// "+"; "none" is a static run). -target N ≥ 0 sets the discrepancy target:
+// static runs stop when they reach it, dynamic runs use it to measure
+// per-shock recovery (shocks / mean recovery rounds / peak columns).
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -49,6 +59,7 @@ type row struct {
 	Graph       string  `json:"graph"`
 	Algo        string  `json:"algo"`
 	Workload    string  `json:"workload"`
+	Schedule    string  `json:"schedule,omitempty"`
 	N           int     `json:"n"`
 	Degree      int     `json:"d"`
 	SelfLoops   int     `json:"self_loops"`
@@ -59,11 +70,28 @@ type row struct {
 	InitialDisc int64   `json:"initial_discrepancy"`
 	FinalDisc   int64   `json:"final_discrepancy"`
 	MinDisc     int64   `json:"min_discrepancy"`
+	TargetRound int     `json:"target_round"`
 	Stopped     bool    `json:"stopped_early"`
-	Err         string  `json:"error,omitempty"`
+	// Dynamic-run recovery metrics (zero for static runs): shock count, how
+	// many recovered to the target, mean rounds-to-recover over the
+	// recovered ones, and the worst post-shock discrepancy peak. Not
+	// omitempty: 0 is a legitimate value for every one of them (instant
+	// recovery, nothing recovered) and must stay distinguishable from
+	// "key absent" — the φ=0 JSONL lesson.
+	Shocks       int     `json:"shocks"`
+	Recovered    int     `json:"recovered"`
+	MeanRecovery float64 `json:"mean_recovery_rounds"`
+	PeakDisc     int64   `json:"peak_shock_discrepancy"`
+	Err          string  `json:"error,omitempty"`
+
+	// recoverySum is the exact integer rounds-to-recover total behind
+	// MeanRecovery, carried so aggregates don't re-derive it from the
+	// rounded float (unexported: not serialized).
+	recoverySum int
 }
 
-// aggregate summarizes one (graph, algorithm) group over its workloads.
+// aggregate summarizes one (graph, algorithm) group over its workloads and
+// schedules.
 type aggregate struct {
 	Graph     string  `json:"graph"`
 	Algo      string  `json:"algo"`
@@ -75,6 +103,12 @@ type aggregate struct {
 	MaxFinal  float64 `json:"max_final_discrepancy"`
 	P50Final  float64 `json:"p50_final_discrepancy"`
 	MeanRound float64 `json:"mean_rounds"`
+	// Shocks and recovery aggregate the dynamic runs of the group: total
+	// injections, how many recovered to the target, and the mean
+	// rounds-to-recover over those (0 is legitimate, so not omitempty).
+	Shocks       int     `json:"shocks"`
+	Recovered    int     `json:"recovered"`
+	MeanRecovery float64 `json:"mean_recovery_rounds"`
 }
 
 func run(args []string, stdout io.Writer) int {
@@ -82,12 +116,15 @@ func run(args []string, stdout io.Writer) int {
 	graphsFlag := fs.String("graphs", "random:256,8,1;random:256,8,2", "semicolon-separated graph specs")
 	algosFlag := fs.String("algos", "send-floor;rotor-router", "semicolon-separated algorithm specs")
 	workloadsFlag := fs.String("workloads", "point:2048", "semicolon-separated workload specs")
+	schedulesFlag := fs.String("schedules", "none", "semicolon-separated dynamic-workload schedule specs (none = static)")
+	target := fs.Int64("target", -1, "discrepancy target (-1 = none; ≥ 0 stops static runs and defines dynamic recovery)")
 	rounds := fs.Int("rounds", 0, "round cap per run (0 = paper horizon T)")
 	loops := fs.Int("loops", -1, "self-loops per node (-1 = d, the lazy default)")
 	patience := fs.Int("patience", 0, "early-stop patience in rounds (0 = none)")
 	sample := fs.Int("sample", 0, "record the discrepancy every k rounds (0 = off)")
 	workers := fs.Int("workers", 0, "engine worker goroutines per run")
 	sweepWorkers := fs.Int("sweep-workers", 0, "concurrent sweep groups (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report sweep progress to stderr as specs finish")
 	csvPath := fs.String("csv", "", "write per-spec rows to this CSV file")
 	jsonPath := fs.String("json", "", "write rows + aggregates to this JSON file")
 	seriesDir := fs.String("series", "", "write one JSONL trajectory per sampled spec into this directory")
@@ -95,7 +132,7 @@ func run(args []string, stdout io.Writer) int {
 		return 2
 	}
 
-	type meta struct{ graphName, algoSpec, workloadSpec string }
+	type meta struct{ graphName, algoSpec, workloadSpec, scheduleSpec string }
 	var specs []analysis.RunSpec
 	var metas []meta
 	for _, gs := range splitList(*graphsFlag) {
@@ -128,16 +165,28 @@ func run(args []string, stdout io.Writer) int {
 					fmt.Fprintln(os.Stderr, "lbsweep:", err)
 					return 2
 				}
-				specs = append(specs, analysis.RunSpec{
-					Balancing:   b,
-					Algorithm:   algo,
-					Initial:     x1,
-					MaxRounds:   *rounds,
-					Patience:    *patience,
-					Workers:     *workers,
-					SampleEvery: *sample,
-				})
-				metas = append(metas, meta{graphName: b.Name(), algoSpec: as, workloadSpec: ws})
+				for _, ss := range splitList(*schedulesFlag) {
+					events, err := specparse.Schedule(ss, g.N())
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "lbsweep:", err)
+						return 2
+					}
+					spec := analysis.RunSpec{
+						Balancing:   b,
+						Algorithm:   algo,
+						Initial:     x1,
+						MaxRounds:   *rounds,
+						Patience:    *patience,
+						Workers:     *workers,
+						SampleEvery: *sample,
+						Events:      events,
+					}
+					if *target >= 0 {
+						spec.TargetDiscrepancy = analysis.Target(*target)
+					}
+					specs = append(specs, spec)
+					metas = append(metas, meta{graphName: b.Name(), algoSpec: as, workloadSpec: ws, scheduleSpec: ss})
+				}
 			}
 		}
 	}
@@ -146,9 +195,45 @@ func run(args []string, stdout io.Writer) int {
 		return 2
 	}
 
+	opts := analysis.SweepOptions{Workers: *sweepWorkers}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rlbsweep: %d/%d specs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	// First Ctrl-C cancels the sweep at spec granularity: finished specs keep
+	// their results, unstarted ones report the cancellation through their
+	// Err. A second Ctrl-C kills the process outright — cancellation cannot
+	// interrupt a spec already in flight, so the escape hatch must not be
+	// swallowed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	watcherDone := make(chan struct{})
+	go func() {
+		select {
+		case <-sigc:
+			cancel()
+		case <-watcherDone:
+			return
+		}
+		select {
+		case <-sigc:
+			os.Exit(130)
+		case <-watcherDone:
+		}
+	}()
 	start := time.Now()
-	results := analysis.Sweep(specs, analysis.SweepOptions{Workers: *sweepWorkers})
+	results := analysis.SweepContext(ctx, specs, opts)
 	elapsed := time.Since(start)
+	// Restore default SIGINT handling for the output phase and release the
+	// watcher (run is called repeatedly from tests; it must not leak it).
+	signal.Stop(sigc)
+	close(watcherDone)
 
 	rows := make([]row, len(results))
 	failures := 0
@@ -158,6 +243,7 @@ func run(args []string, stdout io.Writer) int {
 			Graph:       m.graphName,
 			Algo:        m.algoSpec,
 			Workload:    m.workloadSpec,
+			Schedule:    m.scheduleSpec,
 			N:           specs[i].Balancing.N(),
 			Degree:      specs[i].Balancing.Degree(),
 			SelfLoops:   specs[i].Balancing.SelfLoops(),
@@ -168,7 +254,24 @@ func run(args []string, stdout io.Writer) int {
 			InitialDisc: res.InitialDiscrepancy,
 			FinalDisc:   res.FinalDiscrepancy,
 			MinDisc:     res.MinDiscrepancy,
+			TargetRound: res.TargetRound,
 			Stopped:     res.StoppedEarly,
+			Shocks:      len(res.Shocks),
+		}
+		if r.Schedule == "none" {
+			r.Schedule = ""
+		}
+		for _, s := range res.Shocks {
+			if s.PeakDiscrepancy > r.PeakDisc {
+				r.PeakDisc = s.PeakDiscrepancy
+			}
+			if s.RecoveryRounds >= 0 {
+				r.Recovered++
+				r.recoverySum += s.RecoveryRounds
+			}
+		}
+		if r.Recovered > 0 {
+			r.MeanRecovery = float64(r.recoverySum) / float64(r.Recovered)
 		}
 		if res.Err != nil {
 			r.Err = res.Err.Error()
@@ -181,14 +284,19 @@ func run(args []string, stdout io.Writer) int {
 	tab := &analysis.Table{
 		Title: fmt.Sprintf("sweep: %d specs in %v (%.1f runs/sec, %d failed)",
 			len(specs), elapsed.Round(time.Millisecond), float64(len(specs))/elapsed.Seconds(), failures),
-		Header: []string{"graph", "algo", "specs", "err", "µ", "final mean", "min", "max", "p50", "rounds mean"},
-		Note:   "final columns aggregate the final discrepancy over the group's workloads",
+		Header: []string{"graph", "algo", "specs", "err", "µ", "final mean", "min", "max", "p50", "rounds mean", "shocks", "recov mean"},
+		Note:   "final columns aggregate the final discrepancy over the group's workloads; recov mean is rounds-to-target after a shock",
 	}
 	for _, a := range aggs {
+		recov := "-"
+		if a.Recovered > 0 {
+			recov = fmt.Sprintf("%.1f", a.MeanRecovery)
+		}
 		tab.AddRow(a.Graph, a.Algo, strconv.Itoa(a.Specs), strconv.Itoa(a.Errors),
 			fmt.Sprintf("%.4g", a.Gap), fmt.Sprintf("%.2f", a.MeanFinal),
 			fmt.Sprintf("%.0f", a.MinFinal), fmt.Sprintf("%.0f", a.MaxFinal),
-			fmt.Sprintf("%.1f", a.P50Final), fmt.Sprintf("%.1f", a.MeanRound))
+			fmt.Sprintf("%.1f", a.P50Final), fmt.Sprintf("%.1f", a.MeanRound),
+			strconv.Itoa(a.Shocks), recov)
 	}
 	fmt.Fprint(stdout, tab.String())
 
@@ -238,6 +346,7 @@ func aggregateRows(rows []row) []aggregate {
 	var aggs []aggregate
 	finals := map[key][]float64{}
 	roundsSum := map[key]int{}
+	recoverySum := map[key]int{}
 	for _, r := range rows {
 		k := key{r.Graph, r.Algo}
 		if _, ok := idx[k]; !ok {
@@ -252,6 +361,9 @@ func aggregateRows(rows []row) []aggregate {
 		}
 		finals[k] = append(finals[k], float64(r.FinalDisc))
 		roundsSum[k] += r.Rounds
+		a.Shocks += r.Shocks
+		a.Recovered += r.Recovered
+		recoverySum[k] += r.recoverySum
 	}
 	for k, i := range idx {
 		a := &aggs[i]
@@ -264,6 +376,9 @@ func aggregateRows(rows []row) []aggregate {
 		a.MaxFinal = stats.Max(fs)
 		a.P50Final = stats.Quantile(fs, 0.5)
 		a.MeanRound = float64(roundsSum[k]) / float64(len(fs))
+		if a.Recovered > 0 {
+			a.MeanRecovery = float64(recoverySum[k]) / float64(a.Recovered)
+		}
 	}
 	return aggs
 }
@@ -276,18 +391,21 @@ func writeRowsCSV(path string, rows []row) error {
 	defer f.Close()
 	w := csv.NewWriter(f)
 	if err := w.Write([]string{
-		"graph", "algo", "workload", "n", "d", "self_loops", "gap", "T",
-		"horizon", "rounds", "initial_disc", "final_disc", "min_disc", "stopped_early", "error",
+		"graph", "algo", "workload", "schedule", "n", "d", "self_loops", "gap", "T",
+		"horizon", "rounds", "initial_disc", "final_disc", "min_disc", "target_round",
+		"stopped_early", "shocks", "recovered", "mean_recovery_rounds", "peak_shock_discrepancy", "error",
 	}); err != nil {
 		return err
 	}
 	for _, r := range rows {
 		if err := w.Write([]string{
-			r.Graph, r.Algo, r.Workload, strconv.Itoa(r.N), strconv.Itoa(r.Degree),
+			r.Graph, r.Algo, r.Workload, r.Schedule, strconv.Itoa(r.N), strconv.Itoa(r.Degree),
 			strconv.Itoa(r.SelfLoops), strconv.FormatFloat(r.Gap, 'g', -1, 64),
 			strconv.Itoa(r.T), strconv.Itoa(r.Horizon), strconv.Itoa(r.Rounds),
 			strconv.FormatInt(r.InitialDisc, 10), strconv.FormatInt(r.FinalDisc, 10),
-			strconv.FormatInt(r.MinDisc, 10), strconv.FormatBool(r.Stopped), r.Err,
+			strconv.FormatInt(r.MinDisc, 10), strconv.Itoa(r.TargetRound),
+			strconv.FormatBool(r.Stopped), strconv.Itoa(r.Shocks), strconv.Itoa(r.Recovered),
+			strconv.FormatFloat(r.MeanRecovery, 'g', -1, 64), strconv.FormatInt(r.PeakDisc, 10), r.Err,
 		}); err != nil {
 			return err
 		}
@@ -330,7 +448,12 @@ func writeSeries(dir string, results []analysis.RunResult) (int, error) {
 		}
 		samples := make([]trace.Sample, len(res.Series))
 		for j, p := range res.Series {
-			samples[j] = trace.Sample{Round: p.Round, Discrepancy: p.Discrepancy, Max: p.Max, Min: p.Min}
+			s := trace.Sample{Round: p.Round, Discrepancy: p.Discrepancy, Max: p.Max, Min: p.Min}
+			if p.Shock {
+				injected := p.Injected
+				s.Shock = &injected
+			}
+			samples[j] = s
 		}
 		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("sweep-%04d.jsonl", i)))
 		if err != nil {

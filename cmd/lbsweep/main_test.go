@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"detlb/internal/trace"
 )
 
 func TestSweepEndToEnd(t *testing.T) {
@@ -86,6 +88,105 @@ func TestSweepEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(sample), `"round":10`) {
 		t.Fatalf("trajectory missing sampled round:\n%s", sample)
+	}
+}
+
+// TestSweepDynamicSchedules: the schedule dimension crosses with the rest,
+// recovery metrics land in the JSON report, and the JSONL trajectories carry
+// shock markers that round-trip through the trace reader.
+func TestSweepDynamicSchedules(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "sweep.json")
+	csvPath := filepath.Join(dir, "rows.csv")
+	seriesDir := filepath.Join(dir, "series")
+
+	var out strings.Builder
+	code := run([]string{
+		"-graphs", "random:64,8,1",
+		"-algos", "rotor-router",
+		"-workloads", "point:2048",
+		"-schedules", "none;burst:20,0,4096;burst:10,5,1024+refill:40,2048,0",
+		"-target", "16",
+		"-rounds", "120",
+		"-sample", "25",
+		"-csv", csvPath,
+		"-json", jsonPath,
+		"-series", seriesDir,
+	}, &out)
+	if code != 0 {
+		t.Fatalf("exit code %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "3 specs") {
+		t.Fatalf("expected 3-spec sweep (1 graph × 1 algo × 1 workload × 3 schedules):\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Rows []struct {
+			Schedule     string  `json:"schedule"`
+			Shocks       int     `json:"shocks"`
+			Recovered    int     `json:"recovered"`
+			MeanRecovery float64 `json:"mean_recovery_rounds"`
+			PeakDisc     int64   `json:"peak_shock_discrepancy"`
+			TargetRound  int     `json:"target_round"`
+			Err          string  `json:"error"`
+		} `json:"rows"`
+		Aggregates []struct {
+			Shocks    int `json:"shocks"`
+			Recovered int `json:"recovered"`
+		} `json:"aggregates"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(report.Rows))
+	}
+	static, burst, composed := report.Rows[0], report.Rows[1], report.Rows[2]
+	if static.Schedule != "" || static.Shocks != 0 {
+		t.Fatalf("static row polluted: %+v", static)
+	}
+	if burst.Shocks != 1 || burst.Recovered != 1 || burst.MeanRecovery <= 0 || burst.PeakDisc < 4096 {
+		t.Fatalf("burst recovery metrics: %+v", burst)
+	}
+	if composed.Shocks != 2 {
+		t.Fatalf("composed schedule should shock twice: %+v", composed)
+	}
+	if report.Aggregates[0].Shocks != 3 {
+		t.Fatalf("aggregate shocks: %+v", report.Aggregates)
+	}
+
+	// Shock markers in the burst spec's trajectory, via the trace reader.
+	f, err := os.Open(filepath.Join(seriesDir, "sweep-0001.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marks := 0
+	for _, s := range samples {
+		if s.Shock != nil {
+			marks++
+			if s.Round != 20 || *s.Shock != 4096 {
+				t.Fatalf("marker = %+v", s)
+			}
+		}
+	}
+	if marks != 1 {
+		t.Fatalf("expected 1 shock marker, got %d in %+v", marks, samples)
+	}
+}
+
+func TestSweepRejectsBadSchedule(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-schedules", "quake:9"}, &out); code != 2 {
+		t.Fatalf("bad schedule spec should exit 2, got %d", code)
 	}
 }
 

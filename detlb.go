@@ -176,6 +176,27 @@ var (
 	ProbabilityCurrent = spectral.ProbabilityCurrent
 )
 
+// Dynamic workloads: schedules inject load between rounds, turning a run
+// into a recovery (self-stabilization) experiment.
+type (
+	// Schedule yields deterministic per-round load deltas.
+	Schedule = workload.Schedule
+	// Burst is a one-shot injection at a node.
+	Burst = workload.Burst
+	// Drain removes load from every node over a round window.
+	Drain = workload.Drain
+	// PeriodicLoad re-injects at a node on a fixed cadence.
+	PeriodicLoad = workload.Periodic
+	// ChurnLoad migrates tokens between pseudorandom nodes, total-preserving.
+	ChurnLoad = workload.Churn
+	// Refill adversarially tops up the currently most-loaded node.
+	Refill = workload.Refill
+	// ComposeSchedules overlays several schedules into one.
+	ComposeSchedules = workload.Compose
+	// Shock records one injection and its recovery metrics.
+	Shock = analysis.Shock
+)
+
 // Workloads.
 var (
 	// PointMass puts the whole load on one node.
@@ -202,8 +223,13 @@ var (
 	// (graph, algorithm) group via Engine.Reset and spectral gaps are
 	// memoized per graph, with results bit-identical to a serial Run loop.
 	Sweep = analysis.Sweep
+	// SweepContext is Sweep with cancellation at spec granularity.
+	SweepContext = analysis.SweepContext
 	// RunToTarget measures the first round reaching a discrepancy target.
 	RunToTarget = analysis.RunToTarget
+	// TargetDiscrepancy builds the RunSpec.TargetDiscrepancy pointer inline
+	// (0 — perfect balance — is a valid target).
+	TargetDiscrepancy = analysis.Target
 	// AllExperiments regenerates every experiment table (E1–E10 + EXT).
 	AllExperiments = analysis.AllExperiments
 	// Converge profiles halving times down to a discrepancy target.

@@ -30,7 +30,13 @@
 //     same (graph, algorithm) pair via Engine.Reset, per-spec results
 //     bit-identical to a serial Run loop at every worker count, and one bad
 //     spec reported through its RunResult.Err instead of killing the sweep
-//     (see cmd/lbsweep for the CLI);
+//     (see cmd/lbsweep for the CLI); SweepContext adds cancellation and
+//     progress callbacks for long sweeps;
+//   - a dynamic-workload subsystem: Schedules (Burst, Drain, PeriodicLoad,
+//     ChurnLoad, adversarial Refill, composable) inject load between rounds
+//     through Engine.ApplyDelta, and each shock is measured for recovery —
+//     peak discrepancy and rounds back to the target — turning the harness
+//     into a self-stabilization testbed (RunSpec.Events, RunResult.Shocks);
 //   - an actor runtime executing the same model with one goroutine per
 //     processor and channel message passing.
 //

@@ -11,6 +11,7 @@ import (
 	"detlb/internal/core"
 	"detlb/internal/graph"
 	"detlb/internal/spectral"
+	"detlb/internal/workload"
 )
 
 // RunSpec describes one simulation.
@@ -24,16 +25,33 @@ type RunSpec struct {
 
 	// MaxRounds caps the run; 0 means use the paper's T = ⌈16·ln(Kn)/µ⌉.
 	MaxRounds int
-	// HorizonMultiple scales the default T cap (0 means 1×).
+	// HorizonMultiple scales the default T cap (0 or 1 means 1×). It is
+	// ignored when MaxRounds is set: an explicit cap is already the exact
+	// horizon the caller asked for.
 	HorizonMultiple int
 	// Patience stops the run once the running minimum discrepancy has not
 	// improved for this many rounds (0 disables early stopping). Periodic
 	// orbits (rotor-router) make "unchanged discrepancy" unreliable, so the
-	// criterion is no-new-minimum.
+	// criterion is no-new-minimum. Each injected shock (see Events) restarts
+	// the clock: the pre-shock minimum is not a meaningful improvement
+	// baseline while the system is re-absorbing new load.
 	Patience int
-	// TargetDiscrepancy, if positive, stops the run as soon as the
-	// discrepancy reaches the target (used for time-to-O(d) measurements).
-	TargetDiscrepancy int64
+	// TargetDiscrepancy, when non-nil, is the discrepancy target of the run;
+	// 0 is a valid target (perfect balance, the SEND-round/good-s
+	// time-to-balance measurement). Use Target to build the pointer inline.
+	//
+	// On a static run (Events == nil) the run stops at the first round whose
+	// discrepancy is ≤ the target — round 0 if the initial vector already
+	// meets it. On a dynamic run the target instead defines per-shock
+	// recovery (RunResult.Shocks) and the run continues to its horizon.
+	TargetDiscrepancy *int64
+	// Events, when non-nil, injects load between rounds: after every
+	// completed round r (including r = 0, before the first) the schedule's
+	// delta is added to the load vector via Engine.ApplyDelta, and every
+	// nonzero injection is recorded as a Shock with its recovery metrics.
+	// Schedules are pure functions of (round, loads), so dynamic runs keep
+	// the engine's bit-identical-across-worker-counts guarantee.
+	Events workload.Schedule
 	// Workers selects engine parallelism (0/1 = serial).
 	Workers int
 	// Auditors are attached to the engine.
@@ -43,6 +61,16 @@ type RunSpec struct {
 	SampleEvery int
 }
 
+// Target returns a pointer to d for RunSpec.TargetDiscrepancy, so specs can
+// request a target — including 0, perfect balance — inline.
+func Target(d int64) *int64 { return &d }
+
+// muZeroTol separates a genuine spectral gap from the power iteration's
+// numerical floor (~10⁻¹²–10⁻¹⁵ on a disconnected graph, where λ₂ = 1
+// exactly). The smallest real gap in this library's range is the long
+// cycle's Θ(1/n²), well above 10⁻¹⁰ for any simulable n.
+const muZeroTol = 1e-10
+
 // Point is one sample of the discrepancy trajectory.
 type Point struct {
 	Round       int
@@ -51,6 +79,37 @@ type Point struct {
 	// series can be exported as full trace records.
 	Max int64
 	Min int64
+	// Shock marks an injection point: the sample was taken immediately after
+	// a Schedule delta was applied (between rounds Round and Round+1), with
+	// Injected the net token change. Shock points are recorded whenever
+	// sampling is on, regardless of the sampling interval, so JSONL exports
+	// carry a marker for every injection.
+	Shock    bool
+	Injected int64
+}
+
+// Shock records one load injection of a dynamic run and the recovery that
+// followed it — the self-stabilization view of the paper's bound: after an
+// adversarial perturbation, how many rounds until the discrepancy target is
+// re-reached.
+type Shock struct {
+	// Round is the number of completed rounds when the delta was applied
+	// (0 = before the first round); round Round+1 is the first to see it.
+	Round int
+	// Added and Removed are the injected token totals: Σ of the positive
+	// deltas and Σ of the negated negative deltas. A pure migration (churn)
+	// has Added == Removed.
+	Added, Removed int64
+	// Discrepancy is the discrepancy immediately after the injection.
+	Discrepancy int64
+	// PeakDiscrepancy is the maximum discrepancy observed from the injection
+	// until recovery (or until the run ended).
+	PeakDiscrepancy int64
+	// RecoveryRound is the first round after the injection whose
+	// discrepancy was ≤ TargetDiscrepancy, or −1 (no target set, or the run
+	// ended first). RecoveryRounds is RecoveryRound − Round.
+	RecoveryRound  int
+	RecoveryRounds int
 }
 
 // RunResult captures the outcome of a simulation.
@@ -78,15 +137,25 @@ type RunResult struct {
 	ReachedTarget bool
 	// Series holds sampled points when requested.
 	Series []Point
+	// Shocks holds one record per load injection of a dynamic run (Events),
+	// in injection order, each with its recovery metrics.
+	Shocks []Shock
 	// Err is the first audit error, if any.
 	Err error
 }
 
 // Run executes the spec. An invalid spec (nil graph or algorithm, wrong
-// vector length, a balancer that declines the graph) is reported through
-// RunResult.Err rather than by panicking, so one bad spec cannot kill a
-// sweep over many.
-func Run(spec RunSpec) RunResult {
+// vector length, a balancer that declines the graph, a schedule addressing a
+// node out of range) is reported through RunResult.Err rather than by
+// panicking, so one bad spec cannot kill a loop over many. Panics from
+// user-supplied code (balancers, schedules, auditors) are contained the same
+// way, matching the sweep path.
+func Run(spec RunSpec) (res RunResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("analysis: run panicked: %v", r)
+		}
+	}()
 	res, ok := prepareResult(spec)
 	if !ok {
 		return res
@@ -117,11 +186,21 @@ func prepareResult(spec RunSpec) (res RunResult, ok bool) {
 	k := core.Discrepancy(spec.Initial)
 	res.Gap = mu
 	res.InitialDiscrepancy = k
-	if mu > 0 {
+	if mu > muZeroTol {
 		res.BalancingTime = spectral.BalancingTime(spec.Balancing.N(), int(k), mu)
 	}
 	horizon := spec.MaxRounds
 	if horizon == 0 {
+		if mu <= muZeroTol {
+			// λ₂ = 1 up to the power iteration's numerical floor: the
+			// balancing graph is disconnected and the paper's horizon
+			// T = O(log(Kn)/µ) is undefined (the raw float would inflate T to
+			// ~10¹⁴ rounds). The former code ran a silent 1-round horizon and
+			// reported a near-untouched vector as a completed run.
+			res.Err = fmt.Errorf("analysis: balancing graph %q has spectral gap µ ≈ 0 (disconnected); T is undefined, set MaxRounds explicitly",
+				spec.Balancing.Name())
+			return res, false
+		}
 		horizon = res.BalancingTime
 		if m := spec.HorizonMultiple; m > 1 {
 			horizon *= m
@@ -139,59 +218,216 @@ func prepareResult(spec RunSpec) (res RunResult, ok bool) {
 // the sweep runner (engines reused across specs via Engine.Reset); both
 // produce bit-identical results because a reset engine is equivalent to a
 // fresh one.
+//
+// With spec.Events set the loop becomes the dynamic-workload harness: before
+// each round the schedule's delta is injected through Engine.ApplyDelta and
+// recorded as a Shock, and the discrepancy target — instead of stopping the
+// run — defines when each shock has "recovered". All injections are pure
+// functions of (round, loads), so the dynamic trajectory inherits the
+// engine's bit-identical determinism across worker counts and across the
+// Run/Sweep entry points.
 func runEngine(spec RunSpec, eng *core.Engine, res RunResult) RunResult {
-	best := eng.Discrepancy()
-	lastImprovement := 0
+	target, targetSet := int64(0), false
+	if spec.TargetDiscrepancy != nil {
+		target, targetSet = *spec.TargetDiscrepancy, true
+	}
+	disc := eng.Discrepancy()
+	best := disc
 	res.MinDiscrepancy = best
+	res.FinalDiscrepancy = disc
 	horizon := res.Horizon
 
-	for round := 1; round <= horizon; round++ {
-		if err := eng.Step(); err != nil {
-			res.Err = err
-			res.Rounds = round
-			res.FinalDiscrepancy = eng.Discrepancy()
-			return res
-		}
-		lo, hi := core.Extrema(eng.Loads())
-		disc := hi - lo
-		if spec.SampleEvery > 0 && round%spec.SampleEvery == 0 {
-			res.Series = append(res.Series, Point{Round: round, Discrepancy: disc, Max: hi, Min: lo})
-		}
-		if disc < best {
-			best = disc
-			lastImprovement = round
-		}
-		if spec.TargetDiscrepancy > 0 && disc <= spec.TargetDiscrepancy && !res.ReachedTarget {
-			res.ReachedTarget = true
-			res.TargetRound = round
-			res.Rounds = round
-			res.FinalDiscrepancy = disc
-			res.MinDiscrepancy = best
-			return res
-		}
-		if spec.Patience > 0 && round-lastImprovement >= spec.Patience {
-			res.StoppedEarly = true
-			res.Rounds = round
-			res.FinalDiscrepancy = disc
-			res.MinDiscrepancy = best
+	if targetSet && disc <= target {
+		// The initial vector already meets the target: a time-to-target
+		// measurement is 0 rounds, not "whenever the trajectory next happens
+		// to dip under it".
+		res.ReachedTarget = true
+		res.TargetRound = 0
+		if spec.Events == nil {
+			if spec.SampleEvery > 0 {
+				// The stopping state joins the series here too, so a sampled
+				// spec always produces a (one-point) trajectory.
+				lo, hi := core.Extrema(eng.Loads())
+				res.Series = append(res.Series, Point{Round: 0, Discrepancy: disc, Max: hi, Min: lo})
+			}
 			return res
 		}
 	}
-	res.Rounds = horizon
-	res.FinalDiscrepancy = eng.Discrepancy()
-	res.MinDiscrepancy = best
-	return res
+
+	// patienceBest/lastImprovement drive early stopping; unlike best they
+	// restart at every shock. openFrom indexes the first shock still awaiting
+	// recovery — recoveries close all open shocks at once, so the open ones
+	// always form a suffix of res.Shocks.
+	patienceBest := disc
+	lastImprovement := 0
+	openFrom := 0
+	var delta []int64
+	if spec.Events != nil {
+		delta = make([]int64, spec.Balancing.N())
+	}
+
+	closeShocks := func(round int) {
+		for i := openFrom; i < len(res.Shocks); i++ {
+			res.Shocks[i].RecoveryRound = round
+			res.Shocks[i].RecoveryRounds = round - res.Shocks[i].Round
+		}
+		openFrom = len(res.Shocks)
+	}
+
+	// updatePeaks folds disc into every open shock's peak. Open shocks form
+	// a suffix with nested observation windows, so their peaks are
+	// non-increasing in shock index — walking backward and stopping at the
+	// first peak already ≥ disc updates exactly the shocks that need it,
+	// keeping targetless runs with per-round schedules (arbitrarily many
+	// open shocks) amortized O(1) per round instead of quadratic.
+	updatePeaks := func(disc int64) {
+		for i := len(res.Shocks) - 1; i >= openFrom; i-- {
+			if res.Shocks[i].PeakDiscrepancy >= disc {
+				break
+			}
+			res.Shocks[i].PeakDiscrepancy = disc
+		}
+	}
+
+	// inject applies the schedule's delta after `completed` rounds; it
+	// returns the engine's discrepancy bookkeeping to a consistent state.
+	inject := func(completed int) {
+		for i := range delta {
+			delta[i] = 0
+		}
+		if !spec.Events.DeltaInto(completed, eng.Loads(), delta) {
+			return
+		}
+		var added, removed int64
+		for _, d := range delta {
+			if d > 0 {
+				added += d
+			} else {
+				removed -= d
+			}
+		}
+		if added == 0 && removed == 0 {
+			return
+		}
+		if err := eng.ApplyDelta(delta); err != nil {
+			// Unreachable by construction (delta has N entries), but a
+			// schedule bug must not pass silently.
+			panic(err)
+		}
+		after := eng.Discrepancy()
+		// Shocks can overlap: an injection while earlier shocks are still
+		// unrecovered is part of their observation window, so the
+		// post-injection spike counts toward their peaks too.
+		updatePeaks(after)
+		res.Shocks = append(res.Shocks, Shock{
+			Round: completed, Added: added, Removed: removed,
+			Discrepancy: after, PeakDiscrepancy: after,
+			RecoveryRound: -1, RecoveryRounds: -1,
+		})
+		if after < best {
+			best = after
+			res.MinDiscrepancy = best
+		}
+		patienceBest = after
+		lastImprovement = completed
+		if spec.SampleEvery > 0 {
+			lo, hi := core.Extrema(eng.Loads())
+			res.Series = append(res.Series, Point{
+				Round: completed, Discrepancy: hi - lo, Max: hi, Min: lo,
+				Shock: true, Injected: added - removed,
+			})
+		}
+		if targetSet && after <= target {
+			// The injection itself kept (or restored) the target: the shocks
+			// recover instantly, and a first-ever reach between rounds is
+			// attributed to the round just completed, mirroring the round
+			// loop's bookkeeping.
+			closeShocks(completed)
+			if !res.ReachedTarget {
+				res.ReachedTarget = true
+				res.TargetRound = completed
+			}
+		}
+	}
+
+	// finish records the stopping state, appending the final sample when the
+	// stop fell between sampling points (the interval loop alone would drop
+	// the round that actually stopped the run).
+	finish := func(round int, disc, lo, hi int64, sampled bool) RunResult {
+		res.Rounds = round
+		res.FinalDiscrepancy = disc
+		res.MinDiscrepancy = best
+		if spec.SampleEvery > 0 && !sampled {
+			res.Series = append(res.Series, Point{Round: round, Discrepancy: disc, Max: hi, Min: lo})
+		}
+		return res
+	}
+
+	for round := 1; round <= horizon; round++ {
+		if spec.Events != nil {
+			inject(round - 1)
+		}
+		if err := eng.Step(); err != nil {
+			// The failed round did execute (state is left advanced for
+			// debugging), so its discrepancy joins the bookkeeping like any
+			// other stopping round.
+			res.Err = err
+			lo, hi := core.Extrema(eng.Loads())
+			disc := hi - lo
+			if disc < best {
+				best = disc
+			}
+			return finish(round, disc, lo, hi, false)
+		}
+		lo, hi := core.Extrema(eng.Loads())
+		disc := hi - lo
+		sampled := false
+		if spec.SampleEvery > 0 && round%spec.SampleEvery == 0 {
+			res.Series = append(res.Series, Point{Round: round, Discrepancy: disc, Max: hi, Min: lo})
+			sampled = true
+		}
+		if disc < best {
+			best = disc
+		}
+		if disc < patienceBest {
+			patienceBest = disc
+			lastImprovement = round
+		}
+		updatePeaks(disc)
+		if targetSet && disc <= target {
+			closeShocks(round)
+			if !res.ReachedTarget {
+				res.ReachedTarget = true
+				res.TargetRound = round
+			}
+			if spec.Events == nil {
+				return finish(round, disc, lo, hi, sampled)
+			}
+		}
+		if spec.Patience > 0 && round-lastImprovement >= spec.Patience {
+			res.StoppedEarly = true
+			return finish(round, disc, lo, hi, sampled)
+		}
+	}
+	// Horizon exhausted — the normal exit for every dynamic run (the target
+	// defines recovery, not termination). The final state joins the series
+	// like any other stopping round when it fell mid-interval.
+	lo, hi := core.Extrema(eng.Loads())
+	sampled := spec.SampleEvery <= 0 || horizon < 1 || horizon%spec.SampleEvery == 0
+	return finish(horizon, hi-lo, lo, hi, sampled)
 }
 
 // RunToTarget is a convenience wrapper measuring the first round at which a
-// discrepancy target is hit, with a hard cap.
+// discrepancy target is hit, with a hard cap. A target of 0 (perfect
+// balance) is valid; an input already at or below the target reports
+// TargetRound = 0.
 func RunToTarget(b *graph.Balancing, algo core.Balancer, x1 []int64, target int64, cap int) RunResult {
 	return Run(RunSpec{
 		Balancing:         b,
 		Algorithm:         algo,
 		Initial:           x1,
 		MaxRounds:         cap,
-		TargetDiscrepancy: target,
+		TargetDiscrepancy: &target,
 	})
 }
 

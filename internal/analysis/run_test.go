@@ -70,6 +70,124 @@ func TestRunSampling(t *testing.T) {
 	}
 }
 
+// TestRunTargetAlreadyMet: an input at or below the target is a 0-round
+// time-to-target measurement, not "whenever the trajectory next dips under".
+func TestRunTargetAlreadyMet(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	x1 := workload.Bimodal(16, 10, 14) // K = 4
+	res := RunToTarget(b, balancer.NewSendFloor(), x1, 8, 1000)
+	if !res.ReachedTarget || res.TargetRound != 0 {
+		t.Fatalf("initial vector meets target 8 (K=4): want TargetRound=0, got %+v", res)
+	}
+	if res.Rounds != 0 {
+		t.Fatalf("a 0-round measurement must not step: %d rounds", res.Rounds)
+	}
+	if res.FinalDiscrepancy != 4 || res.MinDiscrepancy != 4 {
+		t.Fatalf("final/min must report the untouched vector: %+v", res)
+	}
+	// With sampling on, the 0-round run still produces a one-point series so
+	// every sampled spec has a trajectory.
+	res = Run(RunSpec{
+		Balancing: b, Algorithm: balancer.NewSendFloor(), Initial: x1,
+		MaxRounds: 1000, TargetDiscrepancy: Target(8), SampleEvery: 5,
+	})
+	if len(res.Series) != 1 || res.Series[0].Round != 0 || res.Series[0].Discrepancy != 4 {
+		t.Fatalf("0-round run series: %+v", res.Series)
+	}
+}
+
+// TestRunTargetZeroIsValid: perfect balance (disc = 0) is a requestable
+// target — the good-s time-to-balance measurement. The old int64 field made
+// 0 indistinguishable from "no target".
+func TestRunTargetZeroIsValid(t *testing.T) {
+	b := graph.Lazy(graph.Complete(8))
+	x1 := workload.Bimodal(8, 10, 18)
+	res := RunToTarget(b, balancer.NewGoodS(2), x1, 0, 10000)
+	if !res.ReachedTarget {
+		t.Fatalf("good-2 on K_8 must reach perfect balance: %+v", res)
+	}
+	if res.FinalDiscrepancy != 0 || res.TargetRound < 1 {
+		t.Fatalf("target-0 bookkeeping: %+v", res)
+	}
+	// And already-balanced input against target 0 is a 0-round run.
+	res = RunToTarget(b, balancer.NewGoodS(2), workload.Uniform(8, 5), 0, 100)
+	if !res.ReachedTarget || res.TargetRound != 0 || res.Rounds != 0 {
+		t.Fatalf("balanced input, target 0: %+v", res)
+	}
+}
+
+// TestRunSeriesRecordsStoppingRound: a patience or target stop that falls
+// between sampling points must still contribute the final point.
+func TestRunSeriesRecordsStoppingRound(t *testing.T) {
+	// Patience stop: balanced input never improves, patience 7 stops at
+	// round 7, mid-interval for SampleEvery 5.
+	b := graph.Lazy(graph.Cycle(16))
+	res := Run(RunSpec{
+		Balancing: b, Algorithm: balancer.NewSendFloor(),
+		Initial:   workload.Uniform(16, 5),
+		MaxRounds: 1000, Patience: 7, SampleEvery: 5,
+	})
+	if !res.StoppedEarly || res.Rounds != 7 {
+		t.Fatalf("setup: %+v", res)
+	}
+	if n := len(res.Series); n != 2 || res.Series[n-1].Round != 7 {
+		t.Fatalf("stopping round missing from series: %+v", res.Series)
+	}
+
+	// Target stop mid-interval: the final point carries the target-meeting
+	// discrepancy.
+	bb := graph.Lazy(graph.Hypercube(5))
+	res = Run(RunSpec{
+		Balancing: bb, Algorithm: balancer.NewRotorRouterStar(),
+		Initial:   workload.PointMass(32, 0, 3205),
+		MaxRounds: 100000, TargetDiscrepancy: Target(12), SampleEvery: 1000,
+	})
+	if !res.ReachedTarget {
+		t.Fatalf("setup: %+v", res)
+	}
+	if n := len(res.Series); n == 0 || res.Series[n-1].Round != res.TargetRound {
+		t.Fatalf("target round missing from series: rounds=%d series=%+v", res.TargetRound, res.Series)
+	}
+	if res.Series[len(res.Series)-1].Discrepancy > 12 {
+		t.Fatalf("final sample above target: %+v", res.Series)
+	}
+	// A stop that lands exactly on a sampling point is not double-recorded.
+	res = Run(RunSpec{
+		Balancing: b, Algorithm: balancer.NewSendFloor(),
+		Initial:   workload.Uniform(16, 5),
+		MaxRounds: 1000, Patience: 10, SampleEvery: 5,
+	})
+	if n := len(res.Series); n != 2 || res.Series[0].Round != 5 || res.Series[1].Round != 10 {
+		t.Fatalf("on-interval stop double-recorded: %+v", res.Series)
+	}
+}
+
+// TestRunDisconnectedGraphErrs: µ = 0 with no explicit MaxRounds used to run
+// a silent 1-round horizon; it must surface as an error instead.
+func TestRunDisconnectedGraphErrs(t *testing.T) {
+	// Two disjoint triangles: 2-regular, disconnected.
+	g, err := graph.New("two-triangles", [][]int{{1, 2}, {0, 2}, {0, 1}, {4, 5}, {3, 5}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.Lazy(g)
+	res := Run(RunSpec{
+		Balancing: b, Algorithm: balancer.NewSendFloor(),
+		Initial: workload.PointMass(6, 0, 60),
+	})
+	if res.Err == nil {
+		t.Fatalf("disconnected graph with default horizon must error, got %+v", res)
+	}
+	// An explicit MaxRounds is an informed request and still runs.
+	res = Run(RunSpec{
+		Balancing: b, Algorithm: balancer.NewSendFloor(),
+		Initial: workload.PointMass(6, 0, 60), MaxRounds: 10,
+	})
+	if res.Err != nil || res.Rounds != 10 {
+		t.Fatalf("explicit cap on disconnected graph: %+v", res)
+	}
+}
+
 func TestRunReportsAuditError(t *testing.T) {
 	b := graph.Lazy(graph.Cycle(8))
 	x1 := workload.Uniform(8, 101)
@@ -157,5 +275,23 @@ func TestWriteReport(t *testing.T) {
 	}
 	if strings.Count(sb.String(), "## one") != 2 {
 		t.Fatal("expected both tables rendered")
+	}
+}
+
+// TestRunSeriesRecordsHorizonEnd: a run exhausting its horizon mid-interval
+// still records its final state — dynamic runs always exit this way, and
+// their JSONL trajectories must end at the run's actual last round.
+func TestRunSeriesRecordsHorizonEnd(t *testing.T) {
+	b := graph.Lazy(graph.Hypercube(4))
+	res := Run(RunSpec{
+		Balancing: b, Algorithm: balancer.NewSendFloor(),
+		Initial:   workload.PointMass(16, 0, 160),
+		MaxRounds: 47, SampleEvery: 10,
+	})
+	if n := len(res.Series); n != 5 || res.Series[n-1].Round != 47 {
+		t.Fatalf("horizon-end round missing from series: %+v", res.Series)
+	}
+	if res.Series[4].Discrepancy != res.FinalDiscrepancy {
+		t.Fatalf("final sample disagrees with FinalDiscrepancy: %+v vs %d", res.Series[4], res.FinalDiscrepancy)
 	}
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -18,6 +19,30 @@ type SweepOptions struct {
 	// result is a pure function of the spec, and scheduling only decides
 	// which runner computes it.
 	Workers int
+	// Progress, when non-nil, is invoked after every spec finishes (including
+	// canceled specs) with the number of finished specs and the total. Calls
+	// are serialized and `done` is monotone, so a callback can drive a
+	// progress bar directly; it runs on a sweep runner goroutine and should
+	// return quickly.
+	Progress func(done, total int)
+}
+
+// sweepProgress serializes Progress callbacks across runner goroutines.
+type sweepProgress struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	fn    func(done, total int)
+}
+
+func (p *sweepProgress) specDone() {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.fn(p.done, p.total)
+	p.mu.Unlock()
 }
 
 // Sweep executes every spec and returns one result per spec, in spec order.
@@ -45,10 +70,23 @@ type SweepOptions struct {
 // at bind time) is reported through its RunResult.Err; the rest of the sweep
 // is unaffected.
 func Sweep(specs []RunSpec, opt SweepOptions) []RunResult {
+	return SweepContext(context.Background(), specs, opt)
+}
+
+// SweepContext is Sweep with cancellation: once ctx is done, every spec not
+// yet started reports the context's error through its RunResult.Err instead
+// of running (specs already in flight finish normally — a spec is the unit of
+// interruption). Long dynamic sweeps should pass a cancelable context and, if
+// they report progress, a SweepOptions.Progress callback.
+func SweepContext(ctx context.Context, specs []RunSpec, opt SweepOptions) []RunResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]RunResult, len(specs))
 	if len(specs) == 0 {
 		return results
 	}
+	prog := &sweepProgress{total: len(specs), fn: opt.Progress}
 
 	// Group spec indices by (balancing, algorithm) identity, preserving
 	// spec order within each group and group discovery order overall.
@@ -77,7 +115,7 @@ func Sweep(specs []RunSpec, opt SweepOptions) []RunResult {
 	}
 	if workers <= 1 {
 		for _, g := range order {
-			runSweepGroup(specs, g.indices, results)
+			runSweepGroup(ctx, specs, g.indices, results, prog)
 		}
 		return results
 	}
@@ -89,7 +127,7 @@ func Sweep(specs []RunSpec, opt SweepOptions) []RunResult {
 		go func() {
 			defer wg.Done()
 			for g := range groups {
-				runSweepGroup(specs, g.indices, results)
+				runSweepGroup(ctx, specs, g.indices, results, prog)
 			}
 		}()
 	}
@@ -123,8 +161,9 @@ func groupKey(spec RunSpec) (sweepKey, bool) {
 }
 
 // runSweepGroup executes one group's specs in order, carrying a reusable
-// engine between compatible specs.
-func runSweepGroup(specs []RunSpec, indices []int, results []RunResult) {
+// engine between compatible specs. A done context short-circuits the
+// remaining specs into cancellation errors.
+func runSweepGroup(ctx context.Context, specs []RunSpec, indices []int, results []RunResult, prog *sweepProgress) {
 	var eng *core.Engine
 	var engWorkers int
 	defer func() {
@@ -133,7 +172,13 @@ func runSweepGroup(specs []RunSpec, indices []int, results []RunResult) {
 		}
 	}()
 	for _, i := range indices {
-		results[i] = runSweepSpec(specs[i], &eng, &engWorkers)
+		if ctx.Err() != nil {
+			results[i] = RunResult{TargetRound: -1,
+				Err: fmt.Errorf("analysis: sweep canceled: %w", context.Cause(ctx))}
+		} else {
+			results[i] = runSweepSpec(specs[i], &eng, &engWorkers)
+		}
+		prog.specDone()
 	}
 }
 

@@ -21,8 +21,19 @@ type Auditor interface {
 	Observe(e *Engine, prevLoads []int64, sends, selfLoops [][]int64) error
 }
 
+// DeltaObserver is an optional Auditor extension for auditors that track
+// cross-round aggregates: Engine.ApplyDelta notifies them of every injected
+// load delta so subsequent rounds are audited against the adjusted state
+// (e.g. the conservation total grows by the injected tokens) rather than
+// misreported as violations.
+type DeltaObserver interface {
+	ObserveDelta(e *Engine, delta []int64)
+}
+
 // ConservationAuditor verifies that the total token count never changes
 // (Section 1.3: "the total load summed over all nodes does not change").
+// Between-round injections via Engine.ApplyDelta adjust the expected total
+// (through DeltaObserver); each Step must still conserve exactly.
 type ConservationAuditor struct {
 	total int64
 	seen  bool
@@ -36,6 +47,17 @@ func (a *ConservationAuditor) Requires() Requirements { return Requirements{} }
 
 // ResetState implements StateResetter: the next run re-latches its total.
 func (a *ConservationAuditor) ResetState() { a.total, a.seen = 0, false }
+
+// ObserveDelta implements DeltaObserver: injected tokens move the expected
+// total.
+func (a *ConservationAuditor) ObserveDelta(_ *Engine, delta []int64) {
+	if !a.seen {
+		return // total not latched yet; the first Observe sees the injected vector
+	}
+	for _, d := range delta {
+		a.total += d
+	}
+}
 
 // Observe implements Auditor.
 func (a *ConservationAuditor) Observe(e *Engine, prevLoads []int64, _, _ [][]int64) error {

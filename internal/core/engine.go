@@ -246,6 +246,29 @@ func (e *Engine) Reset(x1 []int64) error {
 	return nil
 }
 
+// ApplyDelta adds delta (one entry per node) to the current load vector — the
+// dynamic-workload injection hook. It must be called between rounds, never
+// during a Step. The addition is a single serial pass over the n-word vector:
+// it allocates nothing, is bit-identical for every worker count (the worker
+// pool is not involved), and composes with Reset, which overwrites the vector
+// wholesale. Auditors implementing DeltaObserver are notified so cross-round
+// aggregates (the conservation total) account for the injected tokens; per-round
+// invariants are unaffected because Step itself still conserves.
+func (e *Engine) ApplyDelta(delta []int64) error {
+	if len(delta) != e.bal.N() {
+		return fmt.Errorf("core: delta has %d entries for %d nodes", len(delta), e.bal.N())
+	}
+	for i, d := range delta {
+		e.x[i] += d
+	}
+	for _, a := range e.auditors {
+		if obs, ok := a.(DeltaObserver); ok {
+			obs.ObserveDelta(e, delta)
+		}
+	}
+	return nil
+}
+
 // Balancing returns the balancing graph the engine runs on.
 func (e *Engine) Balancing() *graph.Balancing { return e.bal }
 

@@ -120,6 +120,23 @@ func (p *PotentialTracker) ResetState() {
 	p.TotalPhiDrop = 0
 }
 
+// ObserveDelta implements DeltaObserver: a between-round injection moves the
+// potential baseline, so the next round's monotonicity comparison re-latches
+// from the post-injection vector instead of counting the injected jump as a
+// balancer violation (Lemmas 3.5/3.7 bound what a *round* may do to φ, not
+// what the adversary does between rounds).
+func (p *PotentialTracker) ObserveDelta(e *Engine, _ []int64) {
+	if !p.seen {
+		return // first Observe latches from its own prevLoads
+	}
+	dplus := e.Balancing().DegreePlus()
+	loads := e.Loads()
+	for i, c := range p.Cs {
+		p.prevPhi[i] = Phi(loads, c, dplus)
+		p.prevPhiPrime[i] = PhiPrime(loads, c, dplus, p.S)
+	}
+}
+
 // Observe implements Auditor. It never fails the run; violations are counted
 // so property tests can assert on them.
 func (p *PotentialTracker) Observe(e *Engine, prevLoads []int64, _, _ [][]int64) error {

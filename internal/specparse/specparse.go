@@ -119,6 +119,147 @@ func Algo(spec string, b *graph.Balancing) (core.Balancer, error) {
 	}
 }
 
+// Schedule parses a dynamic-workload schedule spec for an n-node graph —
+// the shock shapes of the recovery experiments:
+//
+//	none | burst:ROUND,NODE,AMOUNT | drain:FROM,TO,PERNODE |
+//	periodic:EVERY,NODE,AMOUNT | churn:EVERY,AMOUNT[,SEED] |
+//	refill:ROUND,AMOUNT[,EVERY]
+//
+// Parts joined with "+" compose into one schedule applied in order, e.g.
+// "burst:20,0,4096+drain:30,60,2". "none" (or the empty string) returns a
+// nil Schedule: a static run.
+func Schedule(spec string, n int) (workload.Schedule, error) {
+	parts := strings.Split(spec, "+")
+	var composed workload.Compose
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" || part == "none" {
+			continue
+		}
+		s, err := scheduleOne(part, n)
+		if err != nil {
+			return nil, err
+		}
+		composed = append(composed, s)
+	}
+	switch len(composed) {
+	case 0:
+		return nil, nil
+	case 1:
+		return composed[0], nil
+	default:
+		return composed, nil
+	}
+}
+
+func scheduleOne(spec string, n int) (workload.Schedule, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	args := strings.Split(arg, ",")
+	atoi := func(i int, def int64) (int64, error) {
+		if i >= len(args) || args[i] == "" {
+			return def, nil
+		}
+		v, err := strconv.ParseInt(args[i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("schedule %q: bad argument %q", spec, args[i])
+		}
+		return v, nil
+	}
+	need := func(idxs ...int) ([]int64, error) {
+		out := make([]int64, 0, len(idxs))
+		for _, i := range idxs {
+			if i >= len(args) || args[i] == "" {
+				return nil, fmt.Errorf("schedule %q needs %d arguments", spec, len(idxs))
+			}
+			v, err := atoi(i, 0)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	checkNode := func(node int64) error {
+		if node < 0 || node >= int64(n) {
+			return fmt.Errorf("schedule %q: node %d out of range [0,%d)", spec, node, n)
+		}
+		return nil
+	}
+	// A schedule that can never fire (bad cadence, negative round, empty
+	// window) is almost certainly a typo'd experiment: reject it instead of
+	// silently running a static run labeled as dynamic.
+	cantFire := func(cond bool, why string) error {
+		if cond {
+			return fmt.Errorf("schedule %q can never fire: %s", spec, why)
+		}
+		return nil
+	}
+	switch name {
+	case "burst":
+		v, err := need(0, 1, 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkNode(v[1]); err != nil {
+			return nil, err
+		}
+		if err := cantFire(v[0] < 0 || v[2] == 0, "negative round or zero amount"); err != nil {
+			return nil, err
+		}
+		return workload.Burst{Round: int(v[0]), Node: int(v[1]), Amount: v[2]}, nil
+	case "drain":
+		v, err := need(0, 1, 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := cantFire(v[1] < v[0] || v[2] <= 0, "empty window or non-positive per-node amount"); err != nil {
+			return nil, err
+		}
+		return workload.Drain{From: int(v[0]), To: int(v[1]), PerNode: v[2]}, nil
+	case "periodic":
+		v, err := need(0, 1, 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkNode(v[1]); err != nil {
+			return nil, err
+		}
+		if err := cantFire(v[0] <= 0 || v[2] == 0, "non-positive cadence or zero amount"); err != nil {
+			return nil, err
+		}
+		return workload.Periodic{Every: int(v[0]), Node: int(v[1]), Amount: v[2]}, nil
+	case "churn":
+		v, err := need(0, 1)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := atoi(2, 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := cantFire(v[0] <= 0 || v[1] <= 0, "non-positive cadence or amount"); err != nil {
+			return nil, err
+		}
+		return workload.Churn{Every: int(v[0]), Amount: v[1], Seed: uint64(seed)}, nil
+	case "refill":
+		v, err := need(0, 1)
+		if err != nil {
+			return nil, err
+		}
+		every, err := atoi(2, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := cantFire(v[0] < 0 || every < 0 || v[1] == 0, "negative round or cadence, or zero amount"); err != nil {
+			return nil, err
+		}
+		return workload.Refill{Round: int(v[0]), Amount: v[1], Every: int(every)}, nil
+	default:
+		return nil, fmt.Errorf("unknown schedule %q", name)
+	}
+}
+
 // Workload parses an initial-load spec for an n-node graph:
 //
 //	point:TOTAL | uniform:EACH | bimodal:LO,HI | random:MAX[,SEED] |

@@ -24,6 +24,12 @@ type Sample struct {
 	// silently drop a legitimate φ = 0 from JSONL output and produce ragged
 	// records when PhiThreshold ≥ 0.
 	Phi *int64 `json:"phi,omitempty"`
+	// Shock, when non-nil, marks this sample as a dynamic-workload injection
+	// point: it was recorded immediately after a load delta was applied
+	// between rounds, and carries the net injected token count. The value can
+	// legitimately be 0 (a pure migration such as churn), so presence — the
+	// pointer — is the marker, mirroring Phi.
+	Shock *int64 `json:"shock,omitempty"`
 }
 
 // Recorder is a core.Auditor that snapshots load statistics every Interval
@@ -140,6 +146,23 @@ func WriteSamplesJSONL(w io.Writer, samples []Sample) error {
 		return fmt.Errorf("trace: flush: %w", err)
 	}
 	return nil
+}
+
+// ReadJSONL parses a series previously produced by WriteJSONL or
+// WriteSamplesJSONL, preserving φ values and shock markers exactly — the
+// round-trip partner the recovery experiments re-plot from.
+func ReadJSONL(rd io.Reader) ([]Sample, error) {
+	var out []Sample
+	dec := json.NewDecoder(rd)
+	for i := 0; ; i++ {
+		var s Sample
+		if err := dec.Decode(&s); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode sample %d: %w", i, err)
+		}
+		out = append(out, s)
+	}
 }
 
 // ReadCSV parses a series previously produced by WriteCSV (ignoring any φ

@@ -218,3 +218,63 @@ func TestReadCSVErrors(t *testing.T) {
 		t.Fatalf("header-only input should be fine: %v", err)
 	}
 }
+
+// TestJSONLShockRoundTrip: shock markers — including the legitimate net-0
+// churn marker — survive WriteSamplesJSONL → ReadJSONL bit-exactly.
+func TestJSONLShockRoundTrip(t *testing.T) {
+	shock := int64(4096)
+	churn := int64(0)
+	phi := int64(7)
+	in := []Sample{
+		{Round: 10, Discrepancy: 3, Max: 4, Min: 1},
+		{Round: 20, Discrepancy: 4100, Max: 4101, Min: 1, Shock: &shock},
+		{Round: 25, Discrepancy: 40, Max: 41, Min: 1, Phi: &phi, Shock: &churn},
+		{Round: 30, Discrepancy: 5, Max: 5, Min: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteSamplesJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	if strings.Contains(lines[0], "shock") || !strings.Contains(lines[1], `"shock":4096`) {
+		t.Fatalf("shock emission wrong:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[2], `"shock":0`) {
+		t.Fatalf("net-0 shock marker dropped:\n%s", buf.String())
+	}
+
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Round != in[i].Round || out[i].Discrepancy != in[i].Discrepancy ||
+			out[i].Max != in[i].Max || out[i].Min != in[i].Min {
+			t.Fatalf("sample %d: %+v vs %+v", i, out[i], in[i])
+		}
+		if (out[i].Shock == nil) != (in[i].Shock == nil) {
+			t.Fatalf("sample %d: shock marker presence lost", i)
+		}
+		if in[i].Shock != nil && *out[i].Shock != *in[i].Shock {
+			t.Fatalf("sample %d: shock value %d vs %d", i, *out[i].Shock, *in[i].Shock)
+		}
+		if (out[i].Phi == nil) != (in[i].Phi == nil) {
+			t.Fatalf("sample %d: phi presence lost", i)
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err != nil {
+		t.Fatalf("empty input should be fine: %v", err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"round\":1}\nnot json\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

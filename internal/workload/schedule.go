@@ -1,0 +1,216 @@
+package workload
+
+import "fmt"
+
+// Schedule yields deterministic per-round load deltas for dynamic-workload
+// runs: load that arrives or drains while balancing is in progress. The
+// paper's bound T = O(log(Kn)/µ) describes recovery from a static initial
+// discrepancy; schedules turn the same harness into a self-stabilization
+// testbed — after each injected shock, how fast does the system re-reach its
+// discrepancy target?
+//
+// The harness calls DeltaInto once after every completed round r (including
+// r = 0, before the first round) with the current load vector. An
+// implementation adds its delta into dst — dst arrives zeroed, one entry per
+// node — and reports whether it wrote any entry. Implementations must be pure
+// functions of (round, loads): the engine's bit-identical-across-workers
+// determinism contract extends to dynamic runs, so a schedule must not keep
+// hidden mutable state or draw from a shared RNG (Churn derives its
+// pseudorandomness by hashing the round number instead).
+//
+// Inside a Compose, every schedule sees the same pre-injection loads but a
+// shared accumulating dst; schedules that clamp against available load
+// (Drain, Churn) account for deltas already accumulated this round so a
+// composition never drives a load negative that its parts would not.
+type Schedule interface {
+	DeltaInto(round int, loads []int64, dst []int64) bool
+}
+
+// Burst adds Amount tokens at node Node after round Round completes
+// (Round = 0 injects before the first round) — the canonical one-shot load
+// shock of the recovery experiments. A negative Amount removes load instead,
+// clamped at the node's available load so no schedule drives a load negative
+// (the package invariant shared with Drain and Churn).
+type Burst struct {
+	Round  int
+	Node   int
+	Amount int64
+}
+
+// DeltaInto implements Schedule.
+func (b Burst) DeltaInto(round int, loads []int64, dst []int64) bool {
+	if round != b.Round || b.Amount == 0 {
+		return false
+	}
+	checkNode("burst", b.Node, len(loads))
+	return addClamped(loads, dst, b.Node, b.Amount)
+}
+
+// Drain removes up to PerNode tokens from every node after each completed
+// round in [From, To] (inclusive), clamped so no load goes negative — work
+// completing everywhere while balancing runs.
+type Drain struct {
+	From, To int
+	PerNode  int64
+}
+
+// DeltaInto implements Schedule.
+func (d Drain) DeltaInto(round int, loads []int64, dst []int64) bool {
+	if round < d.From || round > d.To || d.PerNode <= 0 {
+		return false
+	}
+	wrote := false
+	for i, x := range loads {
+		take := d.PerNode
+		if avail := x + dst[i]; avail < take {
+			take = avail
+		}
+		if take > 0 {
+			dst[i] -= take
+			wrote = true
+		}
+	}
+	return wrote
+}
+
+// Periodic adds Amount at node Node after every Every completed rounds
+// (rounds Every, 2·Every, …) — a steady arrival stream that keeps perturbing
+// the system for as long as the run lasts. Like Burst, a negative Amount is a
+// periodic removal clamped at the node's available load.
+type Periodic struct {
+	Every  int
+	Node   int
+	Amount int64
+}
+
+// DeltaInto implements Schedule.
+func (p Periodic) DeltaInto(round int, loads []int64, dst []int64) bool {
+	if p.Every <= 0 || round == 0 || round%p.Every != 0 || p.Amount == 0 {
+		return false
+	}
+	checkNode("periodic", p.Node, len(loads))
+	return addClamped(loads, dst, p.Node, p.Amount)
+}
+
+// Churn moves up to Amount tokens from one pseudorandomly chosen node to
+// another after every Every completed rounds, preserving the total — a
+// deterministic stand-in for load migrating between servers. The node pair is
+// a pure hash of (Seed, round); there is no mutable RNG state, so one Churn
+// value is safe to share across concurrent runs and bit-identical everywhere.
+// The move is clamped at the source's available load so churn never drives a
+// load negative.
+type Churn struct {
+	Every  int
+	Amount int64
+	Seed   uint64
+}
+
+// DeltaInto implements Schedule.
+func (c Churn) DeltaInto(round int, loads []int64, dst []int64) bool {
+	n := len(loads)
+	if c.Every <= 0 || round == 0 || round%c.Every != 0 || c.Amount <= 0 || n < 2 {
+		return false
+	}
+	h := splitmix64(c.Seed ^ uint64(round)*0x9e3779b97f4a7c15)
+	src := int(h % uint64(n))
+	h = splitmix64(h)
+	to := int(h % uint64(n-1))
+	if to >= src {
+		to++
+	}
+	move := c.Amount
+	if avail := loads[src] + dst[src]; avail < move {
+		move = avail
+	}
+	if move <= 0 {
+		return false
+	}
+	dst[src] -= move
+	dst[to] += move
+	return true
+}
+
+// Refill is the adversarial shock: after round Round (and, when Every > 0,
+// every Every rounds thereafter) it adds Amount tokens at the currently
+// most-loaded node (lowest index on ties), restoring a discrepancy of at
+// least Amount no matter how well balanced the system has become. It is the
+// strongest single-node adversary for a given token budget: any other
+// placement raises the maximum by no more than placing everything on the
+// argmax does. A negative Amount removes from the argmax instead, clamped at
+// its available load like every removal in this package.
+type Refill struct {
+	Round  int
+	Every  int
+	Amount int64
+}
+
+// DeltaInto implements Schedule.
+func (r Refill) DeltaInto(round int, loads []int64, dst []int64) bool {
+	if r.Amount == 0 || len(loads) == 0 || round < r.Round {
+		return false
+	}
+	if round != r.Round && (r.Every <= 0 || (round-r.Round)%r.Every != 0) {
+		return false
+	}
+	hi := 0
+	for i, x := range loads {
+		if x > loads[hi] {
+			hi = i
+		}
+	}
+	return addClamped(loads, dst, hi, r.Amount)
+}
+
+// Compose overlays several schedules into one: each round, every non-nil
+// schedule accumulates its delta into the shared vector, in order.
+type Compose []Schedule
+
+// DeltaInto implements Schedule.
+func (c Compose) DeltaInto(round int, loads []int64, dst []int64) bool {
+	wrote := false
+	for _, s := range c {
+		if s != nil && s.DeltaInto(round, loads, dst) {
+			wrote = true
+		}
+	}
+	return wrote
+}
+
+// addClamped accumulates amount into dst[node], clamping a removal at the
+// node's available load (current load plus deltas already accumulated this
+// round) so injected removals never take tokens that do not exist. Reports
+// whether anything was written.
+func addClamped(loads, dst []int64, node int, amount int64) bool {
+	if amount < 0 {
+		avail := loads[node] + dst[node]
+		if avail <= 0 {
+			return false
+		}
+		if -amount > avail {
+			amount = -avail
+		}
+	}
+	dst[node] += amount
+	return true
+}
+
+// checkNode panics with a package-style message on an out-of-range target
+// node; the generic slice bounds error would not name the schedule.
+func checkNode(kind string, node, n int) {
+	if node < 0 || node >= n {
+		panic(fmt.Sprintf("workload: %s node %d out of range [0,%d)", kind, node, n))
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mixer, the
+// standard choice for turning a counter into high-quality pseudorandom bits
+// without any carried state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// deltaAt runs one DeltaInto call against a fresh zeroed dst, returning the
+// delta and the wrote flag.
+func deltaAt(s Schedule, round int, loads []int64) ([]int64, bool) {
+	dst := make([]int64, len(loads))
+	wrote := s.DeltaInto(round, loads, dst)
+	return dst, wrote
+}
+
+func TestBurstFiresOnce(t *testing.T) {
+	b := Burst{Round: 5, Node: 2, Amount: 100}
+	loads := []int64{1, 2, 3, 4}
+	for _, round := range []int{0, 4, 6, 10} {
+		if d, wrote := deltaAt(b, round, loads); wrote {
+			t.Fatalf("round %d: burst fired early/late: %v", round, d)
+		}
+	}
+	d, wrote := deltaAt(b, 5, loads)
+	if !wrote || d[2] != 100 || d[0]+d[1]+d[3] != 0 {
+		t.Fatalf("burst delta = %v (wrote=%v)", d, wrote)
+	}
+}
+
+func TestBurstOutOfRangePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "burst") {
+			t.Fatalf("panic should name the schedule: %v", r)
+		}
+	}()
+	deltaAt(Burst{Round: 0, Node: 4, Amount: 1}, 0, make([]int64, 4))
+}
+
+func TestDrainClampsAtZero(t *testing.T) {
+	d := Drain{From: 2, To: 4, PerNode: 5}
+	loads := []int64{10, 3, 0, -2}
+	if _, wrote := deltaAt(d, 1, loads); wrote {
+		t.Fatal("drain fired outside its window")
+	}
+	got, wrote := deltaAt(d, 3, loads)
+	if !wrote {
+		t.Fatal("drain did not fire inside its window")
+	}
+	want := []int64{-5, -3, 0, 0} // full take, clamped take, nothing, nothing (negative load untouched)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain delta = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBurstNegativeAmountClamps: a removal burst cannot take tokens that do
+// not exist — the package's loads-never-go-negative invariant.
+func TestBurstNegativeAmountClamps(t *testing.T) {
+	loads := []int64{5, 0, 100}
+	d, wrote := deltaAt(Burst{Round: 0, Node: 0, Amount: -50}, 0, loads)
+	if !wrote || d[0] != -5 {
+		t.Fatalf("removal burst must clamp at available load: %v (wrote=%v)", d, wrote)
+	}
+	if _, wrote := deltaAt(Burst{Round: 0, Node: 1, Amount: -50}, 0, loads); wrote {
+		t.Fatal("removal from an empty node must be a no-op")
+	}
+	d, wrote = deltaAt(Periodic{Every: 2, Node: 2, Amount: -30}, 4, loads)
+	if !wrote || d[2] != -30 {
+		t.Fatalf("in-budget periodic removal: %v (wrote=%v)", d, wrote)
+	}
+}
+
+func TestPeriodicCadence(t *testing.T) {
+	p := Periodic{Every: 3, Node: 1, Amount: 7}
+	loads := make([]int64, 4)
+	fired := 0
+	for round := 0; round <= 12; round++ {
+		if d, wrote := deltaAt(p, round, loads); wrote {
+			fired++
+			if round%3 != 0 || round == 0 {
+				t.Fatalf("periodic fired at round %d", round)
+			}
+			if d[1] != 7 {
+				t.Fatalf("delta = %v", d)
+			}
+		}
+	}
+	if fired != 4 { // rounds 3, 6, 9, 12
+		t.Fatalf("fired %d times", fired)
+	}
+}
+
+func TestChurnPreservesTotalAndIsPure(t *testing.T) {
+	c := Churn{Every: 2, Amount: 10, Seed: 42}
+	loads := []int64{20, 3, 0, 50, 7}
+	d1, wrote := deltaAt(c, 4, loads)
+	if !wrote {
+		t.Fatal("churn did not fire")
+	}
+	var sum, moved int64
+	for _, v := range d1 {
+		sum += v
+		if v < 0 {
+			moved -= v
+		}
+	}
+	if sum != 0 {
+		t.Fatalf("churn must preserve the total: delta %v", d1)
+	}
+	if moved == 0 || moved > 10 {
+		t.Fatalf("churn moved %d tokens", moved)
+	}
+	for i, v := range d1 {
+		if loads[i]+v < 0 {
+			t.Fatalf("churn drove node %d negative: %v + %v", i, loads[i], v)
+		}
+	}
+	// Pure function of (round, loads): a second call is bit-identical.
+	d2, _ := deltaAt(c, 4, loads)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("churn must be a pure function of (round, loads)")
+		}
+	}
+	// Different rounds pick different pairs eventually.
+	same := true
+	for round := 6; round <= 20; round += 2 {
+		d, _ := deltaAt(c, round, loads)
+		for i := range d {
+			if d[i] != d1[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("churn pair never varied with the round")
+	}
+}
+
+func TestRefillTargetsArgmax(t *testing.T) {
+	r := Refill{Round: 10, Every: 5, Amount: 100}
+	loads := []int64{3, 9, 9, 1}
+	if _, wrote := deltaAt(r, 9, loads); wrote {
+		t.Fatal("refill fired before its round")
+	}
+	d, wrote := deltaAt(r, 10, loads)
+	if !wrote || d[1] != 100 { // argmax with lowest index on ties
+		t.Fatalf("refill delta = %v (wrote=%v)", d, wrote)
+	}
+	if _, wrote := deltaAt(r, 12, loads); wrote {
+		t.Fatal("refill fired off its cadence")
+	}
+	if d, wrote := deltaAt(r, 15, loads); !wrote || d[1] != 100 {
+		t.Fatalf("refill must repeat every 5 rounds: %v (wrote=%v)", d, wrote)
+	}
+	// One-shot form.
+	once := Refill{Round: 3, Amount: 10}
+	if _, wrote := deltaAt(once, 6, loads); wrote {
+		t.Fatal("Every=0 refill must fire exactly once")
+	}
+}
+
+// TestRefillNegativeAmountClamps: a removal refill obeys the same
+// never-go-negative invariant as every other removal.
+func TestRefillNegativeAmountClamps(t *testing.T) {
+	loads := []int64{3, 9, 2}
+	d, wrote := deltaAt(Refill{Round: 0, Amount: -100}, 0, loads)
+	if !wrote || d[1] != -9 {
+		t.Fatalf("removal refill must clamp at the argmax's load: %v (wrote=%v)", d, wrote)
+	}
+}
+
+func TestComposeAccumulatesAndClamps(t *testing.T) {
+	s := Compose{
+		Burst{Round: 2, Node: 0, Amount: 4},
+		nil,
+		Drain{From: 0, To: 100, PerNode: 8},
+	}
+	loads := []int64{5, 2}
+	d, wrote := deltaAt(s, 2, loads)
+	if !wrote {
+		t.Fatal("compose did not fire")
+	}
+	// Burst first: node 0 has 5+4=9 available, drain takes 8 → net -4;
+	// node 1 has 2, drain takes 2 → -2. Nothing goes negative.
+	if d[0] != -4 || d[1] != -2 {
+		t.Fatalf("compose delta = %v", d)
+	}
+	for i := range loads {
+		if loads[i]+d[i] < 0 {
+			t.Fatalf("compose drove node %d negative", i)
+		}
+	}
+	if _, wrote := deltaAt(Compose{}, 2, loads); wrote {
+		t.Fatal("empty compose wrote")
+	}
+}

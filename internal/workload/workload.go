@@ -31,7 +31,8 @@ func Uniform(n int, each int64) []int64 {
 }
 
 // Bimodal loads the first half of the nodes with hi and the rest with lo
-// (K = hi − lo).
+// (K = |hi − lo|; the arguments are not reordered, so a caller passing
+// lo > hi gets the smaller load on the first half).
 func Bimodal(n int, lo, hi int64) []int64 {
 	x := make([]int64, n)
 	for i := range x {
@@ -44,12 +45,21 @@ func Bimodal(n int, lo, hi int64) []int64 {
 	return x
 }
 
-// Random draws each node's load uniformly from [0, max], seeded.
+// Random draws each node's load uniformly from [0, max], seeded. max must be
+// non-negative; max = math.MaxInt64 is valid (the full non-negative range)
+// even though max+1 would overflow.
 func Random(n int, max int64, seed int64) []int64 {
+	if max < 0 {
+		panic(fmt.Sprintf("workload: random max must be ≥ 0, got %d", max))
+	}
 	rng := rand.New(rand.NewSource(seed))
 	x := make([]int64, n)
 	for i := range x {
-		x[i] = rng.Int63n(max + 1)
+		if max == math.MaxInt64 {
+			x[i] = rng.Int63()
+		} else {
+			x[i] = rng.Int63n(max + 1)
+		}
 	}
 	return x
 }

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -66,6 +68,48 @@ func TestRandomSeeded(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different seeds should differ")
+	}
+}
+
+// TestRandomRejectsNegativeMax: a negative max used to reach rand.Int63n and
+// panic deep in math/rand with an opaque message; the panic must now name the
+// package and the offending value.
+func TestRandomRejectsNegativeMax(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "workload") || !strings.Contains(msg, "-3") {
+			t.Fatalf("panic message should name the package and value: %v", r)
+		}
+	}()
+	Random(4, -3, 1)
+}
+
+// TestRandomMaxInt64: max+1 used to overflow to math.MinInt64 and panic; the
+// full non-negative range is a legal request.
+func TestRandomMaxInt64(t *testing.T) {
+	x := Random(64, math.MaxInt64, 7)
+	for _, v := range x {
+		if v < 0 {
+			t.Fatalf("negative draw: %d", v)
+		}
+	}
+	y := Random(64, math.MaxInt64, 7)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+func TestRandomMaxZero(t *testing.T) {
+	for _, v := range Random(8, 0, 1) {
+		if v != 0 {
+			t.Fatalf("max=0 must give all-zero loads, got %d", v)
+		}
 	}
 }
 

@@ -3,12 +3,14 @@
 #
 # Records two files at the repo root:
 #
-#   BENCH_step.json  — the BenchmarkStep* hot-path benchmarks plus the
-#                      spectral power iteration;
-#   BENCH_sweep.json — the BenchmarkSweep100* harness benchmarks (concurrent
-#                      sweep vs the serial analysis.Run loop, warm and cold
-#                      gap cache), whose runs/sec and allocs/op columns are
-#                      the sweep subsystem's acceptance numbers.
+#   BENCH_step.json    — the BenchmarkStep* hot-path benchmarks plus the
+#                        spectral power iteration;
+#   BENCH_sweep.json   — the BenchmarkSweep100* harness benchmarks (concurrent
+#                        sweep vs the serial analysis.Run loop, warm and cold
+#                        gap cache), whose runs/sec and allocs/op columns are
+#                        the sweep subsystem's acceptance numbers;
+#   BENCH_dynamic.json — the BenchmarkDynamic* shocked-run benchmarks (dynamic
+#                        harness vs its static baseline, plus a shocked sweep).
 #
 # Each run uses -benchmem -count=$COUNT. The "baseline" section of an
 # existing output file is preserved across runs so future PRs always compare
@@ -91,3 +93,6 @@ record 'BenchmarkStep|BenchmarkSpectralGap' BENCH_step.json \
 
 record 'BenchmarkSweep100' BENCH_sweep.json \
   "100-spec sweep acceptance numbers: Sweep100 is the concurrent harness (engines reused, gap memoized); SerialColdGap is the pre-sweep equivalent loop (gap recomputed per run, fresh engine per run); SerialWarmGap isolates engine reuse + scheduling. allocs_op is per 100 runs."
+
+record 'BenchmarkDynamic' BENCH_dynamic.json \
+  "shocked-run numbers: ShockedRun is one 128-round dynamic run (burst + periodic refill + churn, recovery-tracked); StaticBaseline is the same instance without a schedule — the dynamic-harness overhead denominator; DynamicSweep25 pushes 25 shocked specs through the concurrent sweep."
