@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"detlb/internal/analysis"
+	"detlb/internal/scenario"
 )
 
 func main() {
@@ -21,13 +22,11 @@ func main() {
 }
 
 func run() int {
-	quick := flag.Bool("quick", false, "use small instances (CI-sized)")
-	workers := flag.Int("workers", 0, "engine worker goroutines (0 = serial)")
-	seed := flag.Int64("seed", 1, "seed for randomized components")
+	config := scenario.ExperimentFlags(flag.CommandLine)
 	only := flag.String("only", "", "run a single experiment id (E1..E11, EXT, EXT2, ABL1, ABL2)")
 	flag.Parse()
 
-	cfg := analysis.Config{Quick: *quick, Workers: *workers, Seed: *seed}
+	cfg := config()
 
 	type exp struct {
 		id  string

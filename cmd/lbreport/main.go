@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"detlb/internal/analysis"
+	"detlb/internal/scenario"
 )
 
 func main() {
@@ -20,13 +21,11 @@ func main() {
 }
 
 func run() int {
-	quick := flag.Bool("quick", false, "use small instances")
-	workers := flag.Int("workers", 0, "engine worker goroutines")
-	seed := flag.Int64("seed", 1, "seed for randomized components")
+	config := scenario.ExperimentFlags(flag.CommandLine)
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	cfg := analysis.Config{Quick: *quick, Workers: *workers, Seed: *seed}
+	cfg := config()
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -38,7 +37,7 @@ func run() int {
 		w = f
 	}
 	title := "detlb experiment report (full size)"
-	if *quick {
+	if cfg.Quick {
 		title = "detlb experiment report (quick size)"
 	}
 	if err := analysis.WriteReport(w, title, analysis.AllExperiments(cfg)); err != nil {

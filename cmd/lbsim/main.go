@@ -6,7 +6,15 @@
 //
 //	lbsim -graph cycle:64 -algo rotor-router -workload point:512 \
 //	      -rounds 0 -loops -1 -sample 100 [-audit] [-workers 4] \
-//	      [-events burst:40,0,2048] [-target -1]
+//	      [-events burst:40,0,2048] [-target -1] \
+//	      [-scenario run.json] [-emit-scenario run.json]
+//
+// -scenario loads the run from a scenario JSON file (a single-cell family;
+// see docs/scenarios.md) instead of the spec flags; -emit-scenario snapshots
+// the resolved flag combination — every default and seed materialized — to a
+// file, so the exact run can be re-executed bit-identically with -scenario.
+// Output-side flags (-audit, -csv, -orbit) are not part of a scenario and
+// compose with both.
 //
 // -events injects load mid-run (burst:ROUND,NODE,AMOUNT | drain:FROM,TO,PERNODE |
 // periodic:EVERY,NODE,AMOUNT | churn:EVERY,AMOUNT[,SEED] |
@@ -39,8 +47,7 @@ import (
 
 	"detlb/internal/analysis"
 	"detlb/internal/core"
-	"detlb/internal/graph"
-	"detlb/internal/specparse"
+	"detlb/internal/scenario"
 	"detlb/internal/spectral"
 	"detlb/internal/trace"
 	"detlb/internal/workload"
@@ -61,34 +68,42 @@ func run() int {
 	workers := flag.Int("workers", 0, "engine worker goroutines")
 	events := flag.String("events", "", "dynamic-workload schedule (empty = static run)")
 	target := flag.Int64("target", -1, "discrepancy target (-1 = none; ≥ 0 stops static runs, defines dynamic recovery)")
+	scenarioPath := flag.String("scenario", "", "load the run from this scenario JSON file (spec flags are ignored)")
+	emitPath := flag.String("emit-scenario", "", "write the resolved run as a scenario JSON file (re-runnable via -scenario)")
 	csvPath := flag.String("csv", "", "write the sampled discrepancy series to this CSV file")
 	orbit := flag.Bool("orbit", false, "after the run, detect the process's eventual load cycle")
 	flag.Parse()
 
-	g, err := parseGraph(*graphSpec)
+	cell, fam, err := buildScenario(*scenarioPath, *graphSpec, *algoSpec, *loadSpec, *events,
+		*loops, *rounds, *workers, *sample, *target)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		return 2
 	}
-	selfLoops := *loops
-	if selfLoops < 0 {
-		selfLoops = g.Degree()
+	if *scenarioPath != "" {
+		scenario.WarnOverriddenFlags("lbsim", flag.CommandLine,
+			"graph", "algo", "workload", "events", "loops", "rounds", "workers", "sample", "target")
 	}
-	b, err := graph.NewBalancing(g, selfLoops)
+	spec, err := cell.Bind()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		return 2
 	}
-	algo, err := parseAlgo(*algoSpec, b)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lbsim:", err)
-		return 2
+	if *emitPath != "" {
+		// Emit only after the cell bound: a snapshot that cannot be re-run
+		// via -scenario must never reach disk. fam is the loaded family when
+		// -scenario was given, so load → re-emit is byte-identical.
+		if err := fam.WriteFile(*emitPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			return 1
+		}
+		fmt.Printf("wrote scenario to %s\n", *emitPath)
 	}
-	x1, err := parseWorkload(*loadSpec, g.N())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lbsim:", err)
-		return 2
-	}
+	b := spec.Balancing
+	g := b.Graph()
+	algo := spec.Algorithm
+	x1 := spec.Initial
+	schedule := spec.Events
 
 	mu := spectral.Gap(b)
 	k := core.Discrepancy(x1)
@@ -97,42 +112,22 @@ func run() int {
 	fmt.Printf("algo=%s workload K=%d total=%d\n", algo.Name(), k, workload.Total(x1))
 
 	var fair *core.CumulativeFairnessAuditor
-	var auditors []core.Auditor
 	var rec *trace.Recorder
 	if *csvPath != "" {
-		interval := *sample
+		interval := spec.SampleEvery
 		if interval <= 0 {
 			interval = 1
 		}
 		rec = trace.NewRecorder(interval)
-		auditors = append(auditors, rec)
+		spec.Auditors = append(spec.Auditors, rec)
 	}
 	if *audit {
 		fair = core.NewCumulativeFairnessAuditor(-1)
-		auditors = append(auditors,
+		spec.Auditors = append(spec.Auditors,
 			core.NewConservationAuditor(),
 			core.NewMinShareAuditor(),
 			fair,
 		)
-	}
-	schedule, err := specparse.Schedule(*events, g.N())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lbsim:", err)
-		return 2
-	}
-	spec := analysis.RunSpec{
-		Balancing:   b,
-		Algorithm:   algo,
-		Initial:     x1,
-		MaxRounds:   *rounds,
-		Patience:    16 * g.N(),
-		Workers:     *workers,
-		Auditors:    auditors,
-		SampleEvery: *sample,
-		Events:      schedule,
-	}
-	if *target >= 0 {
-		spec.TargetDiscrepancy = analysis.Target(*target)
 	}
 	res := analysis.Run(spec)
 	for _, p := range res.Series {
@@ -154,7 +149,7 @@ func run() int {
 			i+1, s.Round, s.Added, s.Removed, s.Discrepancy, s.PeakDiscrepancy, recov)
 	}
 	if res.ReachedTarget {
-		fmt.Printf("target %d reached at round %d\n", *target, res.TargetRound)
+		fmt.Printf("target %d reached at round %d\n", *spec.TargetDiscrepancy, res.TargetRound)
 	}
 	if fair != nil {
 		fmt.Printf("measured cumulative fairness δ = %d\n", fair.MaxDelta)
@@ -171,6 +166,14 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("wrote %d samples to %s\n", len(rec.Samples()), *csvPath)
+	}
+	if res.Err != nil {
+		// Audit failures and spec-level errors (e.g. a balancer that rejects
+		// the graph configuration, a disconnected graph with the default
+		// horizon) surface here — before orbit detection, which would bind
+		// the same broken spec again outside the harness's panic containment.
+		fmt.Fprintln(os.Stderr, "lbsim:", res.Err)
+		return 1
 	}
 	if *orbit {
 		if schedule != nil {
@@ -194,22 +197,63 @@ func run() int {
 				o.Period, o.Preperiod, o.MinDiscrepancy, o.MaxDiscrepancy)
 		}
 	}
-	if res.Err != nil {
-		// Audit failures and spec-level errors (e.g. a disconnected graph
-		// with the default horizon) both surface here.
-		fmt.Fprintln(os.Stderr, "lbsim:", res.Err)
-		return 1
-	}
 	return 0
 }
 
-// The spec mini-language lives in internal/specparse (shared with lbsweep);
-// these wrappers keep lbsim's historical function names.
-
-func parseGraph(spec string) (*graph.Graph, error) { return specparse.Graph(spec) }
-
-func parseAlgo(spec string, b *graph.Balancing) (core.Balancer, error) {
-	return specparse.Algo(spec, b)
+// buildScenario resolves the run description: from a scenario file when path
+// is set (the file must describe exactly one run), from the spec flags
+// otherwise — materializing every default, including lbsim's graph-sized
+// patience, so -emit-scenario snapshots are fully explicit. The returned
+// family is what -emit-scenario writes: the loaded one when a file was
+// given (so load → re-emit is byte-identical), the cell's singleton family
+// otherwise.
+func buildScenario(path, graphSpec, algoSpec, loadSpec, events string,
+	loops, rounds, workers, sample int, target int64) (scenario.Scenario, *scenario.Family, error) {
+	if path != "" {
+		fam, err := scenario.LoadFile(path)
+		if err != nil {
+			return scenario.Scenario{}, nil, err
+		}
+		cells := fam.Scenarios()
+		if len(cells) != 1 {
+			return scenario.Scenario{}, nil, fmt.Errorf("%s describes %d runs; lbsim runs exactly one (use lbsweep for families)", path, len(cells))
+		}
+		return cells[0], fam, nil
+	}
+	gs, err := scenario.ParseGraph(graphSpec)
+	if err != nil {
+		return scenario.Scenario{}, nil, err
+	}
+	if loops >= 0 {
+		gs.SelfLoops = &loops
+	}
+	as, err := scenario.ParseAlgo(algoSpec)
+	if err != nil {
+		return scenario.Scenario{}, nil, err
+	}
+	ws, err := scenario.ParseWorkload(loadSpec)
+	if err != nil {
+		return scenario.Scenario{}, nil, err
+	}
+	ss, err := scenario.ParseSchedule(events)
+	if err != nil {
+		return scenario.Scenario{}, nil, err
+	}
+	n, err := gs.Nodes()
+	if err != nil {
+		return scenario.Scenario{}, nil, err
+	}
+	cell := scenario.Scenario{
+		Graph: gs, Algo: as, Workload: ws, Schedule: ss,
+		Run: scenario.RunParams{
+			Rounds:      rounds,
+			Patience:    16 * n,
+			Workers:     workers,
+			SampleEvery: sample,
+		},
+	}
+	if target >= 0 {
+		cell.Run.Target = &target
+	}
+	return cell, cell.Family(), nil
 }
-
-func parseWorkload(spec string, n int) ([]int64, error) { return specparse.Workload(spec, n) }

@@ -1,10 +1,28 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 
+	"detlb/internal/analysis"
+	"detlb/internal/core"
 	"detlb/internal/graph"
+	"detlb/internal/specparse"
 )
+
+// The spec mini-language lives in internal/scenario (shared with lbsweep and
+// the JSON scenario files); these wrappers keep the historical names of
+// lbsim's parsers, which the CLI now reaches through buildScenario.
+
+func parseGraph(spec string) (*graph.Graph, error) { return specparse.Graph(spec) }
+
+func parseAlgo(spec string, b *graph.Balancing) (core.Balancer, error) {
+	return specparse.Algo(spec, b)
+}
+
+func parseWorkload(spec string, n int) ([]int64, error) { return specparse.Workload(spec, n) }
 
 func TestParseGraphVariants(t *testing.T) {
 	cases := []struct {
@@ -65,6 +83,85 @@ func TestParseAlgoRejects(t *testing.T) {
 	}
 	if _, err := parseAlgo("good:x", b); err == nil {
 		t.Fatal("expected good:S parse error")
+	}
+}
+
+// TestScenarioEmitLoadRoundTrip: the flag combination resolves to a scenario
+// cell whose emitted file loads back to the identical cell, and the re-run is
+// bit-identical — lbsim's half of the acceptance criterion.
+func TestScenarioEmitLoadRoundTrip(t *testing.T) {
+	cell, _, err := buildScenario("", "hypercube:4", "rotor-router", "point:160",
+		"burst:10,0,512", -1, 80, 0, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Run.Patience != 16*16 {
+		t.Fatalf("lbsim's graph-sized patience must be materialized, got %d", cell.Run.Patience)
+	}
+	if cell.Run.Target == nil || *cell.Run.Target != 8 {
+		t.Fatalf("target not materialized: %v", cell.Run.Target)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := cell.Family().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, loadedFam, err := buildScenario(path, "", "", "", "", -1, 0, 0, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cell, loaded) {
+		t.Fatalf("loaded cell differs:\n%+v\n%+v", cell, loaded)
+	}
+	// Re-emitting a loaded scenario writes the loaded family back, so a
+	// load → emit cycle is byte-identical.
+	path2 := filepath.Join(t.TempDir(), "again.json")
+	if err := loadedFam.WriteFile(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("re-emitted scenario not byte-identical:\n%s\n---\n%s", b1, b2)
+	}
+
+	spec1, err := cell.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := loaded.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, res2 := analysis.Run(spec1), analysis.Run(spec2)
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("re-run not bit-identical:\n%+v\n%+v", res1, res2)
+	}
+	if len(res1.Shocks) != 1 || len(res1.Series) == 0 {
+		t.Fatalf("expected a shocked, sampled run: %+v", res1)
+	}
+}
+
+// A multi-run family is lbsweep's business, not lbsim's.
+func TestScenarioRejectsFamilies(t *testing.T) {
+	cell, _, err := buildScenario("", "cycle:8", "send-floor", "point:64", "", -1, 10, 0, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := cell.Family()
+	fam.Algos = append(fam.Algos, fam.Algos[0])
+	path := filepath.Join(t.TempDir(), "family.json")
+	if err := fam.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := buildScenario(path, "", "", "", "", -1, 0, 0, 0, -1); err == nil {
+		t.Fatal("lbsim should refuse a 2-run family")
 	}
 }
 

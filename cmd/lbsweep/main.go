@@ -12,14 +12,23 @@
 //	        [-schedules "none;burst:40,0,2048;refill:40,1024,40"] \
 //	        [-target -1] [-rounds 0] [-loops -1] [-patience 0] [-sample 0] \
 //	        [-workers 0] [-sweep-workers 0] [-progress] \
+//	        [-scenario family.json] [-emit-scenario family.json] \
+//	        [-preset shock-recovery] [-list-presets] \
 //	        [-csv rows.csv] [-json sweep.json] [-series DIR]
 //
-// Spec lists are semicolon-separated; the mini-language is lbsim's (see
-// internal/specparse). -rounds 0 uses the paper's horizon T = ⌈16·ln(nK)/µ⌉
+// Spec lists are semicolon-separated; the mini-language is lbsim's (the
+// grammar lives in internal/scenario, shared by the flags and the JSON
+// scenario files). -rounds 0 uses the paper's horizon T = ⌈16·ln(nK)/µ⌉
 // per instance; -loops -1 uses d° = d. -sweep-workers bounds the concurrent
 // (graph, algorithm) groups; results are bit-identical for every value.
 // -series writes one JSONL trajectory file per sampled spec via
 // internal/trace (dynamic runs carry shock markers).
+//
+// -scenario loads the whole family from a scenario JSON file and -preset
+// runs a named preset (-list-presets shows the catalog); either replaces the
+// spec-list and run flags entirely. -emit-scenario snapshots the resolved
+// family — every default and seed materialized — so any flag combination can
+// be saved, diffed, and re-run bit-identically (see docs/scenarios.md).
 //
 // -schedules makes runs dynamic: each schedule injects load between rounds
 // (burst:ROUND,NODE,AMOUNT | drain:FROM,TO,PERNODE | periodic:EVERY,NODE,AMOUNT |
@@ -40,12 +49,10 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
-	"strings"
 	"time"
 
 	"detlb/internal/analysis"
-	"detlb/internal/graph"
-	"detlb/internal/specparse"
+	"detlb/internal/scenario"
 	"detlb/internal/stats"
 	"detlb/internal/trace"
 )
@@ -125,6 +132,10 @@ func run(args []string, stdout io.Writer) int {
 	workers := fs.Int("workers", 0, "engine worker goroutines per run")
 	sweepWorkers := fs.Int("sweep-workers", 0, "concurrent sweep groups (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "report sweep progress to stderr as specs finish")
+	scenarioPath := fs.String("scenario", "", "load the sweep family from this scenario JSON file (spec-list and run flags are ignored)")
+	emitPath := fs.String("emit-scenario", "", "write the resolved family as a scenario JSON file (re-runnable via -scenario)")
+	presetName := fs.String("preset", "", "run a named preset family (see -list-presets)")
+	listPresets := fs.Bool("list-presets", false, "list the preset catalog and exit")
 	csvPath := fs.String("csv", "", "write per-spec rows to this CSV file")
 	jsonPath := fs.String("json", "", "write rows + aggregates to this JSON file")
 	seriesDir := fs.String("series", "", "write one JSONL trajectory per sampled spec into this directory")
@@ -132,67 +143,87 @@ func run(args []string, stdout io.Writer) int {
 		return 2
 	}
 
-	type meta struct{ graphName, algoSpec, workloadSpec, scheduleSpec string }
-	var specs []analysis.RunSpec
-	var metas []meta
-	for _, gs := range splitList(*graphsFlag) {
-		g, err := specparse.Graph(gs)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbsweep:", err)
-			return 2
+	if *listPresets {
+		for _, name := range scenario.PresetNames() {
+			fmt.Fprintf(stdout, "%-24s %s\n", name, scenario.PresetDescription(name))
 		}
-		selfLoops := *loops
-		if selfLoops < 0 {
-			selfLoops = g.Degree()
-		}
-		b, err := graph.NewBalancing(g, selfLoops)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbsweep:", err)
-			return 2
-		}
-		for _, as := range splitList(*algosFlag) {
-			// One algorithm instance per (graph, algo) pair: the sweep
-			// groups on it for engine reuse, and instance-stateful
-			// algorithms are never shared across graphs.
-			algo, err := specparse.Algo(as, b)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "lbsweep:", err)
-				return 2
+		return 0
+	}
+
+	// Resolve the family: a scenario file or preset replaces the spec-list
+	// and run flags entirely; otherwise the flags are parsed into the same
+	// descriptor layer (one grammar, two front-ends).
+	if *scenarioPath != "" && *presetName != "" {
+		fmt.Fprintln(os.Stderr, "lbsweep: -scenario and -preset both describe the whole sweep; pass exactly one")
+		return 2
+	}
+	var fam *scenario.Family
+	var err error
+	switch {
+	case *scenarioPath != "":
+		fam, err = scenario.LoadFile(*scenarioPath)
+	case *presetName != "":
+		fam, err = scenario.Preset(*presetName)
+	default:
+		fam, err = scenario.ParseFamily(*graphsFlag, *algosFlag, *workloadsFlag, *schedulesFlag)
+		if err == nil {
+			fam.Run = scenario.RunParams{
+				Rounds:      *rounds,
+				Patience:    *patience,
+				Workers:     *workers,
+				SampleEvery: *sample,
 			}
-			for _, ws := range splitList(*workloadsFlag) {
-				x1, err := specparse.Workload(ws, g.N())
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "lbsweep:", err)
-					return 2
-				}
-				for _, ss := range splitList(*schedulesFlag) {
-					events, err := specparse.Schedule(ss, g.N())
-					if err != nil {
-						fmt.Fprintln(os.Stderr, "lbsweep:", err)
-						return 2
-					}
-					spec := analysis.RunSpec{
-						Balancing:   b,
-						Algorithm:   algo,
-						Initial:     x1,
-						MaxRounds:   *rounds,
-						Patience:    *patience,
-						Workers:     *workers,
-						SampleEvery: *sample,
-						Events:      events,
-					}
-					if *target >= 0 {
-						spec.TargetDiscrepancy = analysis.Target(*target)
-					}
-					specs = append(specs, spec)
-					metas = append(metas, meta{graphName: b.Name(), algoSpec: as, workloadSpec: ws, scheduleSpec: ss})
+			if *target >= 0 {
+				fam.Run.Target = target
+			}
+			if *loops >= 0 {
+				for i := range fam.Graphs {
+					fam.Graphs[i].SelfLoops = loops
 				}
 			}
 		}
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsweep:", err)
+		return 2
+	}
+	if *scenarioPath != "" || *presetName != "" {
+		// The scenario file or preset is the whole description: explicitly
+		// set spec-list/run flags would silently vanish otherwise.
+		scenario.WarnOverriddenFlags("lbsweep", fs,
+			"graphs", "algos", "workloads", "schedules",
+			"target", "rounds", "loops", "patience", "sample", "workers")
+	}
+
+	specs, cells, err := fam.Bind()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsweep:", err)
+		return 2
+	}
 	if len(specs) == 0 {
 		fmt.Fprintln(os.Stderr, "lbsweep: empty sweep (no graphs, algorithms, or workloads)")
 		return 2
+	}
+	if *emitPath != "" {
+		if err := fam.WriteFile(*emitPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsweep:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote scenario to %s\n", *emitPath)
+	}
+
+	// Row labels are the canonical descriptor strings — defaults and seeds
+	// materialized ("rand-extra" reports as "rand-extra:1") — so every label
+	// identifies its run unambiguously and matches the emitted scenario.
+	type meta struct{ graphName, algoSpec, workloadSpec, scheduleSpec string }
+	metas := make([]meta, len(specs))
+	for i := range specs {
+		metas[i] = meta{
+			graphName:    specs[i].Balancing.Name(),
+			algoSpec:     cells[i].Algo.String(),
+			workloadSpec: cells[i].Workload.String(),
+			scheduleSpec: cells[i].Schedule.String(),
+		}
 	}
 
 	opts := analysis.SweepOptions{Workers: *sweepWorkers}
@@ -326,16 +357,6 @@ func run(args []string, stdout io.Writer) int {
 		return 1
 	}
 	return 0
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ";") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
 }
 
 // aggregateRows groups rows by (graph, algo) in first-seen order and

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -180,6 +181,105 @@ func TestSweepDynamicSchedules(t *testing.T) {
 	}
 	if marks != 1 {
 		t.Fatalf("expected 1 shock marker, got %d in %+v", marks, samples)
+	}
+}
+
+// TestSweepScenarioRoundTrip: any flag combination snapshots to a scenario
+// file via -emit-scenario, re-runs bit-identically when loaded back via
+// -scenario, and re-emits byte-identically — the acceptance criterion of the
+// scenario redesign.
+func TestSweepScenarioRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1 := filepath.Join(dir, "s1.json")
+	s2 := filepath.Join(dir, "s2.json")
+	j1 := filepath.Join(dir, "r1.json")
+	j2 := filepath.Join(dir, "r2.json")
+
+	flags := []string{
+		"-graphs", "hypercube:4;random:32,4", // random's default seed must be materialized
+		"-algos", "rotor-router;send-floor",
+		"-workloads", "point:160",
+		"-schedules", "none;burst:10,0,512+churn:6,32",
+		"-target", "8",
+		"-rounds", "60",
+		"-sample", "7",
+	}
+	var out strings.Builder
+	if code := run(append(flags, "-emit-scenario", s1, "-json", j1), &out); code != 0 {
+		t.Fatalf("flag run exit %d:\n%s", code, out.String())
+	}
+	var out2 strings.Builder
+	if code := run([]string{"-scenario", s1, "-emit-scenario", s2, "-json", j2}, &out2); code != 0 {
+		t.Fatalf("scenario run exit %d:\n%s", code, out2.String())
+	}
+
+	b1, err := os.ReadFile(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("re-emitted scenario is not byte-identical:\n%s\n---\n%s", b1, b2)
+	}
+	// The emitted file materializes the random graph's default seed.
+	if !strings.Contains(string(b1), "[\n        32,\n        4,\n        1\n      ]") {
+		t.Fatalf("default seed not materialized in scenario:\n%s", b1)
+	}
+
+	// The per-spec rows — including recovery metrics — must be identical;
+	// only the timing header may differ.
+	readRows := func(path string) any {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var report map[string]any
+		if err := json.Unmarshal(raw, &report); err != nil {
+			t.Fatal(err)
+		}
+		return []any{report["rows"], report["aggregates"]}
+	}
+	r1, r2 := readRows(j1), readRows(j2)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("scenario re-run is not bit-identical to the flag run:\n%v\n%v", r1, r2)
+	}
+}
+
+func TestSweepPreset(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-list-presets"}, &out); code != 0 {
+		t.Fatalf("-list-presets exit %d", code)
+	}
+	if !strings.Contains(out.String(), "shock-recovery") {
+		t.Fatalf("catalog missing shock-recovery:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-preset", "shock-recovery"}, &out); code != 0 {
+		t.Fatalf("preset run exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "12 specs") {
+		t.Fatalf("shock-recovery should sweep 12 specs (2×2×1×3):\n%s", out.String())
+	}
+	if code := run([]string{"-preset", "no-such"}, &out); code != 2 {
+		t.Fatalf("unknown preset should exit 2, got %d", code)
+	}
+}
+
+func TestSweepRejectsBadScenarioFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"graphs":[{"kind":"dodecahedron"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if code := run([]string{"-scenario", path}, &out); code != 2 {
+		t.Fatalf("bad scenario file should exit 2, got %d", code)
+	}
+	if code := run([]string{"-scenario", filepath.Join(dir, "missing.json")}, &out); code != 2 {
+		t.Fatalf("missing scenario file should exit 2, got %d", code)
 	}
 }
 

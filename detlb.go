@@ -7,6 +7,7 @@ import (
 	"detlb/internal/core"
 	"detlb/internal/graph"
 	"detlb/internal/lowerbound"
+	"detlb/internal/scenario"
 	"detlb/internal/spectral"
 	"detlb/internal/trace"
 	"detlb/internal/workload"
@@ -213,6 +214,64 @@ var (
 	PowerLawLoad = workload.PowerLaw
 	// CheckerboardLoad alternates two load levels by node index.
 	CheckerboardLoad = workload.Checkerboard
+)
+
+// Scenario API v1: declarative, JSON-serializable experiment descriptions
+// that bind into live RunSpecs through the constructor registry — the same
+// grammar behind the lbsim/lbsweep flags and the scenario files.
+type (
+	// Scenario is the pure-data description of one run.
+	Scenario = scenario.Scenario
+	// ScenarioFamily is the cross-product description (graphs × algos ×
+	// workloads × schedules) and the scenario file format.
+	ScenarioFamily = scenario.Family
+	// GraphSpec describes a balancing graph (family + args + d°).
+	GraphSpec = scenario.GraphSpec
+	// AlgoSpec describes a balancer (kind + s or seed).
+	AlgoSpec = scenario.AlgoSpec
+	// WorkloadSpec describes the initial load vector.
+	WorkloadSpec = scenario.WorkloadSpec
+	// ScheduleSpec describes a composed dynamic-load schedule.
+	ScheduleSpec = scenario.ScheduleSpec
+	// SchedulePart is one component of a ScheduleSpec.
+	SchedulePart = scenario.SchedulePart
+	// RunParams are the harness parameters of a described run.
+	RunParams = scenario.RunParams
+)
+
+var (
+	// LoadScenario reads, validates, and normalizes a scenario file.
+	LoadScenario = scenario.Load
+	// LoadScenarioFile is LoadScenario from a path.
+	LoadScenarioFile = scenario.LoadFile
+	// ParseScenarioFamily parses the lbsweep spec-list grammar into a family.
+	ParseScenarioFamily = scenario.ParseFamily
+	// ParseGraphSpec parses a text graph spec into a normalized descriptor.
+	ParseGraphSpec = scenario.ParseGraph
+	// ParseAlgoSpec parses a text algorithm spec into a descriptor.
+	ParseAlgoSpec = scenario.ParseAlgo
+	// ParseWorkloadSpec parses a text workload spec into a descriptor.
+	ParseWorkloadSpec = scenario.ParseWorkload
+	// ParseScheduleSpec parses a text schedule spec into a descriptor.
+	ParseScheduleSpec = scenario.ParseSchedule
+	// BindScenarios binds scenario cells into RunSpecs, sharing balancing
+	// graphs and algorithm instances exactly as the sweep harness groups.
+	BindScenarios = scenario.BindScenarios
+	// ScenarioPreset builds a named preset family.
+	ScenarioPreset = scenario.Preset
+	// ScenarioPresets lists the preset catalog.
+	ScenarioPresets = scenario.PresetNames
+)
+
+// Snapshot is one observation of a streaming run.
+type Snapshot = analysis.Snapshot
+
+var (
+	// Stream executes a RunSpec as a lazy per-round sequence with per-round
+	// cancellation — the primitive Run and Sweep are expressed over.
+	Stream = analysis.Stream
+	// StreamInto is Stream collecting the RunResult bookkeeping as it goes.
+	StreamInto = analysis.StreamInto
 )
 
 // Experiment harness.

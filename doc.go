@@ -37,6 +37,17 @@
 //     through Engine.ApplyDelta, and each shock is measured for recovery —
 //     peak discrepancy and rounds back to the target — turning the harness
 //     into a self-stabilization testbed (RunSpec.Events, RunResult.Shocks);
+//   - a declarative scenario layer (Scenario API v1): pure-data descriptors
+//     for graphs, algorithms, workloads, and schedules that serialize to
+//     JSON scenario files and bind into live RunSpecs through a constructor
+//     registry — one grammar behind both the CLI flags and the files, with
+//     every default and seed materialized so a saved scenario re-runs
+//     bit-identically (Scenario, ScenarioFamily, LoadScenario,
+//     BindScenarios, ScenarioPreset; see docs/scenarios.md and the
+//     -scenario/-emit-scenario/-preset flags of lbsim and lbsweep);
+//   - a streaming run API: Stream(ctx, spec) yields one Snapshot per round
+//     (plus Shock-marked injection snapshots) with per-round cancellation,
+//     and is the primitive Run and Sweep are expressed over;
 //   - an actor runtime executing the same model with one goroutine per
 //     processor and channel message passing.
 //

@@ -11,6 +11,12 @@
 // per (graph, algorithm) pair, the spectral gap is computed once per graph,
 // and the per-spec results are bit-identical to the serial loop the default
 // mode runs.
+//
+// The grid itself is declared through the scenario layer: each cell is a
+// pure-data detlb.Scenario (graph family + algorithm + workload descriptors)
+// and detlb.BindScenarios wires the live specs, sharing one balancing graph
+// per size and one algorithm instance per (size, algorithm) pair — the same
+// description that could be saved to, or loaded from, a scenario JSON file.
 package main
 
 import (
@@ -27,25 +33,27 @@ const d = 8
 
 var sizes = []int{128, 256, 512, 1024}
 
+var algos = []string{"send-floor", "rotor-router", "biased"}
+
 func main() {
 	useSweep := flag.Bool("sweep", false, "run the grid through the concurrent sweep harness")
 	flag.Parse()
 
-	var specs []detlb.RunSpec
+	var cells []detlb.Scenario
 	for _, n := range sizes {
-		g := detlb.RandomRegular(n, d, 1)
-		b := detlb.Lazy(g)
-		x1 := detlb.PointMass(n, 0, int64(4*n)+7)
-		for _, algo := range []detlb.Balancer{
-			detlb.NewSendFloor(), detlb.NewRotorRouter(), detlb.NewBiasedRounding(),
-		} {
-			specs = append(specs, detlb.RunSpec{
-				Balancing: b,
-				Algorithm: algo,
-				Initial:   x1,
-				Patience:  16 * b.N(),
+		for _, algo := range algos {
+			cells = append(cells, detlb.Scenario{
+				Graph:    detlb.GraphSpec{Kind: "random", Args: []int64{int64(n), d, 1}},
+				Algo:     detlb.AlgoSpec{Kind: algo},
+				Workload: detlb.WorkloadSpec{Kind: "point", Args: []int64{int64(4*n) + 7}},
+				Run:      detlb.RunParams{Patience: 16 * n},
 			})
 		}
+	}
+	specs, err := detlb.BindScenarios(cells)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bind failed:", err)
+		os.Exit(1)
 	}
 
 	start := time.Now()

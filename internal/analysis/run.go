@@ -6,6 +6,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"detlb/internal/core"
@@ -144,33 +145,18 @@ type RunResult struct {
 	Err error
 }
 
-// Run executes the spec. An invalid spec (nil graph or algorithm, wrong
-// vector length, a balancer that declines the graph, a schedule addressing a
-// node out of range) is reported through RunResult.Err rather than by
-// panicking, so one bad spec cannot kill a loop over many. Panics from
-// user-supplied code (balancers, schedules, auditors) are contained the same
-// way, matching the sweep path.
+// Run executes the spec by draining the streaming primitive (StreamInto) to
+// completion. An invalid spec (nil graph or algorithm, wrong vector length, a
+// balancer that declines the graph, a schedule addressing a node out of
+// range) is reported through RunResult.Err rather than by panicking, so one
+// bad spec cannot kill a loop over many. Panics from user-supplied code
+// (balancers, schedules, auditors) are contained the same way — the
+// containment lives in StreamInto, which this shares with every streaming
+// consumer; the sweep path has its own (runSweepSpec).
 func Run(spec RunSpec) (res RunResult) {
-	defer func() {
-		if r := recover(); r != nil {
-			res.Err = fmt.Errorf("analysis: run panicked: %v", r)
-		}
-	}()
-	res, ok := prepareResult(spec)
-	if !ok {
-		return res
+	for range StreamInto(context.Background(), spec, &res) {
 	}
-	opts := []core.Option{core.WithWorkers(spec.Workers)}
-	for _, a := range spec.Auditors {
-		opts = append(opts, core.WithAuditor(a))
-	}
-	eng, err := core.NewEngine(spec.Balancing, spec.Algorithm, spec.Initial, opts...)
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	defer eng.Close()
-	return runEngine(spec, eng, res)
+	return res
 }
 
 // prepareResult computes the engine-independent result fields (gap, K, the
@@ -214,207 +200,15 @@ func prepareResult(spec RunSpec) (res RunResult, ok bool) {
 }
 
 // runEngine drives an engine already holding the spec's initial vector
-// through the round loop. It is shared by Run (fresh engine per call) and
-// the sweep runner (engines reused across specs via Engine.Reset); both
-// produce bit-identical results because a reset engine is equivalent to a
-// fresh one.
-//
-// With spec.Events set the loop becomes the dynamic-workload harness: before
-// each round the schedule's delta is injected through Engine.ApplyDelta and
-// recorded as a Shock, and the discrepancy target — instead of stopping the
-// run — defines when each shock has "recovered". All injections are pure
-// functions of (round, loads), so the dynamic trajectory inherits the
-// engine's bit-identical determinism across worker counts and across the
-// Run/Sweep entry points.
+// through the streaming round loop (see streamEngine), draining it to
+// completion. It is shared by Run (fresh engine per call) and the sweep
+// runner (engines reused across specs via Engine.Reset); both produce
+// bit-identical results because a reset engine is equivalent to a fresh one
+// and the round loop is a pure function of (spec, initial state).
 func runEngine(spec RunSpec, eng *core.Engine, res RunResult) RunResult {
-	target, targetSet := int64(0), false
-	if spec.TargetDiscrepancy != nil {
-		target, targetSet = *spec.TargetDiscrepancy, true
+	for range streamEngine(context.Background(), spec, eng, &res) {
 	}
-	disc := eng.Discrepancy()
-	best := disc
-	res.MinDiscrepancy = best
-	res.FinalDiscrepancy = disc
-	horizon := res.Horizon
-
-	if targetSet && disc <= target {
-		// The initial vector already meets the target: a time-to-target
-		// measurement is 0 rounds, not "whenever the trajectory next happens
-		// to dip under it".
-		res.ReachedTarget = true
-		res.TargetRound = 0
-		if spec.Events == nil {
-			if spec.SampleEvery > 0 {
-				// The stopping state joins the series here too, so a sampled
-				// spec always produces a (one-point) trajectory.
-				lo, hi := core.Extrema(eng.Loads())
-				res.Series = append(res.Series, Point{Round: 0, Discrepancy: disc, Max: hi, Min: lo})
-			}
-			return res
-		}
-	}
-
-	// patienceBest/lastImprovement drive early stopping; unlike best they
-	// restart at every shock. openFrom indexes the first shock still awaiting
-	// recovery — recoveries close all open shocks at once, so the open ones
-	// always form a suffix of res.Shocks.
-	patienceBest := disc
-	lastImprovement := 0
-	openFrom := 0
-	var delta []int64
-	if spec.Events != nil {
-		delta = make([]int64, spec.Balancing.N())
-	}
-
-	closeShocks := func(round int) {
-		for i := openFrom; i < len(res.Shocks); i++ {
-			res.Shocks[i].RecoveryRound = round
-			res.Shocks[i].RecoveryRounds = round - res.Shocks[i].Round
-		}
-		openFrom = len(res.Shocks)
-	}
-
-	// updatePeaks folds disc into every open shock's peak. Open shocks form
-	// a suffix with nested observation windows, so their peaks are
-	// non-increasing in shock index — walking backward and stopping at the
-	// first peak already ≥ disc updates exactly the shocks that need it,
-	// keeping targetless runs with per-round schedules (arbitrarily many
-	// open shocks) amortized O(1) per round instead of quadratic.
-	updatePeaks := func(disc int64) {
-		for i := len(res.Shocks) - 1; i >= openFrom; i-- {
-			if res.Shocks[i].PeakDiscrepancy >= disc {
-				break
-			}
-			res.Shocks[i].PeakDiscrepancy = disc
-		}
-	}
-
-	// inject applies the schedule's delta after `completed` rounds; it
-	// returns the engine's discrepancy bookkeeping to a consistent state.
-	inject := func(completed int) {
-		for i := range delta {
-			delta[i] = 0
-		}
-		if !spec.Events.DeltaInto(completed, eng.Loads(), delta) {
-			return
-		}
-		var added, removed int64
-		for _, d := range delta {
-			if d > 0 {
-				added += d
-			} else {
-				removed -= d
-			}
-		}
-		if added == 0 && removed == 0 {
-			return
-		}
-		if err := eng.ApplyDelta(delta); err != nil {
-			// Unreachable by construction (delta has N entries), but a
-			// schedule bug must not pass silently.
-			panic(err)
-		}
-		after := eng.Discrepancy()
-		// Shocks can overlap: an injection while earlier shocks are still
-		// unrecovered is part of their observation window, so the
-		// post-injection spike counts toward their peaks too.
-		updatePeaks(after)
-		res.Shocks = append(res.Shocks, Shock{
-			Round: completed, Added: added, Removed: removed,
-			Discrepancy: after, PeakDiscrepancy: after,
-			RecoveryRound: -1, RecoveryRounds: -1,
-		})
-		if after < best {
-			best = after
-			res.MinDiscrepancy = best
-		}
-		patienceBest = after
-		lastImprovement = completed
-		if spec.SampleEvery > 0 {
-			lo, hi := core.Extrema(eng.Loads())
-			res.Series = append(res.Series, Point{
-				Round: completed, Discrepancy: hi - lo, Max: hi, Min: lo,
-				Shock: true, Injected: added - removed,
-			})
-		}
-		if targetSet && after <= target {
-			// The injection itself kept (or restored) the target: the shocks
-			// recover instantly, and a first-ever reach between rounds is
-			// attributed to the round just completed, mirroring the round
-			// loop's bookkeeping.
-			closeShocks(completed)
-			if !res.ReachedTarget {
-				res.ReachedTarget = true
-				res.TargetRound = completed
-			}
-		}
-	}
-
-	// finish records the stopping state, appending the final sample when the
-	// stop fell between sampling points (the interval loop alone would drop
-	// the round that actually stopped the run).
-	finish := func(round int, disc, lo, hi int64, sampled bool) RunResult {
-		res.Rounds = round
-		res.FinalDiscrepancy = disc
-		res.MinDiscrepancy = best
-		if spec.SampleEvery > 0 && !sampled {
-			res.Series = append(res.Series, Point{Round: round, Discrepancy: disc, Max: hi, Min: lo})
-		}
-		return res
-	}
-
-	for round := 1; round <= horizon; round++ {
-		if spec.Events != nil {
-			inject(round - 1)
-		}
-		if err := eng.Step(); err != nil {
-			// The failed round did execute (state is left advanced for
-			// debugging), so its discrepancy joins the bookkeeping like any
-			// other stopping round.
-			res.Err = err
-			lo, hi := core.Extrema(eng.Loads())
-			disc := hi - lo
-			if disc < best {
-				best = disc
-			}
-			return finish(round, disc, lo, hi, false)
-		}
-		lo, hi := core.Extrema(eng.Loads())
-		disc := hi - lo
-		sampled := false
-		if spec.SampleEvery > 0 && round%spec.SampleEvery == 0 {
-			res.Series = append(res.Series, Point{Round: round, Discrepancy: disc, Max: hi, Min: lo})
-			sampled = true
-		}
-		if disc < best {
-			best = disc
-		}
-		if disc < patienceBest {
-			patienceBest = disc
-			lastImprovement = round
-		}
-		updatePeaks(disc)
-		if targetSet && disc <= target {
-			closeShocks(round)
-			if !res.ReachedTarget {
-				res.ReachedTarget = true
-				res.TargetRound = round
-			}
-			if spec.Events == nil {
-				return finish(round, disc, lo, hi, sampled)
-			}
-		}
-		if spec.Patience > 0 && round-lastImprovement >= spec.Patience {
-			res.StoppedEarly = true
-			return finish(round, disc, lo, hi, sampled)
-		}
-	}
-	// Horizon exhausted — the normal exit for every dynamic run (the target
-	// defines recovery, not termination). The final state joins the series
-	// like any other stopping round when it fell mid-interval.
-	lo, hi := core.Extrema(eng.Loads())
-	sampled := spec.SampleEvery <= 0 || horizon < 1 || horizon%spec.SampleEvery == 0
-	return finish(horizon, hi-lo, lo, hi, sampled)
+	return res
 }
 
 // RunToTarget is a convenience wrapper measuring the first round at which a

@@ -1,0 +1,352 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"detlb/internal/core"
+)
+
+// Round counts completed balancing rounds; it is the key of the streaming
+// run sequence (round 0 is the initial state, before the first round).
+type Round = int
+
+// Snapshot is one observation of a streaming run: the discrepancy and load
+// extrema after a completed round, or immediately after a schedule injection
+// (Shock) between rounds.
+type Snapshot struct {
+	// Discrepancy is max − min load at this observation.
+	Discrepancy int64
+	// Max and Min are the load extrema behind the discrepancy.
+	Max int64
+	Min int64
+	// Shock marks an injection observation: the snapshot was taken right
+	// after a Schedule delta was applied, between the keyed round and the
+	// next one, with Injected the net token change. A shocked round yields
+	// twice: once for the injection, once for the round that follows it.
+	Shock    bool
+	Injected int64
+}
+
+// Stream executes the spec as a lazy per-round sequence — the primitive the
+// whole harness is expressed over: Run is Stream drained to completion, and
+// the sweep runner drains the same core with a reused engine.
+//
+// The sequence yields the initial state under key 0, then one snapshot per
+// completed round (plus one per schedule injection, marked Shock), honoring
+// the spec's horizon, target, and patience exactly like Run. Breaking out of
+// the loop stops the run at that round and releases the engine; a canceled
+// ctx stops it within one round. Each iteration of the returned sequence
+// re-executes the spec from the start.
+//
+// Stream discards the RunResult bookkeeping; use StreamInto to observe
+// rounds and still collect the final result (including spec errors, which
+// end the sequence immediately and are only visible through the result).
+func Stream(ctx context.Context, spec RunSpec) iter.Seq2[Round, Snapshot] {
+	return func(yield func(Round, Snapshot) bool) {
+		var res RunResult
+		StreamInto(ctx, spec, &res)(yield)
+	}
+}
+
+// StreamInto is Stream writing the run's bookkeeping into res as it goes:
+// when the sequence ends — run complete, consumer break, or cancellation —
+// res holds exactly what Run would have returned for the rounds executed.
+// res is reset at the start of each iteration of the sequence.
+//
+// Panics from user-supplied code (balancers, schedules, auditors) are
+// contained into res.Err, matching Run and the sweep path, so one bad spec
+// cannot kill a loop over many streams; a panic in the consumer's own loop
+// body is not swallowed — it propagates out of the range statement.
+func StreamInto(ctx context.Context, spec RunSpec, res *RunResult) iter.Seq2[Round, Snapshot] {
+	return func(yield func(Round, Snapshot) bool) {
+		inYield := false
+		defer func() {
+			if r := recover(); r != nil {
+				if inYield {
+					// The panic traveled through yield: it is the consumer's,
+					// not ours to report.
+					panic(r)
+				}
+				res.Err = fmt.Errorf("analysis: run panicked: %v", r)
+			}
+		}()
+		r, ok := prepareResult(spec)
+		*res = r
+		if !ok {
+			return
+		}
+		opts := []core.Option{core.WithWorkers(spec.Workers)}
+		for _, a := range spec.Auditors {
+			opts = append(opts, core.WithAuditor(a))
+		}
+		eng, err := core.NewEngine(spec.Balancing, spec.Algorithm, spec.Initial, opts...)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		defer eng.Close()
+		streamEngine(ctx, spec, eng, res)(func(round Round, snap Snapshot) bool {
+			inYield = true
+			ok := yield(round, snap)
+			inYield = false
+			return ok
+		})
+	}
+}
+
+// streamEngine drives an engine already holding the spec's initial vector
+// through the round loop, yielding one snapshot per observation and folding
+// the full RunResult bookkeeping into res. It is the single round-loop
+// implementation: Run (fresh engine per call) and the sweep runner (engines
+// reused across specs via Engine.Reset) both drain it with a background
+// context, so their results are bit-identical to each other and to any
+// streaming consumer's bookkeeping.
+//
+// With spec.Events set the loop becomes the dynamic-workload harness: before
+// each round the schedule's delta is injected through Engine.ApplyDelta and
+// recorded as a Shock, and the discrepancy target — instead of stopping the
+// run — defines when each shock has "recovered". All injections are pure
+// functions of (round, loads), so the dynamic trajectory inherits the
+// engine's bit-identical determinism across worker counts and across the
+// Run/Sweep/Stream entry points.
+func streamEngine(ctx context.Context, spec RunSpec, eng *core.Engine, res *RunResult) iter.Seq2[Round, Snapshot] {
+	return func(yield func(Round, Snapshot) bool) {
+		target, targetSet := int64(0), false
+		if spec.TargetDiscrepancy != nil {
+			target, targetSet = *spec.TargetDiscrepancy, true
+		}
+		lo, hi := core.Extrema(eng.Loads())
+		disc := hi - lo
+		best := disc
+		res.MinDiscrepancy = best
+		res.FinalDiscrepancy = disc
+		horizon := res.Horizon
+
+		if targetSet && disc <= target {
+			// The initial vector already meets the target: a time-to-target
+			// measurement is 0 rounds, not "whenever the trajectory next
+			// happens to dip under it".
+			res.ReachedTarget = true
+			res.TargetRound = 0
+			if spec.Events == nil {
+				if spec.SampleEvery > 0 {
+					// The stopping state joins the series here too, so a
+					// sampled spec always produces a (one-point) trajectory.
+					res.Series = append(res.Series, Point{Round: 0, Discrepancy: disc, Max: hi, Min: lo})
+				}
+				yield(0, Snapshot{Discrepancy: disc, Max: hi, Min: lo})
+				return
+			}
+		}
+
+		// Round 0 — the state before the first round — opens every stream.
+		if !yield(0, Snapshot{Discrepancy: disc, Max: hi, Min: lo}) {
+			return
+		}
+
+		// patienceBest/lastImprovement drive early stopping; unlike best they
+		// restart at every shock. openFrom indexes the first shock still
+		// awaiting recovery — recoveries close all open shocks at once, so the
+		// open ones always form a suffix of res.Shocks.
+		patienceBest := disc
+		lastImprovement := 0
+		openFrom := 0
+		var delta []int64
+		if spec.Events != nil {
+			delta = make([]int64, spec.Balancing.N())
+		}
+
+		closeShocks := func(round int) {
+			for i := openFrom; i < len(res.Shocks); i++ {
+				res.Shocks[i].RecoveryRound = round
+				res.Shocks[i].RecoveryRounds = round - res.Shocks[i].Round
+			}
+			openFrom = len(res.Shocks)
+		}
+
+		// updatePeaks folds disc into every open shock's peak. Open shocks
+		// form a suffix with nested observation windows, so their peaks are
+		// non-increasing in shock index — walking backward and stopping at the
+		// first peak already ≥ disc updates exactly the shocks that need it,
+		// keeping targetless runs with per-round schedules (arbitrarily many
+		// open shocks) amortized O(1) per round instead of quadratic.
+		updatePeaks := func(disc int64) {
+			for i := len(res.Shocks) - 1; i >= openFrom; i-- {
+				if res.Shocks[i].PeakDiscrepancy >= disc {
+					break
+				}
+				res.Shocks[i].PeakDiscrepancy = disc
+			}
+		}
+
+		// finish records the stopping state, appending the final sample when
+		// the stop fell between sampling points (the interval loop alone would
+		// drop the round that actually stopped the run).
+		finish := func(round int, disc, lo, hi int64, sampled bool) {
+			res.Rounds = round
+			res.FinalDiscrepancy = disc
+			res.MinDiscrepancy = best
+			if spec.SampleEvery > 0 && !sampled {
+				res.Series = append(res.Series, Point{Round: round, Discrepancy: disc, Max: hi, Min: lo})
+			}
+		}
+
+		// inject applies the schedule's delta after `completed` rounds and
+		// yields the post-injection snapshot; it reports whether the stream's
+		// consumer wants to continue, finalizing the bookkeeping at the
+		// post-injection state when the consumer breaks on the shock.
+		inject := func(completed int) bool {
+			for i := range delta {
+				delta[i] = 0
+			}
+			if !spec.Events.DeltaInto(completed, eng.Loads(), delta) {
+				return true
+			}
+			var added, removed int64
+			for _, d := range delta {
+				if d > 0 {
+					added += d
+				} else {
+					removed -= d
+				}
+			}
+			if added == 0 && removed == 0 {
+				return true
+			}
+			if err := eng.ApplyDelta(delta); err != nil {
+				// Unreachable by construction (delta has N entries), but a
+				// schedule bug must not pass silently.
+				panic(err)
+			}
+			ilo, ihi := core.Extrema(eng.Loads())
+			after := ihi - ilo
+			// Shocks can overlap: an injection while earlier shocks are still
+			// unrecovered is part of their observation window, so the
+			// post-injection spike counts toward their peaks too.
+			updatePeaks(after)
+			res.Shocks = append(res.Shocks, Shock{
+				Round: completed, Added: added, Removed: removed,
+				Discrepancy: after, PeakDiscrepancy: after,
+				RecoveryRound: -1, RecoveryRounds: -1,
+			})
+			if after < best {
+				best = after
+				res.MinDiscrepancy = best
+			}
+			patienceBest = after
+			lastImprovement = completed
+			if spec.SampleEvery > 0 {
+				res.Series = append(res.Series, Point{
+					Round: completed, Discrepancy: after, Max: ihi, Min: ilo,
+					Shock: true, Injected: added - removed,
+				})
+			}
+			if targetSet && after <= target {
+				// The injection itself kept (or restored) the target: the
+				// shocks recover instantly, and a first-ever reach between
+				// rounds is attributed to the round just completed, mirroring
+				// the round loop's bookkeeping.
+				closeShocks(completed)
+				if !res.ReachedTarget {
+					res.ReachedTarget = true
+					res.TargetRound = completed
+				}
+			}
+			if !yield(completed, Snapshot{
+				Discrepancy: after, Max: ihi, Min: ilo,
+				Shock: true, Injected: added - removed,
+			}) {
+				// The consumer stopped on the shock: the injection is already
+				// recorded (Shocks, and a Shock-marked Series point when
+				// sampling), so finalize at the post-injection state without
+				// appending a second sample for the same round.
+				finish(completed, after, ilo, ihi, true)
+				return false
+			}
+			return true
+		}
+
+		// last* track the most recently completed round's state so the
+		// horizon-exhausted and canceled exits can finalize without an extra
+		// pass over the loads.
+		lastDisc, lastLo, lastHi := disc, lo, hi
+		lastSampled := false
+
+		for round := 1; round <= horizon; round++ {
+			if ctx.Err() != nil {
+				// Per-round cancellation: the run stops before starting
+				// another round, keeping every completed round's bookkeeping.
+				res.Err = fmt.Errorf("analysis: stream canceled: %w", context.Cause(ctx))
+				finish(round-1, lastDisc, lastLo, lastHi, lastSampled || round == 1)
+				return
+			}
+			if spec.Events != nil && !inject(round-1) {
+				// inject already finalized at the post-injection state.
+				return
+			}
+			if err := eng.Step(); err != nil {
+				// The failed round did execute (state is left advanced for
+				// debugging), so its discrepancy joins the bookkeeping like
+				// any other stopping round.
+				res.Err = err
+				slo, shi := core.Extrema(eng.Loads())
+				sdisc := shi - slo
+				if sdisc < best {
+					best = sdisc
+				}
+				finish(round, sdisc, slo, shi, false)
+				yield(round, Snapshot{Discrepancy: sdisc, Max: shi, Min: slo})
+				return
+			}
+			lo, hi := core.Extrema(eng.Loads())
+			disc := hi - lo
+			sampled := false
+			if spec.SampleEvery > 0 && round%spec.SampleEvery == 0 {
+				res.Series = append(res.Series, Point{Round: round, Discrepancy: disc, Max: hi, Min: lo})
+				sampled = true
+			}
+			if disc < best {
+				best = disc
+			}
+			if disc < patienceBest {
+				patienceBest = disc
+				lastImprovement = round
+			}
+			updatePeaks(disc)
+			if targetSet && disc <= target {
+				closeShocks(round)
+				if !res.ReachedTarget {
+					res.ReachedTarget = true
+					res.TargetRound = round
+				}
+				if spec.Events == nil {
+					finish(round, disc, lo, hi, sampled)
+					yield(round, Snapshot{Discrepancy: disc, Max: hi, Min: lo})
+					return
+				}
+			}
+			if spec.Patience > 0 && round-lastImprovement >= spec.Patience {
+				res.StoppedEarly = true
+				finish(round, disc, lo, hi, sampled)
+				yield(round, Snapshot{Discrepancy: disc, Max: hi, Min: lo})
+				return
+			}
+			lastDisc, lastLo, lastHi, lastSampled = disc, lo, hi, sampled
+			if round < horizon {
+				if !yield(round, Snapshot{Discrepancy: disc, Max: hi, Min: lo}) {
+					finish(round, disc, lo, hi, sampled)
+					return
+				}
+			}
+		}
+		// Horizon exhausted — the normal exit for every dynamic run (the
+		// target defines recovery, not termination). The final state joins the
+		// series like any other stopping round when it fell mid-interval.
+		finish(horizon, lastDisc, lastLo, lastHi, lastSampled || horizon < 1)
+		if horizon >= 1 {
+			yield(horizon, Snapshot{Discrepancy: lastDisc, Max: lastHi, Min: lastLo})
+		}
+	}
+}

@@ -1,0 +1,553 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"detlb/internal/analysis"
+	"detlb/internal/balancer"
+	"detlb/internal/core"
+	"detlb/internal/graph"
+	"detlb/internal/workload"
+)
+
+// The constructor registry: one entry per descriptor kind in each of the four
+// domains, carrying the argument grammar (names, defaults, which are
+// required) and the builder that binds normalized arguments into the live
+// object. Both front-ends — the text mini-language and JSON files — validate
+// against the same entries, so the two grammars cannot drift apart.
+
+// argMode classifies one positional argument of a descriptor kind.
+type argMode int
+
+const (
+	// argRequired must be supplied explicitly.
+	argRequired argMode = iota
+	// argDefault is filled in by normalization when absent.
+	argDefault
+	// argDynamic has a default that depends on the bound graph (e.g.
+	// point's total = 8n) and stays absent until bind time. Dynamic
+	// arguments must be last in an entry's grammar.
+	argDynamic
+)
+
+type argDef struct {
+	name string
+	def  int64
+	mode argMode
+}
+
+func req(name string) argDef            { return argDef{name: name, mode: argRequired} }
+func opt(name string, def int64) argDef { return argDef{name: name, def: def, mode: argDefault} }
+func dyn(name string) argDef            { return argDef{name: name, mode: argDynamic} }
+
+// normalizeArgs validates args against defs, materializing defaults for
+// absent trailing arguments. what names the descriptor for error messages.
+func normalizeArgs(what string, args []int64, defs []argDef) ([]int64, error) {
+	if len(args) > len(defs) {
+		return nil, fmt.Errorf("%s takes at most %d arguments, got %d", what, len(defs), len(args))
+	}
+	out := make([]int64, 0, len(defs))
+	out = append(out, args...)
+	for i := len(args); i < len(defs); i++ {
+		switch defs[i].mode {
+		case argRequired:
+			return nil, fmt.Errorf("%s needs argument %q", what, defs[i].name)
+		case argDefault:
+			out = append(out, defs[i].def)
+		case argDynamic:
+			// Left absent: bound against the graph later.
+			return emptyAsNil(out), nil
+		}
+	}
+	return emptyAsNil(out), nil
+}
+
+// emptyAsNil keeps "no arguments" canonical as nil, matching what a JSON
+// round trip of an omitempty field produces.
+func emptyAsNil(args []int64) []int64 {
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// graphEntry describes one graph family.
+type graphEntry struct {
+	args []argDef
+	// offsets reports whether the kind accepts the circulant offset list.
+	offsets bool
+	// nodes computes n from normalized args, without building the graph.
+	nodes func(a []int64) int
+	// build constructs the graph; family constructors panic on invalid
+	// parameters, which Bind converts to errors.
+	build func(a []int64, offsets []int) *graph.Graph
+}
+
+var graphRegistry = map[string]graphEntry{
+	"cycle": {
+		args:  []argDef{opt("n", 64)},
+		nodes: func(a []int64) int { return int(a[0]) },
+		build: func(a []int64, _ []int) *graph.Graph { return graph.Cycle(int(a[0])) },
+	},
+	"torus": {
+		args: []argDef{opt("side", 16), opt("r", 2)},
+		nodes: func(a []int64) int {
+			// Clamp instead of looping or overflowing on absurd descriptors;
+			// Bind rejects them anyway, and Nodes is only sizing metadata.
+			if a[0] < 3 || a[1] < 1 || a[1] > 62 {
+				return math.MaxInt32
+			}
+			n := 1
+			for i := int64(0); i < a[1]; i++ {
+				n *= int(a[0])
+				if n > math.MaxInt32 {
+					return math.MaxInt32
+				}
+			}
+			return n
+		},
+		build: func(a []int64, _ []int) *graph.Graph { return graph.Torus(int(a[1]), int(a[0])) },
+	},
+	"hypercube": {
+		args: []argDef{opt("r", 8)},
+		nodes: func(a []int64) int {
+			if a[0] < 1 || a[0] > 30 {
+				return math.MaxInt32
+			}
+			return 1 << uint(a[0])
+		},
+		build: func(a []int64, _ []int) *graph.Graph { return graph.Hypercube(int(a[0])) },
+	},
+	"complete": {
+		args:  []argDef{opt("n", 16)},
+		nodes: func(a []int64) int { return int(a[0]) },
+		build: func(a []int64, _ []int) *graph.Graph { return graph.Complete(int(a[0])) },
+	},
+	"random": {
+		args:  []argDef{opt("n", 256), opt("d", 8), opt("seed", 1)},
+		nodes: func(a []int64) int { return int(a[0]) },
+		build: func(a []int64, _ []int) *graph.Graph {
+			return graph.RandomRegular(int(a[0]), int(a[1]), a[2])
+		},
+	},
+	"petersen": {
+		nodes: func([]int64) int { return 10 },
+		build: func([]int64, []int) *graph.Graph { return graph.Petersen() },
+	},
+	"gp": {
+		args:  []argDef{opt("n", 5), opt("k", 2)},
+		nodes: func(a []int64) int { return 2 * int(a[0]) },
+		build: func(a []int64, _ []int) *graph.Graph {
+			return graph.GeneralizedPetersen(int(a[0]), int(a[1]))
+		},
+	},
+	"kbipartite": {
+		args:  []argDef{opt("k", 8)},
+		nodes: func(a []int64) int { return 2 * int(a[0]) },
+		build: func(a []int64, _ []int) *graph.Graph { return graph.CompleteBipartite(int(a[0])) },
+	},
+	"circulant": {
+		args:    []argDef{opt("n", 32)},
+		offsets: true,
+		nodes:   func(a []int64) int { return int(a[0]) },
+		build:   func(a []int64, offsets []int) *graph.Graph { return graph.Circulant(int(a[0]), offsets) },
+	},
+}
+
+func normalizeGraph(s GraphSpec) (GraphSpec, error) {
+	e, ok := graphRegistry[s.Kind]
+	if !ok {
+		return s, fmt.Errorf("unknown graph %q", s.Kind)
+	}
+	args, err := normalizeArgs("graph "+s.Kind, s.Args, e.args)
+	if err != nil {
+		return s, err
+	}
+	s.Args = args
+	if !e.offsets && len(s.Offsets) > 0 {
+		return s, fmt.Errorf("graph %s takes no offsets", s.Kind)
+	}
+	if e.offsets && len(s.Offsets) == 0 {
+		s.Offsets = []int{1, 2}
+	}
+	if s.SelfLoops != nil && *s.SelfLoops < 0 {
+		return s, fmt.Errorf("graph %s: negative self-loop count %d", s.Kind, *s.SelfLoops)
+	}
+	return s, nil
+}
+
+// Nodes returns n for the described graph without constructing it — graph
+// families fix n from their arguments alone.
+func (s GraphSpec) Nodes() (int, error) {
+	s, err := normalizeGraph(s)
+	if err != nil {
+		return 0, err
+	}
+	return graphRegistry[s.Kind].nodes(s.Args), nil
+}
+
+// BindGraph constructs the described graph G.
+func (s GraphSpec) BindGraph() (g *graph.Graph, err error) {
+	s, err = normalizeGraph(s)
+	if err != nil {
+		return nil, err
+	}
+	defer recoverTo(&err, "graph "+s.String())
+	return graphRegistry[s.Kind].build(s.Args, s.Offsets), nil
+}
+
+// Bind constructs the balancing graph G+ the descriptor describes, attaching
+// d° self-loops (lazy d° = d when SelfLoops is nil).
+func (s GraphSpec) Bind() (*graph.Balancing, error) {
+	g, err := s.BindGraph()
+	if err != nil {
+		return nil, err
+	}
+	loops := g.Degree()
+	if s.SelfLoops != nil {
+		loops = *s.SelfLoops
+	}
+	return graph.NewBalancing(g, loops)
+}
+
+// algoEntry describes one balancer kind.
+type algoEntry struct {
+	args  []argDef
+	build func(a []int64, b *graph.Balancing) core.Balancer
+}
+
+var algoRegistry = map[string]algoEntry{
+	"send-floor": {build: func([]int64, *graph.Balancing) core.Balancer { return balancer.NewSendFloor() }},
+	"send-round": {build: func([]int64, *graph.Balancing) core.Balancer { return balancer.NewSendRound() }},
+	"rotor-router": {
+		build: func([]int64, *graph.Balancing) core.Balancer { return balancer.NewRotorRouter() },
+	},
+	"rotor-router*": {
+		build: func([]int64, *graph.Balancing) core.Balancer { return balancer.NewRotorRouterStar() },
+	},
+	"good": {
+		args:  []argDef{req("s")},
+		build: func(a []int64, _ *graph.Balancing) core.Balancer { return balancer.NewGoodS(int(a[0])) },
+	},
+	"biased": {build: func([]int64, *graph.Balancing) core.Balancer { return balancer.NewBiasedRounding() }},
+	"rand-extra": {
+		args:  []argDef{opt("seed", 1)},
+		build: func(a []int64, _ *graph.Balancing) core.Balancer { return balancer.NewRandomizedExtra(a[0]) },
+	},
+	"rand-round": {
+		args:  []argDef{opt("seed", 1)},
+		build: func(a []int64, _ *graph.Balancing) core.Balancer { return balancer.NewRandomizedRounding(a[0]) },
+	},
+	"mimic": {build: func([]int64, *graph.Balancing) core.Balancer { return balancer.NewContinuousMimic() }},
+	"bounded-error": {
+		build: func([]int64, *graph.Balancing) core.Balancer { return balancer.NewBoundedError() },
+	},
+	"matching": {
+		args: []argDef{opt("seed", 1)},
+		build: func(a []int64, b *graph.Balancing) core.Balancer {
+			return balancer.NewMatchingBalancer(balancer.EdgeColoringScheduler(b.Graph()), false, a[0])
+		},
+	},
+	"matching-rand": {
+		args: []argDef{opt("seed", 1)},
+		build: func(a []int64, b *graph.Balancing) core.Balancer {
+			return balancer.NewMatchingBalancer(balancer.NewRandomMatchingScheduler(b.Graph(), a[0]), true, a[0])
+		},
+	},
+}
+
+func normalizeAlgo(s AlgoSpec) (AlgoSpec, error) {
+	if s.Kind == "rotor-star" { // historical alias
+		s.Kind = "rotor-router*"
+	}
+	e, ok := algoRegistry[s.Kind]
+	if !ok {
+		return s, fmt.Errorf("unknown algorithm %q", s.Kind)
+	}
+	args, err := normalizeArgs("algorithm "+s.Kind, s.Args, e.args)
+	if err != nil {
+		return s, err
+	}
+	s.Args = args
+	return s, nil
+}
+
+// Bind instantiates the balancer against the balancing graph b (matching
+// schedulers need the graph). Every call returns a fresh instance:
+// algorithms that keep per-run state on the instance (mimic, bounded-error,
+// matching) must not be shared across concurrently running engines.
+func (s AlgoSpec) Bind(b *graph.Balancing) (algo core.Balancer, err error) {
+	s, err = normalizeAlgo(s)
+	if err != nil {
+		return nil, err
+	}
+	defer recoverTo(&err, "algorithm "+s.String())
+	return algoRegistry[s.Kind].build(s.Args, b), nil
+}
+
+// workloadEntry describes one initial-load generator.
+type workloadEntry struct {
+	args  []argDef
+	build func(a []int64, n int) []int64
+}
+
+var workloadRegistry = map[string]workloadEntry{
+	"point": {
+		// The default total 8n depends on the graph, so it stays dynamic.
+		args: []argDef{dyn("total")},
+		build: func(a []int64, n int) []int64 {
+			total := int64(8 * n)
+			if len(a) > 0 {
+				total = a[0]
+			}
+			return workload.PointMass(n, 0, total)
+		},
+	},
+	"uniform": {
+		args:  []argDef{opt("each", 8)},
+		build: func(a []int64, n int) []int64 { return workload.Uniform(n, a[0]) },
+	},
+	"bimodal": {
+		args:  []argDef{opt("lo", 0), opt("hi", 64)},
+		build: func(a []int64, n int) []int64 { return workload.Bimodal(n, a[0], a[1]) },
+	},
+	"random": {
+		args:  []argDef{opt("max", 64), opt("seed", 1)},
+		build: func(a []int64, n int) []int64 { return workload.Random(n, a[0], a[1]) },
+	},
+	"ramp": {
+		args:  []argDef{opt("base", 0), opt("step", 1)},
+		build: func(a []int64, n int) []int64 { return workload.Ramp(n, a[0], a[1]) },
+	},
+}
+
+func normalizeWorkload(s WorkloadSpec) (WorkloadSpec, error) {
+	e, ok := workloadRegistry[s.Kind]
+	if !ok {
+		return s, fmt.Errorf("unknown workload %q", s.Kind)
+	}
+	args, err := normalizeArgs("workload "+s.Kind, s.Args, e.args)
+	if err != nil {
+		return s, err
+	}
+	s.Args = args
+	return s, nil
+}
+
+// Bind generates the initial load vector for an n-node graph.
+func (s WorkloadSpec) Bind(n int) (x []int64, err error) {
+	s, err = normalizeWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	defer recoverTo(&err, "workload "+s.String())
+	return workloadRegistry[s.Kind].build(s.Args, n), nil
+}
+
+// scheduleEntry describes one dynamic-workload shock shape.
+type scheduleEntry struct {
+	args []argDef
+	// build validates the part against the n-node graph and constructs the
+	// schedule. A part that can never fire (bad cadence, negative round,
+	// empty window) is almost certainly a typo'd experiment: it is rejected
+	// instead of silently producing a static run labeled as dynamic.
+	build func(a []int64, n int) (workload.Schedule, error)
+}
+
+var scheduleRegistry = map[string]scheduleEntry{
+	"burst": {
+		args: []argDef{req("round"), req("node"), req("amount")},
+		build: func(a []int64, n int) (workload.Schedule, error) {
+			if err := checkScheduleNode("burst", a[1], n); err != nil {
+				return nil, err
+			}
+			if a[0] < 0 || a[2] == 0 {
+				return nil, cantFire("burst", "negative round or zero amount")
+			}
+			return workload.Burst{Round: int(a[0]), Node: int(a[1]), Amount: a[2]}, nil
+		},
+	},
+	"drain": {
+		args: []argDef{req("from"), req("to"), req("pernode")},
+		build: func(a []int64, n int) (workload.Schedule, error) {
+			if a[1] < a[0] || a[2] <= 0 {
+				return nil, cantFire("drain", "empty window or non-positive per-node amount")
+			}
+			return workload.Drain{From: int(a[0]), To: int(a[1]), PerNode: a[2]}, nil
+		},
+	},
+	"periodic": {
+		args: []argDef{req("every"), req("node"), req("amount")},
+		build: func(a []int64, n int) (workload.Schedule, error) {
+			if err := checkScheduleNode("periodic", a[1], n); err != nil {
+				return nil, err
+			}
+			if a[0] <= 0 || a[2] == 0 {
+				return nil, cantFire("periodic", "non-positive cadence or zero amount")
+			}
+			return workload.Periodic{Every: int(a[0]), Node: int(a[1]), Amount: a[2]}, nil
+		},
+	},
+	"churn": {
+		args: []argDef{req("every"), req("amount"), opt("seed", 1)},
+		build: func(a []int64, n int) (workload.Schedule, error) {
+			if a[0] <= 0 || a[1] <= 0 {
+				return nil, cantFire("churn", "non-positive cadence or amount")
+			}
+			return workload.Churn{Every: int(a[0]), Amount: a[1], Seed: uint64(a[2])}, nil
+		},
+	},
+	"refill": {
+		args: []argDef{req("round"), req("amount"), opt("every", 0)},
+		build: func(a []int64, n int) (workload.Schedule, error) {
+			if a[0] < 0 || a[2] < 0 || a[1] == 0 {
+				return nil, cantFire("refill", "negative round or cadence, or zero amount")
+			}
+			return workload.Refill{Round: int(a[0]), Amount: a[1], Every: int(a[2])}, nil
+		},
+	},
+}
+
+func cantFire(kind, why string) error {
+	return fmt.Errorf("schedule %q can never fire: %s", kind, why)
+}
+
+func checkScheduleNode(kind string, node int64, n int) error {
+	if node < 0 || node >= int64(n) {
+		return fmt.Errorf("schedule %q: node %d out of range [0,%d)", kind, node, n)
+	}
+	return nil
+}
+
+func normalizeSchedule(s ScheduleSpec) (ScheduleSpec, error) {
+	if len(s) == 0 {
+		// Normalized static schedules are empty but non-nil, so they
+		// serialize as [] rather than null.
+		return ScheduleSpec{}, nil
+	}
+	out := make(ScheduleSpec, len(s))
+	for i, p := range s {
+		e, ok := scheduleRegistry[p.Kind]
+		if !ok {
+			return nil, fmt.Errorf("unknown schedule %q", p.Kind)
+		}
+		args, err := normalizeArgs("schedule "+p.Kind, p.Args, e.args)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = SchedulePart{Kind: p.Kind, Args: args}
+	}
+	return out, nil
+}
+
+// Bind validates the schedule against an n-node graph and constructs it: nil
+// for a static run, the bare part for a single-part spec, a workload.Compose
+// for a composition.
+func (s ScheduleSpec) Bind(n int) (workload.Schedule, error) {
+	s, err := normalizeSchedule(s)
+	if err != nil {
+		return nil, err
+	}
+	var composed workload.Compose
+	for _, p := range s {
+		one, err := scheduleRegistry[p.Kind].build(p.Args, n)
+		if err != nil {
+			return nil, err
+		}
+		composed = append(composed, one)
+	}
+	switch len(composed) {
+	case 0:
+		return nil, nil
+	case 1:
+		return composed[0], nil
+	default:
+		return composed, nil
+	}
+}
+
+// BindScenarios binds a list of scenario cells into RunSpecs, sharing one
+// balancing graph per distinct graph descriptor, one algorithm instance per
+// (graph, algorithm) descriptor pair, and one initial vector per
+// (graph, workload) pair — exactly the identities analysis.Sweep groups on
+// for engine reuse, so a bound family sweeps with the same engine economy as
+// hand-wired specs.
+func BindScenarios(cells []Scenario) ([]analysis.RunSpec, error) {
+	specs := make([]analysis.RunSpec, len(cells))
+	graphs := map[string]*graph.Balancing{}
+	algos := map[string]core.Balancer{}
+	loads := map[string][]int64{}
+	for i := range cells {
+		cell := cells[i]
+		if err := cell.Normalize(); err != nil {
+			return nil, err
+		}
+		gKey := cell.Graph.String() + selfLoopKey(cell.Graph.SelfLoops)
+		b, ok := graphs[gKey]
+		if !ok {
+			var err error
+			b, err = cell.Graph.Bind()
+			if err != nil {
+				return nil, err
+			}
+			graphs[gKey] = b
+		}
+		aKey := gKey + "|" + cell.Algo.String()
+		algo, ok := algos[aKey]
+		if !ok {
+			var err error
+			algo, err = cell.Algo.Bind(b)
+			if err != nil {
+				return nil, err
+			}
+			algos[aKey] = algo
+		}
+		wKey := gKey + "|" + cell.Workload.String()
+		x1, ok := loads[wKey]
+		if !ok {
+			var err error
+			x1, err = cell.Workload.Bind(b.N())
+			if err != nil {
+				return nil, err
+			}
+			loads[wKey] = x1
+		}
+		events, err := cell.Schedule.Bind(b.N())
+		if err != nil {
+			return nil, err
+		}
+		spec := analysis.RunSpec{
+			Balancing:       b,
+			Algorithm:       algo,
+			Initial:         x1,
+			MaxRounds:       cell.Run.Rounds,
+			HorizonMultiple: cell.Run.HorizonMultiple,
+			Patience:        cell.Run.Patience,
+			Workers:         cell.Run.Workers,
+			SampleEvery:     cell.Run.SampleEvery,
+			Events:          events,
+		}
+		if cell.Run.Target != nil {
+			spec.TargetDiscrepancy = analysis.Target(*cell.Run.Target)
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}
+
+func selfLoopKey(loops *int) string {
+	if loops == nil {
+		return ""
+	}
+	return fmt.Sprintf("+%dloops", *loops)
+}
+
+// recoverTo converts a constructor panic (family constructors validate by
+// panicking) into a descriptive error, so one malformed descriptor cannot
+// kill a loop over many scenarios.
+func recoverTo(err *error, what string) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%s: %v", what, r)
+	}
+}

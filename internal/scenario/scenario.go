@@ -1,0 +1,362 @@
+// Package scenario is the declarative experiment-description layer: pure-data
+// descriptors for every component of a run — graph family, algorithm, initial
+// workload, dynamic-load schedule, and the run parameters — that serialize to
+// JSON, render back to the CLI mini-language, and bind into live
+// analysis.RunSpec values through a constructor registry.
+//
+// One grammar, two front-ends: the text mini-language shared by lbsim and
+// lbsweep (parse.go) and JSON scenario files (Load/Write) both produce the
+// same normalized descriptors, so any flag combination can be snapshotted to
+// a file and re-run bit-identically — every seed and every defaulted argument
+// is materialized at parse time.
+//
+// A Scenario describes one run; a Family is the cross-product description
+// (graphs × algos × workloads × schedules, the lbsweep grammar as data) that
+// expands to Scenarios and binds to RunSpecs with the same engine-reuse
+// grouping the sweep harness expects: one balancing graph per graph
+// descriptor, one algorithm instance per (graph, algorithm) pair.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"detlb/internal/analysis"
+)
+
+// Version is the scenario file format version this package reads and writes.
+const Version = 1
+
+// GraphSpec describes a balancing graph: a named family with integer
+// arguments in grammar order, plus the self-loop count d°.
+type GraphSpec struct {
+	// Kind names the graph family: cycle, torus, hypercube, complete,
+	// random, petersen, gp, kbipartite, circulant.
+	Kind string `json:"kind"`
+	// Args are the family parameters in the grammar's positional order
+	// (e.g. random: n, d, seed). Normalization materializes defaults, so a
+	// normalized descriptor is fully explicit.
+	Args []int64 `json:"args,omitempty"`
+	// Offsets are the circulant connection offsets (circulant only).
+	Offsets []int `json:"offsets,omitempty"`
+	// SelfLoops is d°; nil means lazy (d° = d), the paper's default. An
+	// explicit 0 is valid (the Theorem 4.3 regime).
+	SelfLoops *int `json:"self_loops,omitempty"`
+}
+
+// AlgoSpec describes a balancer: kind plus its argument (good's s, or the
+// seed of a seeded scheme).
+type AlgoSpec struct {
+	Kind string  `json:"kind"`
+	Args []int64 `json:"args,omitempty"`
+}
+
+// WorkloadSpec describes the initial load vector x₁.
+type WorkloadSpec struct {
+	Kind string  `json:"kind"`
+	Args []int64 `json:"args,omitempty"`
+}
+
+// SchedulePart is one component of a dynamic-workload schedule.
+type SchedulePart struct {
+	Kind string  `json:"kind"`
+	Args []int64 `json:"args,omitempty"`
+}
+
+// ScheduleSpec is a composition of schedule parts applied in order; empty
+// means a static run (the "none" of the text grammar).
+type ScheduleSpec []SchedulePart
+
+// RunParams are the harness parameters of a run — the RunSpec fields that are
+// not component descriptors. The zero value means "paper defaults": horizon
+// T, no patience, no target, serial engine, no sampling.
+type RunParams struct {
+	// Rounds caps the run; 0 uses the paper's horizon T.
+	Rounds int `json:"rounds,omitempty"`
+	// HorizonMultiple scales the default T (ignored when Rounds is set).
+	HorizonMultiple int `json:"horizon_multiple,omitempty"`
+	// Patience stops a run after this many rounds without a new minimum.
+	Patience int `json:"patience,omitempty"`
+	// Target is the discrepancy target; nil = none, 0 = perfect balance.
+	Target *int64 `json:"target,omitempty"`
+	// Workers selects engine parallelism (results are worker-independent).
+	Workers int `json:"workers,omitempty"`
+	// SampleEvery records the discrepancy every k rounds into the Series.
+	SampleEvery int `json:"sample_every,omitempty"`
+}
+
+// Scenario is the declarative description of one run.
+type Scenario struct {
+	Graph    GraphSpec    `json:"graph"`
+	Algo     AlgoSpec     `json:"algo"`
+	Workload WorkloadSpec `json:"workload"`
+	Schedule ScheduleSpec `json:"schedule,omitempty"`
+	Run      RunParams    `json:"run,omitzero"`
+}
+
+// Family is the cross-product experiment description — the lbsweep
+// graphs × algos × workloads × schedules grammar as serializable data — and
+// the scenario file format: a single run is a family of singleton lists.
+type Family struct {
+	// Name labels the family (presets carry their preset name).
+	Name string `json:"name,omitempty"`
+	// Version is the file format version; Load accepts only Version (1),
+	// treating an absent version as 1.
+	Version int `json:"version"`
+
+	Graphs    []GraphSpec    `json:"graphs"`
+	Algos     []AlgoSpec     `json:"algos"`
+	Workloads []WorkloadSpec `json:"workloads"`
+	// Schedules default to a single static schedule when empty.
+	Schedules []ScheduleSpec `json:"schedules,omitempty"`
+	// Run parameters are shared by every expanded scenario; per-cell
+	// overrides are applied on the expanded Scenarios directly.
+	Run RunParams `json:"run,omitzero"`
+}
+
+// Normalize validates the scenario's descriptors and materializes every
+// defaulted argument in place, so the descriptor is fully explicit.
+func (s *Scenario) Normalize() error {
+	g, err := normalizeGraph(s.Graph)
+	if err != nil {
+		return err
+	}
+	a, err := normalizeAlgo(s.Algo)
+	if err != nil {
+		return err
+	}
+	w, err := normalizeWorkload(s.Workload)
+	if err != nil {
+		return err
+	}
+	sch, err := normalizeSchedule(s.Schedule)
+	if err != nil {
+		return err
+	}
+	s.Graph, s.Algo, s.Workload, s.Schedule = g, a, w, sch
+	return nil
+}
+
+// Family wraps the single scenario into a one-cell family — the scenario
+// file format always holds lists, so a single run serializes as singleton
+// lists.
+func (s Scenario) Family() *Family {
+	f := &Family{
+		Version:   Version,
+		Graphs:    []GraphSpec{s.Graph},
+		Algos:     []AlgoSpec{s.Algo},
+		Workloads: []WorkloadSpec{s.Workload},
+		Run:       s.Run,
+	}
+	if len(s.Schedule) > 0 {
+		f.Schedules = []ScheduleSpec{s.Schedule}
+	}
+	return f
+}
+
+// Bind builds the live RunSpec the scenario describes.
+func (s Scenario) Bind() (analysis.RunSpec, error) {
+	specs, err := BindScenarios([]Scenario{s})
+	if err != nil {
+		return analysis.RunSpec{}, err
+	}
+	return specs[0], nil
+}
+
+// Normalize validates and normalizes every descriptor of the family in place.
+func (f *Family) Normalize() error {
+	if f.Version == 0 {
+		f.Version = Version
+	}
+	if f.Version != Version {
+		return fmt.Errorf("scenario: unsupported version %d (this build reads version %d)", f.Version, Version)
+	}
+	for i := range f.Graphs {
+		g, err := normalizeGraph(f.Graphs[i])
+		if err != nil {
+			return err
+		}
+		f.Graphs[i] = g
+	}
+	for i := range f.Algos {
+		a, err := normalizeAlgo(f.Algos[i])
+		if err != nil {
+			return err
+		}
+		f.Algos[i] = a
+	}
+	for i := range f.Workloads {
+		w, err := normalizeWorkload(f.Workloads[i])
+		if err != nil {
+			return err
+		}
+		f.Workloads[i] = w
+	}
+	for i := range f.Schedules {
+		s, err := normalizeSchedule(f.Schedules[i])
+		if err != nil {
+			return err
+		}
+		f.Schedules[i] = s
+	}
+	return nil
+}
+
+// Scenarios expands the cross product in the sweep's nesting order: graphs
+// (outermost), then algorithms, workloads, and schedules (innermost). An
+// empty schedule list contributes one static schedule.
+func (f *Family) Scenarios() []Scenario {
+	schedules := f.Schedules
+	if len(schedules) == 0 {
+		// The fallback static schedule is empty-but-non-nil, the same
+		// canonical form normalization produces, so expanded cells compare
+		// DeepEqual across an emit/load round trip.
+		schedules = []ScheduleSpec{{}}
+	}
+	cells := make([]Scenario, 0, len(f.Graphs)*len(f.Algos)*len(f.Workloads)*len(schedules))
+	for _, g := range f.Graphs {
+		for _, a := range f.Algos {
+			for _, w := range f.Workloads {
+				for _, sch := range schedules {
+					cells = append(cells, Scenario{
+						Graph: g, Algo: a, Workload: w, Schedule: sch, Run: f.Run,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Bind expands and binds the family, returning the RunSpecs together with the
+// expanded per-cell scenarios (for labeling). Binding shares one balancing
+// graph per graph descriptor and one algorithm instance per
+// (graph, algorithm) descriptor pair, the identity the sweep harness groups
+// on for engine reuse.
+func (f *Family) Bind() ([]analysis.RunSpec, []Scenario, error) {
+	if err := f.Normalize(); err != nil {
+		return nil, nil, err
+	}
+	cells := f.Scenarios()
+	specs, err := BindScenarios(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	return specs, cells, nil
+}
+
+// Load reads, validates, and normalizes a scenario file. Unknown fields are
+// rejected: a typo in a hand-written scenario must not silently vanish.
+func Load(r io.Reader) (*Family, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f Family
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := f.Normalize(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// LoadFile is Load from a file path.
+func LoadFile(path string) (*Family, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	fam, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return fam, nil
+}
+
+// Write normalizes the family and writes it as stable, indented JSON: the
+// same family always serializes to the same bytes, so emitted scenario files
+// diff cleanly and round-trip Load ∘ Write ∘ Load losslessly.
+func (f *Family) Write(w io.Writer) error {
+	if err := f.Normalize(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile is Write to a file path.
+func (f *Family) WriteFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if err := f.Write(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// String renders the canonical text-grammar spec, e.g. "random:256,8,1".
+func (s GraphSpec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Kind)
+	sep := ":"
+	for _, a := range s.Args {
+		b.WriteString(sep)
+		b.WriteString(strconv.FormatInt(a, 10))
+		sep = ","
+	}
+	if len(s.Offsets) > 0 {
+		b.WriteString(sep)
+		for i, o := range s.Offsets {
+			if i > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(strconv.Itoa(o))
+		}
+	}
+	return b.String()
+}
+
+// String renders the canonical text-grammar spec, e.g. "rand-extra:7".
+func (s AlgoSpec) String() string { return renderKindArgs(s.Kind, s.Args) }
+
+// String renders the canonical text-grammar spec, e.g. "point:2048".
+func (s WorkloadSpec) String() string { return renderKindArgs(s.Kind, s.Args) }
+
+// String renders the canonical text-grammar spec, e.g. "burst:20,0,4096".
+func (p SchedulePart) String() string { return renderKindArgs(p.Kind, p.Args) }
+
+// String renders the "+"-joined composition, or "none" for a static run.
+func (s ScheduleSpec) String() string {
+	if len(s) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(s))
+	for i, p := range s {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+func renderKindArgs(kind string, args []int64) string {
+	if len(args) == 0 {
+		return kind
+	}
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = strconv.FormatInt(a, 10)
+	}
+	return kind + ":" + strings.Join(parts, ",")
+}

@@ -1,16 +1,20 @@
-// Package specparse parses the command-line mini-language shared by the
-// harness CLIs (lbsim, lbsweep): graph family, algorithm, and workload specs
-// of the form "name:arg1,arg2".
+// Package specparse is the text front-end of the scenario layer: it parses
+// the command-line mini-language shared by the harness CLIs (lbsim, lbsweep)
+// — graph family, algorithm, workload, and schedule specs of the form
+// "name:arg1,arg2" — into scenario descriptors and binds them into live
+// objects in one step.
+//
+// The grammar itself (argument order, defaults, seeds) lives in
+// internal/scenario's constructor registry; this package is the convenience
+// surface for callers that want the bound object rather than the descriptor.
+// Malformed numeric arguments are errors, never silent defaults: "cycle:abc"
+// does not quietly become a 64-cycle.
 package specparse
 
 import (
-	"fmt"
-	"strconv"
-	"strings"
-
-	"detlb/internal/balancer"
 	"detlb/internal/core"
 	"detlb/internal/graph"
+	"detlb/internal/scenario"
 	"detlb/internal/workload"
 )
 
@@ -20,53 +24,11 @@ import (
 //	random:N,D[,SEED] | petersen | gp:N,K | kbipartite:K |
 //	circulant:N,S1+S2+…
 func Graph(spec string) (*graph.Graph, error) {
-	name, arg, _ := strings.Cut(spec, ":")
-	args := strings.Split(arg, ",")
-	atoi := func(i int, def int) int {
-		if i >= len(args) || args[i] == "" {
-			return def
-		}
-		v, err := strconv.Atoi(args[i])
-		if err != nil {
-			return def
-		}
-		return v
+	s, err := scenario.ParseGraph(spec)
+	if err != nil {
+		return nil, err
 	}
-	switch name {
-	case "cycle":
-		return graph.Cycle(atoi(0, 64)), nil
-	case "torus":
-		return graph.Torus(atoi(1, 2), atoi(0, 16)), nil
-	case "hypercube":
-		return graph.Hypercube(atoi(0, 8)), nil
-	case "complete":
-		return graph.Complete(atoi(0, 16)), nil
-	case "random":
-		return graph.RandomRegular(atoi(0, 256), atoi(1, 8), int64(atoi(2, 1))), nil
-	case "petersen":
-		return graph.Petersen(), nil
-	case "gp":
-		return graph.GeneralizedPetersen(atoi(0, 5), atoi(1, 2)), nil
-	case "kbipartite":
-		return graph.CompleteBipartite(atoi(0, 8)), nil
-	case "circulant":
-		n := atoi(0, 32)
-		var offsets []int
-		if len(args) > 1 {
-			for _, s := range strings.Split(args[1], "+") {
-				v, err := strconv.Atoi(s)
-				if err != nil {
-					return nil, fmt.Errorf("bad circulant offset %q", s)
-				}
-				offsets = append(offsets, v)
-			}
-		} else {
-			offsets = []int{1, 2}
-		}
-		return graph.Circulant(n, offsets), nil
-	default:
-		return nil, fmt.Errorf("unknown graph %q", name)
-	}
+	return s.BindGraph()
 }
 
 // Algo parses an algorithm spec and instantiates it against the balancing
@@ -74,49 +36,17 @@ func Graph(spec string) (*graph.Graph, error) {
 //
 //	send-floor | send-round | rotor-router | rotor-router* | good:S |
 //	biased | rand-extra[:SEED] | rand-round[:SEED] | mimic |
-//	bounded-error | matching | matching-rand
+//	bounded-error | matching[:SEED] | matching-rand[:SEED]
 //
 // Every call returns a fresh instance: algorithms that keep per-run state on
 // the instance (mimic, bounded-error, matching) must not be shared across
 // concurrently running engines.
 func Algo(spec string, b *graph.Balancing) (core.Balancer, error) {
-	name, arg, _ := strings.Cut(spec, ":")
-	seed := int64(1)
-	if v, err := strconv.ParseInt(arg, 10, 64); err == nil {
-		seed = v
+	s, err := scenario.ParseAlgo(spec)
+	if err != nil {
+		return nil, err
 	}
-	switch name {
-	case "send-floor":
-		return balancer.NewSendFloor(), nil
-	case "send-round":
-		return balancer.NewSendRound(), nil
-	case "rotor-router":
-		return balancer.NewRotorRouter(), nil
-	case "rotor-router*", "rotor-star":
-		return balancer.NewRotorRouterStar(), nil
-	case "good":
-		s, err := strconv.Atoi(arg)
-		if err != nil {
-			return nil, fmt.Errorf("good:S needs an integer s, got %q", arg)
-		}
-		return balancer.NewGoodS(s), nil
-	case "biased":
-		return balancer.NewBiasedRounding(), nil
-	case "rand-extra":
-		return balancer.NewRandomizedExtra(seed), nil
-	case "rand-round":
-		return balancer.NewRandomizedRounding(seed), nil
-	case "mimic":
-		return balancer.NewContinuousMimic(), nil
-	case "bounded-error":
-		return balancer.NewBoundedError(), nil
-	case "matching":
-		return balancer.NewMatchingBalancer(balancer.EdgeColoringScheduler(b.Graph()), false, seed), nil
-	case "matching-rand":
-		return balancer.NewMatchingBalancer(balancer.NewRandomMatchingScheduler(b.Graph(), seed), true, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
-	}
+	return s.Bind(b)
 }
 
 // Schedule parses a dynamic-workload schedule spec for an n-node graph —
@@ -128,136 +58,15 @@ func Algo(spec string, b *graph.Balancing) (core.Balancer, error) {
 //
 // Parts joined with "+" compose into one schedule applied in order, e.g.
 // "burst:20,0,4096+drain:30,60,2". "none" (or the empty string) returns a
-// nil Schedule: a static run.
+// nil Schedule: a static run. A schedule that can never fire (bad cadence,
+// negative round, empty window) is rejected instead of silently producing a
+// static run labeled as dynamic.
 func Schedule(spec string, n int) (workload.Schedule, error) {
-	parts := strings.Split(spec, "+")
-	var composed workload.Compose
-	for _, part := range parts {
-		part = strings.TrimSpace(part)
-		if part == "" || part == "none" {
-			continue
-		}
-		s, err := scheduleOne(part, n)
-		if err != nil {
-			return nil, err
-		}
-		composed = append(composed, s)
+	s, err := scenario.ParseSchedule(spec)
+	if err != nil {
+		return nil, err
 	}
-	switch len(composed) {
-	case 0:
-		return nil, nil
-	case 1:
-		return composed[0], nil
-	default:
-		return composed, nil
-	}
-}
-
-func scheduleOne(spec string, n int) (workload.Schedule, error) {
-	name, arg, _ := strings.Cut(spec, ":")
-	args := strings.Split(arg, ",")
-	atoi := func(i int, def int64) (int64, error) {
-		if i >= len(args) || args[i] == "" {
-			return def, nil
-		}
-		v, err := strconv.ParseInt(args[i], 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("schedule %q: bad argument %q", spec, args[i])
-		}
-		return v, nil
-	}
-	need := func(idxs ...int) ([]int64, error) {
-		out := make([]int64, 0, len(idxs))
-		for _, i := range idxs {
-			if i >= len(args) || args[i] == "" {
-				return nil, fmt.Errorf("schedule %q needs %d arguments", spec, len(idxs))
-			}
-			v, err := atoi(i, 0)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, v)
-		}
-		return out, nil
-	}
-	checkNode := func(node int64) error {
-		if node < 0 || node >= int64(n) {
-			return fmt.Errorf("schedule %q: node %d out of range [0,%d)", spec, node, n)
-		}
-		return nil
-	}
-	// A schedule that can never fire (bad cadence, negative round, empty
-	// window) is almost certainly a typo'd experiment: reject it instead of
-	// silently running a static run labeled as dynamic.
-	cantFire := func(cond bool, why string) error {
-		if cond {
-			return fmt.Errorf("schedule %q can never fire: %s", spec, why)
-		}
-		return nil
-	}
-	switch name {
-	case "burst":
-		v, err := need(0, 1, 2)
-		if err != nil {
-			return nil, err
-		}
-		if err := checkNode(v[1]); err != nil {
-			return nil, err
-		}
-		if err := cantFire(v[0] < 0 || v[2] == 0, "negative round or zero amount"); err != nil {
-			return nil, err
-		}
-		return workload.Burst{Round: int(v[0]), Node: int(v[1]), Amount: v[2]}, nil
-	case "drain":
-		v, err := need(0, 1, 2)
-		if err != nil {
-			return nil, err
-		}
-		if err := cantFire(v[1] < v[0] || v[2] <= 0, "empty window or non-positive per-node amount"); err != nil {
-			return nil, err
-		}
-		return workload.Drain{From: int(v[0]), To: int(v[1]), PerNode: v[2]}, nil
-	case "periodic":
-		v, err := need(0, 1, 2)
-		if err != nil {
-			return nil, err
-		}
-		if err := checkNode(v[1]); err != nil {
-			return nil, err
-		}
-		if err := cantFire(v[0] <= 0 || v[2] == 0, "non-positive cadence or zero amount"); err != nil {
-			return nil, err
-		}
-		return workload.Periodic{Every: int(v[0]), Node: int(v[1]), Amount: v[2]}, nil
-	case "churn":
-		v, err := need(0, 1)
-		if err != nil {
-			return nil, err
-		}
-		seed, err := atoi(2, 1)
-		if err != nil {
-			return nil, err
-		}
-		if err := cantFire(v[0] <= 0 || v[1] <= 0, "non-positive cadence or amount"); err != nil {
-			return nil, err
-		}
-		return workload.Churn{Every: int(v[0]), Amount: v[1], Seed: uint64(seed)}, nil
-	case "refill":
-		v, err := need(0, 1)
-		if err != nil {
-			return nil, err
-		}
-		every, err := atoi(2, 0)
-		if err != nil {
-			return nil, err
-		}
-		if err := cantFire(v[0] < 0 || every < 0 || v[1] == 0, "negative round or cadence, or zero amount"); err != nil {
-			return nil, err
-		}
-		return workload.Refill{Round: int(v[0]), Amount: v[1], Every: int(every)}, nil
-	default:
-		return nil, fmt.Errorf("unknown schedule %q", name)
-	}
+	return s.Bind(n)
 }
 
 // Workload parses an initial-load spec for an n-node graph:
@@ -265,30 +74,9 @@ func scheduleOne(spec string, n int) (workload.Schedule, error) {
 //	point:TOTAL | uniform:EACH | bimodal:LO,HI | random:MAX[,SEED] |
 //	ramp:BASE,STEP
 func Workload(spec string, n int) ([]int64, error) {
-	name, arg, _ := strings.Cut(spec, ":")
-	args := strings.Split(arg, ",")
-	atoi := func(i int, def int64) int64 {
-		if i >= len(args) || args[i] == "" {
-			return def
-		}
-		v, err := strconv.ParseInt(args[i], 10, 64)
-		if err != nil {
-			return def
-		}
-		return v
+	s, err := scenario.ParseWorkload(spec)
+	if err != nil {
+		return nil, err
 	}
-	switch name {
-	case "point":
-		return workload.PointMass(n, 0, atoi(0, int64(8*n))), nil
-	case "uniform":
-		return workload.Uniform(n, atoi(0, 8)), nil
-	case "bimodal":
-		return workload.Bimodal(n, atoi(0, 0), atoi(1, 64)), nil
-	case "random":
-		return workload.Random(n, atoi(0, 64), atoi(1, 1)), nil
-	case "ramp":
-		return workload.Ramp(n, atoi(0, 0), atoi(1, 1)), nil
-	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
-	}
+	return s.Bind(n)
 }
