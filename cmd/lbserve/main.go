@@ -1,0 +1,118 @@
+// Command lbserve is the scenario-driven serving daemon: a long-running HTTP
+// process that accepts scenario JSON (the docs/scenarios.md format) or preset
+// names, executes them on the concurrent sweep harness, streams per-round
+// snapshots live over SSE/NDJSON, and archives every finished run as a
+// content-addressed (scenario, result) pair for regression tracking.
+//
+// Usage:
+//
+//	lbserve [-addr 127.0.0.1:8080] [-archive DIR] [-max-runs 4]
+//	        [-sweep-workers 0] [-drain 15s]
+//
+// Endpoints (see docs/serving.md for the full reference):
+//
+//	POST   /v1/runs            submit a scenario family (?preset=<name> runs a preset)
+//	GET    /v1/runs            list runs
+//	GET    /v1/runs/{id}        run status
+//	DELETE /v1/runs/{id}        cancel (stops within one round)
+//	GET    /v1/runs/{id}/stream live SSE/NDJSON snapshot stream (re-executes deterministically)
+//	GET    /v1/runs/{id}/result archived result document (?wait=1 blocks until done)
+//	GET    /v1/archive          list archive entries
+//	GET    /v1/archive/{digest}/{scenario,result}
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: it stops accepting
+// connections, waits up to -drain for in-flight runs and streams, then
+// cancels the rest (each stops within one balancing round). A second signal
+// kills the process immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"detlb/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("lbserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	archiveDir := fs.String("archive", "lbserve-archive", "result archive directory (empty disables archiving)")
+	maxRuns := fs.Int("max-runs", 4, "max concurrently executing runs (further runs queue)")
+	sweepWorkers := fs.Int("sweep-workers", 0, "concurrent sweep groups per run (0 = GOMAXPROCS)")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-drain window on SIGTERM/SIGINT")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "lbserve: ", log.LstdFlags)
+	srv, err := serve.New(serve.Config{
+		ArchiveDir:        *archiveDir,
+		MaxConcurrentRuns: *maxRuns,
+		SweepWorkers:      *sweepWorkers,
+		Log:               logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbserve:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbserve:", err)
+		return 1
+	}
+	archiveNote := *archiveDir
+	if archiveNote == "" {
+		archiveNote = "(disabled)"
+	}
+	fmt.Fprintf(stdout, "lbserve: listening on http://%s archive %s\n", ln.Addr(), archiveNote)
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "lbserve:", err)
+		srv.Close()
+		return 1
+	case <-ctx.Done():
+	}
+	// Restore default signal handling: a second SIGTERM/SIGINT during the
+	// drain kills the process outright.
+	stop()
+
+	fmt.Fprintf(stdout, "lbserve: draining (up to %v)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting and wait for in-flight HTTP work (streams included),
+	// then for queued/running runs. Whatever outlives the window is canceled
+	// — every in-flight cell stops within one round.
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		hs.Close()
+	}
+	drained := srv.Drain(drainCtx) == nil
+	srv.Close()
+	if drained {
+		fmt.Fprintln(stdout, "lbserve: drained cleanly")
+	} else {
+		fmt.Fprintln(stdout, "lbserve: drain window expired; canceled remaining runs")
+	}
+	return 0
+}

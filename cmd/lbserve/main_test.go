@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// addrWatcher captures run()'s stdout and reports the bound address once the
+// listening line appears — -addr :0 binds an ephemeral port the test must
+// discover.
+type addrWatcher struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	addr  chan string
+	found bool
+}
+
+var listenRE = regexp.MustCompile(`listening on http://(\S+)`)
+
+func (w *addrWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.found {
+		if m := listenRE.FindSubmatch(w.buf.Bytes()); m != nil {
+			w.found = true
+			w.addr <- string(m[1])
+		}
+	}
+	return len(p), nil
+}
+
+func (w *addrWatcher) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeEndToEnd boots the real daemon, drives the CI smoke flow over
+// HTTP — preset POST, SSE stream with shock-marked snapshots, archive
+// round-trip reproducing bit-identical result bytes — then drains it with
+// SIGTERM and expects a clean exit.
+func TestServeEndToEnd(t *testing.T) {
+	w := &addrWatcher{addr: make(chan string, 1)}
+	exit := make(chan int, 1)
+	archiveDir := t.TempDir()
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-archive", archiveDir, "-drain", "30s"}, w)
+	}()
+	var base string
+	select {
+	case addr := <-w.addr:
+		base = "http://" + addr
+	case code := <-exit:
+		t.Fatalf("daemon exited %d before listening:\n%s", code, w)
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never started listening:\n%s", w)
+	}
+
+	// POST the preset.
+	resp, err := http.Post(base+"/v1/runs?preset=shock-recovery", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("preset POST: %d: %s", resp.StatusCode, data)
+	}
+	var sum struct{ ID, Digest string }
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+
+	// The SSE stream carries shock-marked snapshots.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/runs/%s/stream?format=sse", base, sum.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(stream), `"shock"`) {
+		t.Fatal("SSE stream carries no shock-marked snapshots")
+	}
+
+	// Archive round trip: the archived scenario re-runs bit-identically.
+	get := func(url string) []byte {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, data)
+		}
+		return data
+	}
+	r1 := get(fmt.Sprintf("%s/v1/runs/%s/result?wait=1", base, sum.ID))
+	archived := get(fmt.Sprintf("%s/v1/archive/%s/scenario", base, sum.Digest))
+	resp, err = http.Post(base+"/v1/runs", "application/json", bytes.NewReader(archived))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var sum2 struct{ ID, Digest string }
+	if err := json.Unmarshal(data, &sum2); err != nil {
+		t.Fatalf("re-POST: %v (%s)", err, data)
+	}
+	if sum2.Digest != sum.Digest {
+		t.Fatalf("re-POST digest %s != %s", sum2.Digest, sum.Digest)
+	}
+	r2 := get(fmt.Sprintf("%s/v1/runs/%s/result?wait=1", base, sum2.ID))
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("archived scenario did not reproduce bit-identical result JSON")
+	}
+
+	// SIGTERM drains the daemon; the runs are finished, so the exit is clean.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exited %d:\n%s", code, w)
+		}
+	case <-time.After(45 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM:\n%s", w)
+	}
+	if out := w.String(); !strings.Contains(out, "drained cleanly") {
+		t.Fatalf("drain message missing:\n%s", out)
+	}
+}

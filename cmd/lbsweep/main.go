@@ -235,11 +235,10 @@ func run(args []string, stdout io.Writer) int {
 			}
 		}
 	}
-	// First Ctrl-C cancels the sweep at spec granularity: finished specs keep
-	// their results, unstarted ones report the cancellation through their
-	// Err. A second Ctrl-C kills the process outright — cancellation cannot
-	// interrupt a spec already in flight, so the escape hatch must not be
-	// swallowed.
+	// First Ctrl-C cancels the sweep: finished specs keep their results,
+	// unstarted ones report the cancellation through their Err, and the spec
+	// in flight stops within one round. A second Ctrl-C kills the process
+	// outright — the escape hatch must not be swallowed.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	sigc := make(chan os.Signal, 2)
@@ -469,12 +468,7 @@ func writeSeries(dir string, results []analysis.RunResult) (int, error) {
 		}
 		samples := make([]trace.Sample, len(res.Series))
 		for j, p := range res.Series {
-			s := trace.Sample{Round: p.Round, Discrepancy: p.Discrepancy, Max: p.Max, Min: p.Min}
-			if p.Shock {
-				injected := p.Injected
-				s.Shock = &injected
-			}
-			samples[j] = s
+			samples[j] = p.Sample()
 		}
 		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("sweep-%04d.jsonl", i)))
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"detlb/internal/graph"
 	"detlb/internal/lowerbound"
 	"detlb/internal/scenario"
+	"detlb/internal/serve"
 	"detlb/internal/spectral"
 	"detlb/internal/trace"
 	"detlb/internal/workload"
@@ -261,6 +262,31 @@ var (
 	ScenarioPreset = scenario.Preset
 	// ScenarioPresets lists the preset catalog.
 	ScenarioPresets = scenario.PresetNames
+)
+
+// Serving layer (cmd/lbserve): a long-running HTTP daemon that executes
+// scenarios on the sweep harness, streams per-round snapshots over
+// SSE/NDJSON (every consumer re-executes deterministically on its own
+// engines), and persists finished runs as content-addressed
+// (scenario, result) archive pairs for regression tracking.
+type (
+	// Server is the scenario-serving http.Handler plus its executor pool.
+	Server = serve.Server
+	// ServeConfig configures a Server (archive dir, concurrency bounds).
+	ServeConfig = serve.Config
+	// ServedRun summarizes one submitted run's lifecycle.
+	ServedRun = serve.RunSummary
+	// RunArchive is the content-addressed result store.
+	RunArchive = serve.Archive
+	// RunArchiveEntry summarizes one archived run.
+	RunArchiveEntry = serve.ArchiveEntry
+)
+
+var (
+	// NewServer builds the serving layer.
+	NewServer = serve.New
+	// OpenRunArchive opens (creating) a content-addressed result archive.
+	OpenRunArchive = serve.OpenArchive
 )
 
 // Snapshot is one observation of a streaming run.

@@ -48,6 +48,15 @@
 //   - a streaming run API: Stream(ctx, spec) yields one Snapshot per round
 //     (plus Shock-marked injection snapshots) with per-round cancellation,
 //     and is the primitive Run and Sweep are expressed over;
+//   - a scenario-driven serving layer (cmd/lbserve): a long-running HTTP
+//     daemon that accepts scenario JSON or preset names, executes them on
+//     the sweep harness's bounded runner pool, streams per-round snapshots
+//     live over SSE/NDJSON — each consumer deterministically re-executes on
+//     its own engines, so streams need no broadcast machinery and client
+//     disconnect cancels within one round — and archives every finished run
+//     as a content-addressed (scenario, result) pair whose bit-identical
+//     reproducibility is the regression-tracking contract (Server,
+//     NewServer, RunArchive; see docs/serving.md);
 //   - an actor runtime executing the same model with one goroutine per
 //     processor and channel message passing.
 //

@@ -199,14 +199,16 @@ func prepareResult(spec RunSpec) (res RunResult, ok bool) {
 	return res, true
 }
 
-// runEngine drives an engine already holding the spec's initial vector
-// through the streaming round loop (see streamEngine), draining it to
-// completion. It is shared by Run (fresh engine per call) and the sweep
-// runner (engines reused across specs via Engine.Reset); both produce
-// bit-identical results because a reset engine is equivalent to a fresh one
-// and the round loop is a pure function of (spec, initial state).
-func runEngine(spec RunSpec, eng *core.Engine, res RunResult) RunResult {
-	for range streamEngine(context.Background(), spec, eng, &res) {
+// runEngineContext drives an engine already holding the spec's initial
+// vector through the streaming round loop (see streamEngine), draining it to
+// completion. It is the sweep runner's entry point (engines reused across
+// specs via Engine.Reset), bit-identical to Run's fresh-engine path because
+// a reset engine is equivalent to a fresh one and the round loop is a pure
+// function of (spec, initial state). The context gives it round-granularity
+// cancellation — the guarantee SweepContext and the serving layer's drain
+// are built on.
+func runEngineContext(ctx context.Context, spec RunSpec, eng *core.Engine, res RunResult) RunResult {
+	for range streamEngine(ctx, spec, eng, &res) {
 	}
 	return res
 }

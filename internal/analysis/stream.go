@@ -96,6 +96,17 @@ func StreamInto(ctx context.Context, spec RunSpec, res *RunResult) iter.Seq2[Rou
 	}
 }
 
+// streamCanceledError is the round loop's cancellation report. It is a
+// distinct type so the sweep path can recognize it and relabel in-flight
+// cancellations with the sweep's own wording — one user action, one message.
+type streamCanceledError struct{ cause error }
+
+func (e *streamCanceledError) Error() string {
+	return "analysis: stream canceled: " + e.cause.Error()
+}
+
+func (e *streamCanceledError) Unwrap() error { return e.cause }
+
 // streamEngine drives an engine already holding the spec's initial vector
 // through the round loop, yielding one snapshot per observation and folding
 // the full RunResult bookkeeping into res. It is the single round-loop
@@ -143,6 +154,11 @@ func streamEngine(ctx context.Context, spec RunSpec, eng *core.Engine, res *RunR
 
 		// Round 0 — the state before the first round — opens every stream.
 		if !yield(0, Snapshot{Discrepancy: disc, Max: hi, Min: lo}) {
+			if spec.SampleEvery > 0 {
+				// A consumer break is a stopping round like any other: a
+				// sampled spec always produces a (one-point) trajectory.
+				res.Series = append(res.Series, Point{Round: 0, Discrepancy: disc, Max: hi, Min: lo})
+			}
 			return
 		}
 
@@ -278,8 +294,12 @@ func streamEngine(ctx context.Context, spec RunSpec, eng *core.Engine, res *RunR
 			if ctx.Err() != nil {
 				// Per-round cancellation: the run stops before starting
 				// another round, keeping every completed round's bookkeeping.
-				res.Err = fmt.Errorf("analysis: stream canceled: %w", context.Cause(ctx))
-				finish(round-1, lastDisc, lastLo, lastHi, lastSampled || round == 1)
+				res.Err = &streamCanceledError{cause: context.Cause(ctx)}
+				// lastSampled alone decides the final-sample append: a cancel
+				// before the first round records the round-0 state, matching
+				// the consumer-break-at-round-0 path — a sampled spec always
+				// produces a trajectory.
+				finish(round-1, lastDisc, lastLo, lastHi, lastSampled)
 				return
 			}
 			if spec.Events != nil && !inject(round-1) {

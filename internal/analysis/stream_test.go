@@ -150,6 +150,21 @@ func TestStreamBreakFinalizes(t *testing.T) {
 	}
 }
 
+// Breaking on the opening round-0 snapshot still produces the one-point
+// trajectory a sampled spec promises.
+func TestStreamBreakAtRoundZeroKeepsSample(t *testing.T) {
+	spec := streamTestSpec()
+	spec.SampleEvery = 5
+	var res RunResult
+	for range StreamInto(context.Background(), spec, &res) {
+		break
+	}
+	if len(res.Series) != 1 || res.Series[0].Round != 0 ||
+		res.Series[0].Discrepancy != res.FinalDiscrepancy {
+		t.Fatalf("series after round-0 break: %+v (res %+v)", res.Series, res)
+	}
+}
+
 // Breaking on a Shock snapshot finalizes at the post-injection state: the
 // recorded final discrepancy must match what the consumer just saw, and the
 // series must not grow a second, contradictory point for the same round.

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -75,9 +76,12 @@ func Sweep(specs []RunSpec, opt SweepOptions) []RunResult {
 
 // SweepContext is Sweep with cancellation: once ctx is done, every spec not
 // yet started reports the context's error through its RunResult.Err instead
-// of running (specs already in flight finish normally — a spec is the unit of
-// interruption). Long dynamic sweeps should pass a cancelable context and, if
-// they report progress, a SweepOptions.Progress callback.
+// of running, and specs already in flight stop within one round (the round
+// loop checks the context between rounds, exactly like a streaming consumer's
+// context), keeping their completed-round bookkeeping alongside a
+// cancellation Err. Long dynamic sweeps should pass a cancelable context and,
+// if they report progress, a SweepOptions.Progress callback. The serving
+// layer relies on the round-granularity guarantee for graceful drain.
 func SweepContext(ctx context.Context, specs []RunSpec, opt SweepOptions) []RunResult {
 	if ctx == nil {
 		ctx = context.Background()
@@ -176,7 +180,15 @@ func runSweepGroup(ctx context.Context, specs []RunSpec, indices []int, results 
 			results[i] = RunResult{TargetRound: -1,
 				Err: fmt.Errorf("analysis: sweep canceled: %w", context.Cause(ctx))}
 		} else {
-			results[i] = runSweepSpec(specs[i], &eng, &engWorkers)
+			res := runSweepSpec(ctx, specs[i], &eng, &engWorkers)
+			// An in-flight spec stopped by the context reports the round
+			// loop's "stream canceled"; relabel it so every spec of one
+			// canceled sweep — started or not — reads the same.
+			var sc *streamCanceledError
+			if errors.As(res.Err, &sc) {
+				res.Err = fmt.Errorf("analysis: sweep canceled: %w", sc.cause)
+			}
+			results[i] = res
 		}
 		prog.specDone()
 	}
@@ -187,7 +199,7 @@ func runSweepGroup(ctx context.Context, specs []RunSpec, indices []int, results 
 // validation in balancers, hostile user implementations — are converted to
 // the spec's Err, and any cached engine is discarded since its state is
 // unknown after an unwound run.
-func runSweepSpec(spec RunSpec, eng **core.Engine, engWorkers *int) (res RunResult) {
+func runSweepSpec(ctx context.Context, spec RunSpec, eng **core.Engine, engWorkers *int) (res RunResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("analysis: sweep spec panicked: %v", r)
@@ -215,12 +227,12 @@ func runSweepSpec(spec RunSpec, eng **core.Engine, engWorkers *int) (res RunResu
 			return res
 		}
 		defer e.Close()
-		return runEngine(spec, e, res)
+		return runEngineContext(ctx, spec, e, res)
 	}
 
 	if *eng != nil && *engWorkers == spec.Workers {
 		if err := (*eng).Reset(spec.Initial); err == nil {
-			return runEngine(spec, *eng, res)
+			return runEngineContext(ctx, spec, *eng, res)
 		}
 		// Reset declined (wrong vector length, unresettable bound state):
 		// fall through to a fresh engine, which surfaces any real error.
@@ -235,5 +247,5 @@ func runSweepSpec(spec RunSpec, eng **core.Engine, engWorkers *int) (res RunResu
 		return res
 	}
 	*eng, *engWorkers = e, spec.Workers
-	return runEngine(spec, e, res)
+	return runEngineContext(ctx, spec, e, res)
 }

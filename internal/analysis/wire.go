@@ -1,0 +1,40 @@
+package analysis
+
+import "detlb/internal/trace"
+
+// This file is the snapshot→wire bridge: one conversion from the harness's
+// in-memory observations (Snapshot, Point) to the trace.Sample record that
+// every JSONL export writes, so the sweep CLI's trajectory files, the serving
+// layer's SSE/NDJSON events, and the archived result documents all speak the
+// same wire format and round-trip through trace.ReadJSONL.
+
+// Sample converts the snapshot observed at the given round to its trace wire
+// record. A Shock-marked snapshot carries the net injected token count behind
+// the Shock pointer — presence is the marker, so a net-0 injection (pure
+// churn) still marks, matching the JSONL convention.
+func (s Snapshot) Sample(round Round) trace.Sample {
+	smp := trace.Sample{
+		Round:       round,
+		Discrepancy: s.Discrepancy,
+		Max:         s.Max,
+		Min:         s.Min,
+	}
+	if s.Shock {
+		injected := s.Injected
+		smp.Shock = &injected
+	}
+	return smp
+}
+
+// Sample converts the sampled trajectory point to its trace wire record,
+// identically to Snapshot.Sample — a run's Series and its streamed snapshots
+// encode to the same bytes for the same observation.
+func (p Point) Sample() trace.Sample {
+	return Snapshot{
+		Discrepancy: p.Discrepancy,
+		Max:         p.Max,
+		Min:         p.Min,
+		Shock:       p.Shock,
+		Injected:    p.Injected,
+	}.Sample(p.Round)
+}

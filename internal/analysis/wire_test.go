@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"detlb/internal/balancer"
+	"detlb/internal/graph"
+	"detlb/internal/trace"
+	"detlb/internal/workload"
+)
+
+// TestSampleWireEncoding: Snapshot and Point encode to identical trace
+// records for the same observation, shock markers carried behind the pointer.
+func TestSampleWireEncoding(t *testing.T) {
+	snap := Snapshot{Discrepancy: 7, Max: 9, Min: 2}
+	got := snap.Sample(13)
+	want := trace.Sample{Round: 13, Discrepancy: 7, Max: 9, Min: 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("plain snapshot: %+v", got)
+	}
+
+	shocked := Snapshot{Discrepancy: 64, Max: 64, Min: 0, Shock: true, Injected: 0}
+	s := shocked.Sample(5)
+	if s.Shock == nil || *s.Shock != 0 {
+		t.Fatalf("net-0 shock must still mark: %+v", s)
+	}
+
+	p := Point{Round: 5, Discrepancy: 64, Max: 64, Min: 0, Shock: true, Injected: -3}
+	ps := p.Sample()
+	if ps.Round != 5 || ps.Shock == nil || *ps.Shock != -3 {
+		t.Fatalf("point sample: %+v", ps)
+	}
+	if !reflect.DeepEqual(
+		Snapshot{Discrepancy: 64, Max: 64, Min: 0, Shock: true, Injected: -3}.Sample(5), ps) {
+		t.Fatal("Point and Snapshot wire encodings drifted apart")
+	}
+}
+
+// signalingSchedule closes started the first time it is consulted — a hook to
+// cancel a sweep only once a spec is provably in flight.
+type signalingSchedule struct {
+	once    sync.Once
+	started chan struct{}
+}
+
+func (s *signalingSchedule) DeltaInto(round int, loads, dst []int64) bool {
+	s.once.Do(func() { close(s.started) })
+	return false
+}
+
+// TestSweepContextCancelInFlight: cancellation stops the spec already
+// executing within one round — not just the unstarted ones — keeping its
+// completed-round bookkeeping alongside the cancellation error.
+func TestSweepContextCancelInFlight(t *testing.T) {
+	b := graph.Lazy(graph.Cycle(64))
+	sched := &signalingSchedule{started: make(chan struct{})}
+	specs := []RunSpec{{
+		Balancing: b,
+		Algorithm: balancer.NewRotorRouter(),
+		Initial:   workload.PointMass(64, 0, 640),
+		MaxRounds: 50_000_000, // would run for ages without the cancel
+		Events:    sched,
+	}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-sched.started
+		cancel()
+	}()
+
+	done := make(chan []RunResult, 1)
+	go func() { done <- SweepContext(ctx, specs, SweepOptions{}) }()
+	select {
+	case results := <-done:
+		res := results[0]
+		// One sweep cancellation, one wording — whether the spec was in
+		// flight or never started.
+		if res.Err == nil || !strings.Contains(res.Err.Error(), "analysis: sweep canceled") {
+			t.Fatalf("in-flight spec err = %v", res.Err)
+		}
+		if res.Rounds >= specs[0].MaxRounds {
+			t.Fatalf("spec ran to its horizon despite cancellation: %d rounds", res.Rounds)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled sweep did not return — in-flight cancellation is not round-granular")
+	}
+}

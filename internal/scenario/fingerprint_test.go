@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFingerprintStability: Canonical is idempotent through a load round
+// trip (the archive's content-address contract), and any semantic change —
+// here a different seed — moves the digest.
+func TestFingerprintStability(t *testing.T) {
+	fam, err := ParseFamily("random:64,8,1;hypercube:5", "rotor-router", "point:2048", "burst:20,0,4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, canonical, err := fam.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(digest) != 64 {
+		t.Fatalf("digest %q is not sha256 hex", digest)
+	}
+
+	reloaded, err := Load(bytes.NewReader(canonical))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest2, canonical2, err := reloaded.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest2 != digest || !bytes.Equal(canonical2, canonical) {
+		t.Fatalf("fingerprint not stable through a load round trip: %s vs %s", digest2, digest)
+	}
+
+	// Write emits exactly the canonical bytes.
+	var buf bytes.Buffer
+	if err := fam.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), canonical) {
+		t.Fatal("Write and Canonical drifted apart")
+	}
+
+	other, err := ParseFamily("random:64,8,2;hypercube:5", "rotor-router", "point:2048", "burst:20,0,4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherDigest, _, err := other.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherDigest == digest {
+		t.Fatal("different seed, same fingerprint")
+	}
+}

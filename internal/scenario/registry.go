@@ -79,6 +79,10 @@ type graphEntry struct {
 	offsets bool
 	// nodes computes n from normalized args, without building the graph.
 	nodes func(a []int64) int
+	// degree computes d from normalized args and offsets, without building
+	// the graph — with nodes, the sizing metadata (arcs = n·d) admission
+	// control caps on.
+	degree func(a []int64, offsets []int) int
 	// build constructs the graph; family constructors panic on invalid
 	// parameters, which Bind converts to errors.
 	build func(a []int64, offsets []int) *graph.Graph
@@ -86,9 +90,10 @@ type graphEntry struct {
 
 var graphRegistry = map[string]graphEntry{
 	"cycle": {
-		args:  []argDef{opt("n", 64)},
-		nodes: func(a []int64) int { return int(a[0]) },
-		build: func(a []int64, _ []int) *graph.Graph { return graph.Cycle(int(a[0])) },
+		args:   []argDef{opt("n", 64)},
+		nodes:  func(a []int64) int { return int(a[0]) },
+		degree: func([]int64, []int) int { return 2 },
+		build:  func(a []int64, _ []int) *graph.Graph { return graph.Cycle(int(a[0])) },
 	},
 	"torus": {
 		args: []argDef{opt("side", 16), opt("r", 2)},
@@ -107,7 +112,8 @@ var graphRegistry = map[string]graphEntry{
 			}
 			return n
 		},
-		build: func(a []int64, _ []int) *graph.Graph { return graph.Torus(int(a[1]), int(a[0])) },
+		build:  func(a []int64, _ []int) *graph.Graph { return graph.Torus(int(a[1]), int(a[0])) },
+		degree: func(a []int64, _ []int) int { return 2 * int(a[1]) },
 	},
 	"hypercube": {
 		args: []argDef{opt("r", 8)},
@@ -117,40 +123,47 @@ var graphRegistry = map[string]graphEntry{
 			}
 			return 1 << uint(a[0])
 		},
-		build: func(a []int64, _ []int) *graph.Graph { return graph.Hypercube(int(a[0])) },
+		build:  func(a []int64, _ []int) *graph.Graph { return graph.Hypercube(int(a[0])) },
+		degree: func(a []int64, _ []int) int { return int(a[0]) },
 	},
 	"complete": {
-		args:  []argDef{opt("n", 16)},
-		nodes: func(a []int64) int { return int(a[0]) },
-		build: func(a []int64, _ []int) *graph.Graph { return graph.Complete(int(a[0])) },
+		args:   []argDef{opt("n", 16)},
+		nodes:  func(a []int64) int { return int(a[0]) },
+		degree: func(a []int64, _ []int) int { return int(a[0]) - 1 },
+		build:  func(a []int64, _ []int) *graph.Graph { return graph.Complete(int(a[0])) },
 	},
 	"random": {
-		args:  []argDef{opt("n", 256), opt("d", 8), opt("seed", 1)},
-		nodes: func(a []int64) int { return int(a[0]) },
+		args:   []argDef{opt("n", 256), opt("d", 8), opt("seed", 1)},
+		nodes:  func(a []int64) int { return int(a[0]) },
+		degree: func(a []int64, _ []int) int { return int(a[1]) },
 		build: func(a []int64, _ []int) *graph.Graph {
 			return graph.RandomRegular(int(a[0]), int(a[1]), a[2])
 		},
 	},
 	"petersen": {
-		nodes: func([]int64) int { return 10 },
-		build: func([]int64, []int) *graph.Graph { return graph.Petersen() },
+		nodes:  func([]int64) int { return 10 },
+		degree: func([]int64, []int) int { return 3 },
+		build:  func([]int64, []int) *graph.Graph { return graph.Petersen() },
 	},
 	"gp": {
-		args:  []argDef{opt("n", 5), opt("k", 2)},
-		nodes: func(a []int64) int { return 2 * int(a[0]) },
+		args:   []argDef{opt("n", 5), opt("k", 2)},
+		nodes:  func(a []int64) int { return 2 * int(a[0]) },
+		degree: func([]int64, []int) int { return 3 },
 		build: func(a []int64, _ []int) *graph.Graph {
 			return graph.GeneralizedPetersen(int(a[0]), int(a[1]))
 		},
 	},
 	"kbipartite": {
-		args:  []argDef{opt("k", 8)},
-		nodes: func(a []int64) int { return 2 * int(a[0]) },
-		build: func(a []int64, _ []int) *graph.Graph { return graph.CompleteBipartite(int(a[0])) },
+		args:   []argDef{opt("k", 8)},
+		nodes:  func(a []int64) int { return 2 * int(a[0]) },
+		degree: func(a []int64, _ []int) int { return int(a[0]) },
+		build:  func(a []int64, _ []int) *graph.Graph { return graph.CompleteBipartite(int(a[0])) },
 	},
 	"circulant": {
 		args:    []argDef{opt("n", 32)},
 		offsets: true,
 		nodes:   func(a []int64) int { return int(a[0]) },
+		degree:  func(_ []int64, offsets []int) int { return 2 * len(offsets) },
 		build:   func(a []int64, offsets []int) *graph.Graph { return graph.Circulant(int(a[0]), offsets) },
 	},
 }
@@ -185,6 +198,28 @@ func (s GraphSpec) Nodes() (int, error) {
 		return 0, err
 	}
 	return graphRegistry[s.Kind].nodes(s.Args), nil
+}
+
+// Arcs estimates the described graph's directed arc count, n·d, without
+// constructing it. Engine memory is proportional to arcs, so this is the
+// sizing metadata admission control (the serving layer) caps on before
+// binding a descriptor. Clamped, never negative; absurd descriptors are
+// rejected by Bind — Arcs only has to be large for them, not exact.
+func (s GraphSpec) Arcs() (int64, error) {
+	s, err := normalizeGraph(s)
+	if err != nil {
+		return 0, err
+	}
+	e := graphRegistry[s.Kind]
+	n := int64(e.nodes(s.Args))
+	d := int64(e.degree(s.Args, s.Offsets))
+	if n <= 0 || d <= 0 {
+		return 0, nil
+	}
+	if n > math.MaxInt64/d {
+		return math.MaxInt64, nil
+	}
+	return n * d, nil
 }
 
 // BindGraph constructs the described graph G.

@@ -18,6 +18,8 @@
 package scenario
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -278,18 +280,43 @@ func LoadFile(path string) (*Family, error) {
 	return fam, nil
 }
 
-// Write normalizes the family and writes it as stable, indented JSON: the
-// same family always serializes to the same bytes, so emitted scenario files
-// diff cleanly and round-trip Load ∘ Write ∘ Load losslessly.
-func (f *Family) Write(w io.Writer) error {
+// Canonical normalizes the family and returns its canonical encoding: stable,
+// indented JSON with every default and seed materialized. The same family
+// always canonicalizes to the same bytes, and loading the bytes back
+// canonicalizes to them again (Canonical ∘ Load ∘ Canonical is the identity on
+// its image) — the property the serving layer's content-addressed archive is
+// built on.
+func (f *Family) Canonical() ([]byte, error) {
 	if err := f.Normalize(); err != nil {
-		return err
+		return nil, err
 	}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
-		return fmt.Errorf("scenario: %w", err)
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	data = append(data, '\n')
+	return append(data, '\n'), nil
+}
+
+// Fingerprint returns the family's content address — the SHA-256 hex digest
+// of its canonical bytes — together with the bytes themselves. Two families
+// describing the same experiment (after normalization) share a fingerprint;
+// any difference in a descriptor, seed, run parameter, or name changes it.
+func (f *Family) Fingerprint() (digest string, canonical []byte, err error) {
+	canonical, err = f.Canonical()
+	if err != nil {
+		return "", nil, err
+	}
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:]), canonical, nil
+}
+
+// Write emits the canonical encoding (see Canonical), so emitted scenario
+// files diff cleanly and round-trip Load ∘ Write ∘ Load losslessly.
+func (f *Family) Write(w io.Writer) error {
+	data, err := f.Canonical()
+	if err != nil {
+		return err
+	}
 	_, err = w.Write(data)
 	return err
 }

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"detlb/internal/scenario"
+)
+
+// ErrNotArchived reports a lookup of an archive entry that does not exist.
+var ErrNotArchived = errors.New("serve: archive entry not found")
+
+// PutStatus classifies one Archive.Put: a new entry, a byte-identical
+// re-execution of an existing one, or a mismatch — the regression signal.
+type PutStatus int
+
+const (
+	// PutCreated: the entry did not exist and was written.
+	PutCreated PutStatus = iota
+	// PutVerified: the entry existed and the new result is bit-identical to
+	// the archived one — the re-run reproduced the archived trajectory.
+	PutVerified
+	// PutMismatch: the entry existed and the new result differs. Runs are
+	// pure functions of their canonical scenario, so a mismatch means the
+	// code changed behavior since the entry was archived — exactly what the
+	// archive exists to catch. Nothing is overwritten.
+	PutMismatch
+	// PutError: the entry could not be read or written (disk, permissions).
+	// Unlike PutMismatch this says nothing about reproducibility.
+	PutError
+)
+
+// Archive is the content-addressed result store: every finished run persists
+// as a pair of files under <dir>/<digest>/ — scenario.json, the canonical
+// scenario bytes whose SHA-256 is the digest, and result.json, the
+// deterministic result document. Re-executing an archived scenario must
+// reproduce result.json bit-identically; Put refuses to overwrite a
+// mismatch, making the archive a regression-tracking substrate: re-POST any
+// archived scenario after a code change and the server reports whether the
+// trajectory moved.
+type Archive struct {
+	dir string
+	// mu serializes Put: file writes are individually atomic (tmp + rename),
+	// but two concurrent runs of the same scenario must resolve to one
+	// "created" and one "verified", not two racing creates.
+	mu sync.Mutex
+}
+
+// scenarioFile and resultFile are the two files of an archive entry;
+// result.json is written last, so its presence marks the entry complete.
+const (
+	scenarioFile = "scenario.json"
+	resultFile   = "result.json"
+)
+
+// OpenArchive opens (creating if needed) an archive rooted at dir.
+func OpenArchive(dir string) (*Archive, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open archive: %w", err)
+	}
+	return &Archive{dir: dir}, nil
+}
+
+// Dir returns the archive's root directory.
+func (a *Archive) Dir() string { return a.dir }
+
+// validDigest reports whether s looks like a SHA-256 hex digest — the only
+// strings Put/Get accept, so a hostile path can never escape the archive dir.
+func validDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Put persists one finished run. The digest must be the scenario bytes'
+// fingerprint (scenario.Family.Fingerprint). An existing entry is never
+// overwritten: a byte-identical result verifies it, a differing result is a
+// PutMismatch with an error describing the regression.
+func (a *Archive) Put(digest string, scenarioJSON, resultJSON []byte) (PutStatus, error) {
+	if !validDigest(digest) {
+		return PutError, fmt.Errorf("serve: archive: invalid digest %q", digest)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	entry := filepath.Join(a.dir, digest)
+	if existing, err := os.ReadFile(filepath.Join(entry, resultFile)); err == nil {
+		if bytes.Equal(existing, resultJSON) {
+			return PutVerified, nil
+		}
+		return PutMismatch, fmt.Errorf(
+			"serve: archive %s: result differs from the archived run — the code no longer reproduces the archived trajectory",
+			digest[:12])
+	} else if !os.IsNotExist(err) {
+		return PutError, fmt.Errorf("serve: archive: %w", err)
+	}
+	if err := os.MkdirAll(entry, 0o755); err != nil {
+		return PutError, fmt.Errorf("serve: archive: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(entry, scenarioFile), scenarioJSON); err != nil {
+		return PutError, err
+	}
+	if err := writeFileAtomic(filepath.Join(entry, resultFile), resultJSON); err != nil {
+		return PutError, err
+	}
+	return PutCreated, nil
+}
+
+// Get returns the archived scenario and result bytes, or ErrNotArchived.
+func (a *Archive) Get(digest string) (scenarioJSON, resultJSON []byte, err error) {
+	if !validDigest(digest) {
+		return nil, nil, ErrNotArchived
+	}
+	entry := filepath.Join(a.dir, digest)
+	resultJSON, err = os.ReadFile(filepath.Join(entry, resultFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, ErrNotArchived
+		}
+		return nil, nil, fmt.Errorf("serve: archive: %w", err)
+	}
+	scenarioJSON, err = os.ReadFile(filepath.Join(entry, scenarioFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: archive: %w", err)
+	}
+	return scenarioJSON, resultJSON, nil
+}
+
+// ArchiveEntry summarizes one archived run for listings.
+type ArchiveEntry struct {
+	Digest string `json:"digest"`
+	Name   string `json:"name,omitempty"`
+	Cells  int    `json:"cells"`
+}
+
+// List enumerates complete archive entries in digest order, reading each
+// entry's scenario for its name and cell count. Entries whose scenario no
+// longer parses (foreign files, a partial write) are skipped rather than
+// failing the listing.
+func (a *Archive) List() ([]ArchiveEntry, error) {
+	dirents, err := os.ReadDir(a.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: archive: %w", err)
+	}
+	var out []ArchiveEntry
+	for _, de := range dirents {
+		if !de.IsDir() || !validDigest(de.Name()) {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(a.dir, de.Name(), resultFile)); err != nil {
+			continue
+		}
+		fam, err := scenario.LoadFile(filepath.Join(a.dir, de.Name(), scenarioFile))
+		if err != nil {
+			continue
+		}
+		out = append(out, ArchiveEntry{
+			Digest: de.Name(),
+			Name:   fam.Name,
+			Cells:  len(fam.Scenarios()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out, nil
+}
+
+// writeFileAtomic writes data next to path and renames it into place, so a
+// crash mid-write can never leave a torn file behind a valid name.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: archive: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: archive: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: archive: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: archive: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"detlb/internal/scenario"
+)
+
+func archiveFixture(t *testing.T) (digest string, canonical []byte) {
+	t.Helper()
+	fam, err := scenario.ParseFamily("cycle:8", "send-floor", "point:64", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, canonical, err = fam.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return digest, canonical
+}
+
+func TestArchivePutGetList(t *testing.T) {
+	arch, err := OpenArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, canonical := archiveFixture(t)
+	result := []byte("{\"version\":1,\"digest\":\"" + digest + "\",\"cells\":[]}\n")
+
+	if status, err := arch.Put(digest, canonical, result); err != nil || status != PutCreated {
+		t.Fatalf("first put: %v %v", status, err)
+	}
+	if status, err := arch.Put(digest, canonical, result); err != nil || status != PutVerified {
+		t.Fatalf("identical re-put: %v %v", status, err)
+	}
+	status, err := arch.Put(digest, canonical, []byte("different\n"))
+	if status != PutMismatch || err == nil || !strings.Contains(err.Error(), "differs") {
+		t.Fatalf("mismatch put: %v %v", status, err)
+	}
+	// The mismatch must not have clobbered the archived truth.
+	gotScenario, gotResult, err := arch.Get(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotScenario, canonical) || !bytes.Equal(gotResult, result) {
+		t.Fatal("archive content changed after a mismatch put")
+	}
+
+	entries, err := arch.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Digest != digest || entries[0].Cells != 1 {
+		t.Fatalf("entries: %+v", entries)
+	}
+}
+
+func TestArchiveGetMissing(t *testing.T) {
+	arch, err := OpenArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, _ := archiveFixture(t)
+	if _, _, err := arch.Get(digest); !errors.Is(err, ErrNotArchived) {
+		t.Fatalf("missing entry: %v", err)
+	}
+	if _, _, err := arch.Get("../sneaky"); !errors.Is(err, ErrNotArchived) {
+		t.Fatalf("invalid digest must read as not-archived, got %v", err)
+	}
+}
+
+func TestArchiveRejectsBadDigest(t *testing.T) {
+	arch, err := OpenArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arch.Put("not-a-digest", []byte("{}"), []byte("{}")); err == nil {
+		t.Fatal("bad digest accepted")
+	}
+}
+
+// TestArchiveListSkipsIncomplete: an entry without result.json (a crash
+// between the two writes) and foreign files are invisible to listings.
+func TestArchiveListSkipsIncomplete(t *testing.T) {
+	dir := t.TempDir()
+	arch, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, canonical := archiveFixture(t)
+	partial := filepath.Join(dir, digest)
+	if err := os.MkdirAll(partial, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(partial, scenarioFile), canonical, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := arch.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("incomplete entry listed: %+v", entries)
+	}
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"detlb/internal/analysis"
+	"detlb/internal/trace"
+)
+
+// The result document is the archived half of an archive entry: one record
+// per expanded cell, in cell order. Every field is a deterministic function
+// of the canonical scenario — no wall-clock times, no host details — so
+// re-executing an archived scenario must reproduce the document
+// bit-identically; that byte equality is the archive's regression contract.
+
+// ShockResult is the wire form of one analysis.Shock.
+type ShockResult struct {
+	Round           int   `json:"round"`
+	Added           int64 `json:"added"`
+	Removed         int64 `json:"removed"`
+	Discrepancy     int64 `json:"discrepancy"`
+	PeakDiscrepancy int64 `json:"peak_discrepancy"`
+	RecoveryRound   int   `json:"recovery_round"`
+	RecoveryRounds  int   `json:"recovery_rounds"`
+}
+
+// CellResult is one cell's outcome: the canonical descriptor labels plus the
+// RunResult fields, with the sampled trajectory in the trace wire encoding
+// (the same records the stream endpoint sends and trace.ReadJSONL parses).
+type CellResult struct {
+	Graph    string `json:"graph"`
+	Algo     string `json:"algo"`
+	Workload string `json:"workload"`
+	Schedule string `json:"schedule,omitempty"`
+
+	N         int `json:"n"`
+	Degree    int `json:"d"`
+	SelfLoops int `json:"self_loops"`
+
+	Gap           float64 `json:"gap"`
+	BalancingTime int     `json:"balancing_time"`
+	Horizon       int     `json:"horizon"`
+	Rounds        int     `json:"rounds"`
+	InitialDisc   int64   `json:"initial_discrepancy"`
+	FinalDisc     int64   `json:"final_discrepancy"`
+	MinDisc       int64   `json:"min_discrepancy"`
+	TargetRound   int     `json:"target_round"`
+	StoppedEarly  bool    `json:"stopped_early"`
+	ReachedTarget bool    `json:"reached_target"`
+
+	Shocks []ShockResult  `json:"shocks,omitempty"`
+	Series []trace.Sample `json:"series,omitempty"`
+	Err    string         `json:"error,omitempty"`
+}
+
+// ResultDoc is the archived result document for one run.
+type ResultDoc struct {
+	Version int          `json:"version"`
+	Name    string       `json:"name,omitempty"`
+	Digest  string       `json:"digest"`
+	Cells   []CellResult `json:"cells"`
+}
+
+// resultVersion is the result document format version.
+const resultVersion = 1
+
+// cellResult folds one cell's spec and result into its wire record. The
+// graph label is the canonical descriptor string (not Balancing.Name()), so
+// the document is recomputable from the scenario alone.
+func cellResult(spec analysis.RunSpec, res analysis.RunResult, graph, algo, workload, schedule string) CellResult {
+	c := CellResult{
+		Graph:    graph,
+		Algo:     algo,
+		Workload: workload,
+		Schedule: displaySchedule(schedule),
+
+		Gap:           res.Gap,
+		BalancingTime: res.BalancingTime,
+		Horizon:       res.Horizon,
+		Rounds:        res.Rounds,
+		InitialDisc:   res.InitialDiscrepancy,
+		FinalDisc:     res.FinalDiscrepancy,
+		MinDisc:       res.MinDiscrepancy,
+		TargetRound:   res.TargetRound,
+		StoppedEarly:  res.StoppedEarly,
+		ReachedTarget: res.ReachedTarget,
+	}
+	if spec.Balancing != nil {
+		c.N = spec.Balancing.N()
+		c.Degree = spec.Balancing.Degree()
+		c.SelfLoops = spec.Balancing.SelfLoops()
+	}
+	for _, s := range res.Shocks {
+		c.Shocks = append(c.Shocks, ShockResult{
+			Round:           s.Round,
+			Added:           s.Added,
+			Removed:         s.Removed,
+			Discrepancy:     s.Discrepancy,
+			PeakDiscrepancy: s.PeakDiscrepancy,
+			RecoveryRound:   s.RecoveryRound,
+			RecoveryRounds:  s.RecoveryRounds,
+		})
+	}
+	for _, p := range res.Series {
+		c.Series = append(c.Series, p.Sample())
+	}
+	if res.Err != nil {
+		c.Err = res.Err.Error()
+	}
+	return c
+}
+
+// buildResultDoc assembles and encodes the document. failures counts cells
+// whose result carries an error.
+func buildResultDoc(name, digest string, cells []cellMeta, specs []analysis.RunSpec, results []analysis.RunResult) (doc []byte, failures int, err error) {
+	d := ResultDoc{
+		Version: resultVersion,
+		Name:    name,
+		Digest:  digest,
+		Cells:   make([]CellResult, len(results)),
+	}
+	for i, res := range results {
+		m := cells[i]
+		d.Cells[i] = cellResult(specs[i], res, m.graph, m.algo, m.workload, m.schedule)
+		if res.Err != nil {
+			failures++
+		}
+	}
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, failures, fmt.Errorf("serve: encode result: %w", err)
+	}
+	return append(data, '\n'), failures, nil
+}
+
+// cellMeta carries one cell's canonical descriptor labels.
+type cellMeta struct {
+	graph, algo, workload, schedule string
+}
+
+// displaySchedule blanks the grammar's "none": descriptors render a static
+// run explicitly, wire records leave the field absent. Every wire surface
+// (cell events, result records) goes through this one normalization.
+func displaySchedule(s string) string {
+	if s == "none" {
+		return ""
+	}
+	return s
+}

@@ -1,0 +1,678 @@
+// Package serve is the scenario-driven serving layer: a long-running HTTP
+// server that accepts scenario descriptions (the docs/scenarios.md JSON
+// format, or a preset name), executes them on the sweep harness, streams
+// per-round snapshots out live over SSE/NDJSON, and persists every finished
+// run as a content-addressed archive entry — the canonical scenario bytes
+// paired with a deterministic result document — for regression tracking.
+//
+// Two execution paths share one primitive:
+//
+//   - POST /v1/runs enqueues the canonical execution: the bound family runs
+//     once on a bounded runner pool via analysis.SweepContext, keeping the
+//     sweep's engine-reuse grouping, and its result document is archived on
+//     completion. Cancellation (DELETE, server drain) stops the in-flight
+//     cell within one round.
+//   - GET /v1/runs/{id}/stream re-executes the run live for that consumer,
+//     cell by cell, through analysis.StreamInto with the request's context:
+//     every consumer gets distinct, freshly bound engines, and because runs
+//     are pure functions of their canonical scenario, every consumer's
+//     stream is bit-identical to every other's and to the archived result.
+//     Client disconnect cancels the consumer's execution within one round
+//     and releases its engine; the canonical run is unaffected.
+//
+// Determinism is what makes the layer thin: there is no snapshot broadcast,
+// no replay buffer, and no coordination between consumers — re-execution is
+// the replay.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+
+	"detlb/internal/analysis"
+	"detlb/internal/scenario"
+)
+
+// Config configures a Server. The zero value serves with defaults and no
+// archive.
+type Config struct {
+	// ArchiveDir is the content-addressed result store's directory; empty
+	// disables archiving (runs still execute and serve in-memory results).
+	ArchiveDir string
+	// MaxConcurrentRuns bounds how many POSTed runs execute at once; further
+	// runs queue in submission order. 0 means 4. Stream re-executions are
+	// not gated: each is tied to (and billed to) its own client connection.
+	MaxConcurrentRuns int
+	// MaxRetainedRuns bounds the run registry: accepting a run beyond the
+	// bound evicts the oldest terminal runs (their archived results stay
+	// addressable by digest). 0 means 1024; active runs are never evicted.
+	MaxRetainedRuns int
+	// MaxGraphArcs caps each accepted graph descriptor's estimated directed
+	// arc count n·d (engine memory is proportional to it) so a small hostile
+	// body — cycle:2e9, complete:100000 — is a 400, not a daemon OOM.
+	// 0 means 1<<26 (~64M arcs).
+	MaxGraphArcs int64
+	// MaxCells caps an accepted scenario's expanded cross-product size.
+	// 0 means 4096.
+	MaxCells int
+	// MaxRunRounds caps an accepted scenario's explicit round count and,
+	// because sampling memory is Series ≈ rounds/sample_every, a sampled
+	// scenario must carry an explicit rounds cap at all. 0 means 1<<20.
+	MaxRunRounds int
+	// MaxConcurrentStreams bounds concurrent stream re-executions — each is
+	// a full deterministic re-run, so without a cap anonymous GETs could
+	// multiply the work the POST-side semaphore exists to bound. Excess
+	// stream requests answer 503. 0 means 8.
+	MaxConcurrentStreams int
+	// SweepWorkers bounds each run's group-level concurrency
+	// (analysis.SweepOptions.Workers); 0 selects GOMAXPROCS.
+	SweepWorkers int
+	// Log receives server events; nil discards them.
+	Log *log.Logger
+}
+
+// maxScenarioBytes caps a POSTed scenario body.
+const maxScenarioBytes = 1 << 20
+
+// Server is the serving layer: an http.Handler plus the executor pool behind
+// it. Create with New, shut down with Close (optionally Drain first).
+type Server struct {
+	cfg       Config
+	archive   *Archive
+	reg       *registry
+	sem       chan struct{}
+	streamSem chan struct{}
+	mux       *http.ServeMux
+	log       *log.Logger
+
+	// baseCtx parents every run's context; cancelAll is the drain hammer —
+	// canceling it stops every queued and in-flight run within one round.
+	baseCtx   context.Context
+	cancelAll context.CancelCauseFunc
+	runs      runGroup
+
+	// acceptMu makes run acceptance atomic with Close: a run is either
+	// registered in the runGroup before Close starts waiting, or rejected.
+	acceptMu sync.Mutex
+	closed   bool
+}
+
+// runGroup is a WaitGroup whose wait honors a context, so Drain can give up
+// when its deadline passes while executors are still running.
+type runGroup struct {
+	mu      sync.Mutex
+	n       int
+	waiters []chan struct{}
+}
+
+func (g *runGroup) add(d int) {
+	g.mu.Lock()
+	g.n += d
+	g.mu.Unlock()
+}
+
+func (g *runGroup) done() {
+	g.mu.Lock()
+	g.n--
+	if g.n == 0 {
+		for _, ch := range g.waiters {
+			close(ch)
+		}
+		g.waiters = nil
+	}
+	g.mu.Unlock()
+}
+
+func (g *runGroup) wait(ctx context.Context) error {
+	g.mu.Lock()
+	if g.n == 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	g.waiters = append(g.waiters, ch)
+	g.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// New builds a Server, opening (creating) the archive directory if one is
+// configured.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxConcurrentRuns <= 0 {
+		cfg.MaxConcurrentRuns = 4
+	}
+	if cfg.MaxRetainedRuns <= 0 {
+		cfg.MaxRetainedRuns = 1024
+	}
+	if cfg.MaxGraphArcs <= 0 {
+		cfg.MaxGraphArcs = 1 << 26
+	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = 4096
+	}
+	if cfg.MaxRunRounds <= 0 {
+		cfg.MaxRunRounds = 1 << 20
+	}
+	if cfg.MaxConcurrentStreams <= 0 {
+		cfg.MaxConcurrentStreams = 8
+	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	var arch *Archive
+	if cfg.ArchiveDir != "" {
+		var err error
+		arch, err = OpenArchive(cfg.ArchiveDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		archive:   arch,
+		reg:       newRegistry(cfg.MaxRetainedRuns),
+		sem:       make(chan struct{}, cfg.MaxConcurrentRuns),
+		streamSem: make(chan struct{}, cfg.MaxConcurrentStreams),
+		mux:       http.NewServeMux(),
+		log:       logger,
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
+	s.mux.HandleFunc("POST /v1/runs", s.handleCreateRun)
+	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancelRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/runs/{id}/scenario", s.handleRunScenario)
+	s.mux.HandleFunc("GET /v1/archive", s.handleArchiveList)
+	s.mux.HandleFunc("GET /v1/archive/{digest}/scenario", s.handleArchiveFile(scenarioFile))
+	s.mux.HandleFunc("GET /v1/archive/{digest}/result", s.handleArchiveFile(resultFile))
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain waits until every accepted run has reached a terminal status, or ctx
+// expires. It does not stop the HTTP side — pair it with http.Server.Shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.runs.wait(ctx)
+}
+
+// Close stops accepting runs (POST answers 503), cancels every queued and
+// in-flight run — in-flight cells stop within one round — and waits for the
+// executors to exit. Status, result, and archive reads stay functional after
+// Close; streams do not (their executions are children of the server
+// context, so a post-Close stream is canceled at its first round).
+func (s *Server) Close() error {
+	s.acceptMu.Lock()
+	s.closed = true
+	s.acceptMu.Unlock()
+	s.cancelAll(errors.New("server closing"))
+	return s.runs.wait(context.Background())
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handlePresets(w http.ResponseWriter, _ *http.Request) {
+	type preset struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	var out []preset
+	for _, name := range scenario.PresetNames() {
+		out = append(out, preset{Name: name, Description: scenario.PresetDescription(name)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCreateRun accepts a scenario JSON body (the docs/scenarios.md family
+// format) or ?preset=<name>, binds it eagerly — an unbindable scenario is a
+// 400 now, not a failed run later — and enqueues the canonical execution.
+func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxScenarioBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("scenario body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	preset := r.URL.Query().Get("preset")
+	var fam *scenario.Family
+	switch {
+	case preset != "" && len(bytes.TrimSpace(body)) > 0:
+		writeError(w, http.StatusBadRequest, "pass a scenario body or ?preset, not both")
+		return
+	case preset != "":
+		fam, err = scenario.Preset(preset)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+	case len(bytes.TrimSpace(body)) == 0:
+		writeError(w, http.StatusBadRequest, "empty body: POST a scenario JSON family or ?preset=<name>")
+		return
+	default:
+		fam, err = scenario.Load(bytes.NewReader(body))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+
+	// Admission control before any binding: binding allocates the graphs, so
+	// size caps must be enforced on the descriptors alone or a hostile body
+	// OOMs the daemon right here on the handler goroutine.
+	if err := s.admit(fam); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Bind eagerly to validate every cell; the bound instances are discarded
+	// — each execution (canonical or stream) rebinds its own, so engines and
+	// balancer state are never shared across concurrent executions.
+	_, cells, err := fam.Bind()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(cells) == 0 {
+		writeError(w, http.StatusBadRequest, "empty family: no cells to run")
+		return
+	}
+	digest, canonical, err := fam.Fingerprint()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.acceptMu.Lock()
+	if s.closed {
+		s.acceptMu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	run := s.reg.create(s.baseCtx, fam, cells, digest, canonical)
+	s.runs.add(1)
+	s.acceptMu.Unlock()
+	go s.execute(run)
+	s.log.Printf("run %s accepted: %d cells, scenario %s", run.id, len(cells), digest[:12])
+	writeJSON(w, http.StatusAccepted, run.summary())
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.list())
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	run := s.reg.get(r.PathValue("id"))
+	if run == nil {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	writeJSON(w, http.StatusOK, run.summary())
+}
+
+func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	run := s.reg.get(r.PathValue("id"))
+	if run == nil {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	run.cancel(errors.New("canceled by client"))
+	writeJSON(w, http.StatusOK, run.summary())
+}
+
+// handleResult serves the archived result document. Until the run finishes
+// it answers 202 with the summary — or, with ?wait=1, blocks until the run
+// reaches a terminal status (or the client gives up). Canceled runs answer
+// 409 with the summary; a run failed by an archive mismatch answers 409
+// with the computed (divergent) result document, so the regression the
+// archive just caught can be diffed over the API.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	run := s.reg.get(r.PathValue("id"))
+	if run == nil {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait != "" && wait != "0" && wait != "false" {
+		select {
+		case <-run.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	status, resultJSON := run.snapshot()
+	switch {
+	case status == StatusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(resultJSON)
+	case status.terminal() && resultJSON != nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		w.Write(resultJSON)
+	case status.terminal():
+		writeJSON(w, http.StatusConflict, run.summary())
+	default:
+		writeJSON(w, http.StatusAccepted, run.summary())
+	}
+}
+
+func (s *Server) handleRunScenario(w http.ResponseWriter, r *http.Request) {
+	run := s.reg.get(r.PathValue("id"))
+	if run == nil {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(run.canonical)
+}
+
+// handleStream re-executes the run live for this consumer. The request's
+// context drives analysis.StreamInto's per-round cancellation: a client
+// disconnect (or server drain) stops the in-flight cell within one round and
+// releases the consumer's engine.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	run := s.reg.get(r.PathValue("id"))
+	if run == nil {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	// Each stream is a full re-execution: bound like any other work. A full
+	// table answers 503 immediately rather than queueing invisible load.
+	select {
+	case s.streamSem <- struct{}{}:
+		defer func() { <-s.streamSem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "too many concurrent streams")
+		return
+	}
+	// The stream's context dies with the client or with the server's drain,
+	// whichever first.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	// Freshly bound cells: this consumer's engines and balancer state are
+	// its own, shared with no other execution.
+	specs, err := scenario.BindScenarios(run.cells)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	enc := newStreamEncoder(w, r)
+	if err := enc.send(eventRun, runEvent{
+		ID: run.id, Name: run.family.Name, Digest: run.digest, Cells: len(specs),
+	}); err != nil {
+		return
+	}
+	failures := 0
+	for i, spec := range specs {
+		if ctx.Err() != nil {
+			return
+		}
+		cell := run.cells[i]
+		labels := cellEvent{
+			Cell:     i,
+			Graph:    cell.Graph.String(),
+			Algo:     cell.Algo.String(),
+			Workload: cell.Workload.String(),
+			Schedule: displaySchedule(cell.Schedule.String()),
+		}
+		if err := enc.send(eventCell, labels); err != nil {
+			return
+		}
+		var res analysis.RunResult
+		for round, snap := range analysis.StreamInto(ctx, spec, &res) {
+			if err := enc.send(eventSnapshot, snapshotEvent{Cell: i, Sample: snap.Sample(round)}); err != nil {
+				// Client gone: breaking the loop finalizes StreamInto's
+				// bookkeeping and closes this consumer's engine.
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if res.Err != nil {
+			failures++
+		}
+		rec := resultEvent{Cell: i, CellResult: cellResult(
+			spec, res, labels.Graph, labels.Algo, labels.Workload, cell.Schedule.String())}
+		if err := enc.send(eventResult, rec); err != nil {
+			return
+		}
+	}
+	enc.send(eventDone, doneEvent{Cells: len(specs), Failures: failures})
+}
+
+func (s *Server) handleArchiveList(w http.ResponseWriter, _ *http.Request) {
+	if s.archive == nil {
+		writeError(w, http.StatusNotFound, "archiving is disabled (no archive dir configured)")
+		return
+	}
+	entries, err := s.archive.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if entries == nil {
+		entries = []ArchiveEntry{}
+	}
+	writeJSON(w, http.StatusOK, entries)
+}
+
+func (s *Server) handleArchiveFile(file string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.archive == nil {
+			writeError(w, http.StatusNotFound, "archiving is disabled (no archive dir configured)")
+			return
+		}
+		scenarioJSON, resultJSON, err := s.archive.Get(r.PathValue("digest"))
+		if errors.Is(err, ErrNotArchived) {
+			writeError(w, http.StatusNotFound, "no such archive entry")
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if file == scenarioFile {
+			w.Write(scenarioJSON)
+		} else {
+			w.Write(resultJSON)
+		}
+	}
+}
+
+// admit enforces the server's size caps on a normalized family's descriptors
+// — estimated per-graph arcs and expanded cell count — without constructing
+// anything.
+func (s *Server) admit(fam *scenario.Family) error {
+	if err := fam.Normalize(); err != nil {
+		return err
+	}
+	for _, g := range fam.Graphs {
+		arcs, err := g.Arcs()
+		if err != nil {
+			return err
+		}
+		if arcs > s.cfg.MaxGraphArcs {
+			return fmt.Errorf("graph %s: ~%d arcs exceeds this server's limit of %d",
+				g.String(), arcs, s.cfg.MaxGraphArcs)
+		}
+	}
+	// Multiply with an early bail so absurd list lengths cannot overflow
+	// the product past the cap.
+	cells := int64(1)
+	for _, k := range []int{len(fam.Graphs), len(fam.Algos), len(fam.Workloads), max(1, len(fam.Schedules))} {
+		cells *= int64(k)
+		if cells > int64(s.cfg.MaxCells) {
+			return fmt.Errorf("family expands to more than %d cells, this server's limit", s.cfg.MaxCells)
+		}
+	}
+	// Run-length caps: an explicit rounds count is bounded directly, and a
+	// sampled run must carry one — Series memory is rounds/sample_every, so
+	// sampling against the paper's (unknown-at-admission) default horizon
+	// would be an unbounded allocation.
+	if fam.Run.Rounds > s.cfg.MaxRunRounds {
+		return fmt.Errorf("run.rounds %d exceeds this server's limit of %d", fam.Run.Rounds, s.cfg.MaxRunRounds)
+	}
+	if fam.Run.HorizonMultiple > 64 {
+		return fmt.Errorf("run.horizon_multiple %d exceeds this server's limit of 64", fam.Run.HorizonMultiple)
+	}
+	if fam.Run.SampleEvery > 0 && fam.Run.Rounds == 0 {
+		return fmt.Errorf("run.sample_every requires an explicit run.rounds cap on this server")
+	}
+	return nil
+}
+
+// --- canonical execution ---
+
+// execute is the run executor: one goroutine per accepted run, gated by the
+// concurrency semaphore (queued runs wait their turn), executing the family
+// on the sweep harness with its engine-reuse grouping intact.
+func (s *Server) execute(run *run) {
+	defer s.runs.done()
+	// Release the run's context from baseCtx's children once it is over —
+	// without this every completed run would stay registered on the server
+	// context for the daemon's lifetime.
+	defer run.cancel(errors.New("run finished"))
+	select {
+	case s.sem <- struct{}{}:
+	case <-run.ctx.Done():
+		run.finish(StatusCanceled, nil, 0, "", cancelMsg(run.ctx))
+		s.log.Printf("run %s canceled while queued", run.id)
+		return
+	}
+	defer func() { <-s.sem }()
+
+	run.setRunning()
+	specs, err := scenario.BindScenarios(run.cells)
+	if err != nil {
+		// Unreachable in practice: the family bound once at POST time.
+		run.finish(StatusFailed, nil, 0, "", err.Error())
+		return
+	}
+	results := analysis.SweepContext(run.ctx, specs, analysis.SweepOptions{Workers: s.cfg.SweepWorkers})
+	if sweepCanceled(run.ctx, results) {
+		run.finish(StatusCanceled, nil, 0, "", cancelMsg(run.ctx))
+		s.log.Printf("run %s canceled", run.id)
+		return
+	}
+	metas := make([]cellMeta, len(run.cells))
+	for i, cell := range run.cells {
+		metas[i] = cellMeta{
+			graph:    cell.Graph.String(),
+			algo:     cell.Algo.String(),
+			workload: cell.Workload.String(),
+			schedule: cell.Schedule.String(),
+		}
+	}
+	resultJSON, failures, err := buildResultDoc(run.family.Name, run.digest, metas, specs, results)
+	if err != nil {
+		run.finish(StatusFailed, nil, failures, "", err.Error())
+		return
+	}
+	archived := ""
+	if s.archive != nil {
+		switch status, err := s.archive.Put(run.digest, run.canonical, resultJSON); status {
+		case PutCreated:
+			archived = "created"
+		case PutVerified:
+			archived = "verified"
+		case PutMismatch:
+			// Keep the divergent document: it is the evidence of the
+			// regression, served with 409 by the result endpoint.
+			run.finish(StatusFailed, resultJSON, failures, "", err.Error())
+			s.log.Printf("run %s: ARCHIVE MISMATCH: %v", run.id, err)
+			return
+		case PutError:
+			// An I/O failure, not a reproducibility signal: fail the run
+			// plainly — its archived-result contract cannot be honored.
+			run.finish(StatusFailed, nil, failures, "", err.Error())
+			s.log.Printf("run %s: archive write failed: %v", run.id, err)
+			return
+		}
+	}
+	run.finish(StatusDone, resultJSON, failures, archived, "")
+	s.log.Printf("run %s done: %d cells, %d failures, archive %s",
+		run.id, len(run.cells), failures, orDash(archived))
+}
+
+// sweepCanceled reports whether the sweep actually stopped for the run's
+// cancellation. A done context alone is not enough: a cancel landing after
+// the last cell completed must not discard (and un-archive) finished work,
+// so the decision reads the results — cancellation shows up as cell errors
+// wrapping the context's cause.
+func sweepCanceled(ctx context.Context, results []analysis.RunResult) bool {
+	if ctx.Err() == nil {
+		return false
+	}
+	cause := context.Cause(ctx)
+	for _, res := range results {
+		if res.Err != nil && errors.Is(res.Err, cause) {
+			return true
+		}
+	}
+	return false
+}
+
+func cancelMsg(ctx context.Context) string {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause.Error()
+	}
+	return "canceled"
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// --- small helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

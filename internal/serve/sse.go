@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"detlb/internal/trace"
+)
+
+// The stream wire format: a sequence of named events, each with a JSON
+// payload, in two encodings chosen per request —
+//
+//   - SSE (Accept: text/event-stream, or ?format=sse):
+//     "event: <name>\ndata: <payload>\n\n" frames, for EventSource clients;
+//   - NDJSON (the default, or ?format=ndjson):
+//     one {"event": <name>, "data": <payload>} object per line, for curl
+//     and pipeline tools.
+//
+// Event order per stream: one "run", then per cell a "cell" header, its
+// "snapshot" events (one per round plus one per shock, in the trace wire
+// encoding — the same records trace JSONL files carry), and a "result"
+// record; a final "done" closes the stream. Every event is flushed as it is
+// written, so consumers observe rounds live as they execute.
+
+// Event names.
+const (
+	eventRun      = "run"
+	eventCell     = "cell"
+	eventSnapshot = "snapshot"
+	eventResult   = "result"
+	eventDone     = "done"
+)
+
+// runEvent opens every stream.
+type runEvent struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Digest string `json:"digest"`
+	Cells  int    `json:"cells"`
+}
+
+// cellEvent announces one cell's execution, with its canonical labels.
+type cellEvent struct {
+	Cell     int    `json:"cell"`
+	Graph    string `json:"graph"`
+	Algo     string `json:"algo"`
+	Workload string `json:"workload"`
+	Schedule string `json:"schedule,omitempty"`
+}
+
+// snapshotEvent is one observation of the streaming run: the cell index plus
+// the trace wire record (shock-marked snapshots carry the "shock" field).
+type snapshotEvent struct {
+	Cell int `json:"cell"`
+	trace.Sample
+}
+
+// resultEvent closes one cell with its full result record.
+type resultEvent struct {
+	Cell int `json:"cell"`
+	CellResult
+}
+
+// doneEvent closes the stream.
+type doneEvent struct {
+	Cells    int `json:"cells"`
+	Failures int `json:"failures"`
+}
+
+// streamEncoder writes the negotiated encoding, flushing every event so the
+// stream is observable live.
+type streamEncoder struct {
+	w   http.ResponseWriter
+	fl  http.Flusher
+	sse bool
+}
+
+// newStreamEncoder negotiates the encoding and writes the response header.
+func newStreamEncoder(w http.ResponseWriter, r *http.Request) *streamEncoder {
+	var sse bool
+	switch r.URL.Query().Get("format") {
+	case "sse":
+		sse = true
+	case "ndjson":
+		sse = false
+	default:
+		sse = strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	}
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	fl, _ := w.(http.Flusher)
+	return &streamEncoder{w: w, fl: fl, sse: sse}
+}
+
+// send encodes and flushes one event. A write error means the client is gone;
+// the caller must stop the run it is driving.
+func (e *streamEncoder) send(event string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("serve: encode %s event: %w", event, err)
+	}
+	if e.sse {
+		_, err = fmt.Fprintf(e.w, "event: %s\ndata: %s\n\n", event, data)
+	} else {
+		_, err = fmt.Fprintf(e.w, "{\"event\":%q,\"data\":%s}\n", event, data)
+	}
+	if err != nil {
+		return err
+	}
+	if e.fl != nil {
+		e.fl.Flush()
+	}
+	return nil
+}

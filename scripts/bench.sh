@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # bench.sh — run the engine micro-benchmarks and record the perf trajectory.
 #
-# Records two files at the repo root:
+# Records three files (by default at the repo root; -o redirects them, so CI
+# runners never need a writable checkout):
 #
 #   BENCH_step.json    — the BenchmarkStep* hot-path benchmarks plus the
 #                        spectral power iteration;
@@ -14,30 +15,50 @@
 #
 # Each run uses -benchmem -count=$COUNT. The "baseline" section of an
 # existing output file is preserved across runs so future PRs always compare
-# against the recorded pre-refactor numbers; pass BASELINE=1 to (re)record
-# the current results as the baseline instead.
+# against the recorded pre-refactor numbers (when -o points at a fresh
+# directory, the baseline is carried over from the checked-in repo-root
+# file); pass BASELINE=1 to (re)record the current results as the baseline
+# instead. scripts/bench_compare.sh diffs a fresh -o directory against the
+# checked-in files — the CI bench-regression gate.
 #
 # Usage:
-#   scripts/bench.sh                # refresh the "current" sections
-#   BASELINE=1 scripts/bench.sh    # also overwrite the "baseline" sections
+#   scripts/bench.sh                 # refresh the "current" sections in-repo
+#   scripts/bench.sh -o /tmp/bench   # write results elsewhere (CI)
+#   BASELINE=1 scripts/bench.sh      # also overwrite the "baseline" sections
 #   COUNT=3 PATTERN=BenchmarkStepRotor OUT=BENCH_step.json scripts/bench.sh
 set -euo pipefail
-cd "$(dirname "$0")/.."
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUTDIR="$ROOT"
+while getopts "o:h" flag; do
+  case "$flag" in
+    o) OUTDIR="$OPTARG" ;;
+    h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) echo "usage: bench.sh [-o OUTDIR]" >&2; exit 2 ;;
+  esac
+done
+
+for tool in go jq awk; do
+  command -v "$tool" >/dev/null || { echo "bench.sh: $tool is required" >&2; exit 1; }
+done
+mkdir -p "$OUTDIR"
 
 COUNT="${COUNT:-5}"
 
 # Temp files from every record() call, cleaned up even when set -e aborts.
+# (The ${arr[@]+...} guard keeps the empty-array expansion legal under
+# `set -u` on bash < 4.4.)
 RAW_FILES=()
-trap 'rm -f "${RAW_FILES[@]}"' EXIT
+trap 'rm -f ${RAW_FILES[@]+"${RAW_FILES[@]}"}' EXIT
 
 # record PATTERN OUT NOTE — run one benchmark family and write its JSON.
 record() {
-  local pattern="$1" out="$2" note="$3"
+  local pattern="$1" out="$OUTDIR/$2" checked_in="$ROOT/$2" note="$3"
   local raw results base_json
   raw="$(mktemp)"
   RAW_FILES+=("$raw")
 
-  go test -run '^$' -bench "$pattern" -benchmem -count="$COUNT" . | tee "$raw"
+  (cd "$ROOT" && go test -run '^$' -bench "$pattern" -benchmem -count="$COUNT" .) | tee "$raw"
 
   # Each benchmark line: Name[-procs] iters ns/op "ns/op" [extra "unit"]...
   # B/op and allocs/op are the last two value/unit pairs; a custom
@@ -66,6 +87,10 @@ record() {
     base_json="$results"
   elif [[ -f "$out" ]]; then
     base_json="$(jq '.baseline // {}' "$out")"
+  elif [[ -f "$checked_in" ]]; then
+    # Fresh -o directory: carry the recorded baseline over from the
+    # checked-in file so the output stays self-describing.
+    base_json="$(jq '.baseline // {}' "$checked_in")"
   fi
 
   jq -n \
