@@ -17,6 +17,7 @@ import (
 
 	"detlb"
 	"detlb/internal/analysis"
+	"detlb/internal/core"
 )
 
 func fullCfg() analysis.Config { return analysis.Config{Seed: 1} }
@@ -238,6 +239,88 @@ func BenchmarkDynamicSweep25(b *testing.B) {
 		}
 	}
 	reportSweepMetrics(b, len(specs))
+}
+
+// --- topology faults --------------------------------------------------------
+
+// faultBenchLinks picks real edges of g, one per distinct source node, so the
+// deltas below actually change the live arc set.
+func faultBenchLinks(g *detlb.Graph, count int) [][2]int {
+	links := make([][2]int, 0, count)
+	for u := 0; len(links) < count; u += 7 {
+		links = append(links, [2]int{u, g.Neighbor(u, 0)})
+	}
+	return links
+}
+
+// BenchmarkTopologyFaultedStep measures one engine round on the standard
+// 1024-node expander with 32 failed links — the degraded-graph hot path
+// (dead-arc bounce-back on top of the flat round). Compare against
+// BenchmarkStepRotorRouter for the fault overlay's overhead; like the
+// healthy round, it must stay allocation-free.
+func BenchmarkTopologyFaultedStep(b *testing.B) {
+	g := detlb.RandomRegular(1024, 8, 1)
+	bg := detlb.Lazy(g)
+	x1 := detlb.PointMass(g.N(), 0, int64(64*g.N())+7)
+	eng := detlb.MustEngine(bg, detlb.NewRotorRouter(), x1)
+	if _, err := eng.ApplyTopologyDelta(core.TopologyDelta{FailLinks: faultBenchLinks(g, 32)}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopologyApplyDelta measures the fault-injection control path: one
+// 16-link failure delta plus the matching restore (mask updates, component
+// census, epoch bump) per iteration.
+func BenchmarkTopologyApplyDelta(b *testing.B) {
+	g := detlb.RandomRegular(1024, 8, 1)
+	eng := detlb.MustEngine(detlb.Lazy(g), detlb.NewRotorRouter(),
+		detlb.PointMass(g.N(), 0, int64(64*g.N())+7))
+	links := faultBenchLinks(g, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ApplyTopologyDelta(core.TopologyDelta{FailLinks: links}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.ApplyTopologyDelta(core.TopologyDelta{RestoreLinks: links}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopologyFaultedRun measures one full fault-injected run: the
+// dynamic benchmark instance with a periodic fault schedule and a flapping
+// link on top — schedule probing, delta application, faulted-gap
+// re-estimation, and per-fault recovery accounting over 128 rounds. Compare
+// against BenchmarkDynamicShockedRun for the topology dimension's overhead.
+func BenchmarkTopologyFaultedRun(b *testing.B) {
+	spec := dynamicBenchSpec()
+	ts, err := detlb.ParseTopologySpec("periodic-fault:24,6,1+flap:0,1,8,32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Topology, err = ts.Bind(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := detlb.Run(spec)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if len(res.Faults) == 0 {
+			b.Fatal("no faults recorded")
+		}
+	}
 }
 
 // --- micro-benchmarks -------------------------------------------------------

@@ -6,7 +6,7 @@
 //
 //	lbsim -graph cycle:64 -algo rotor-router -workload point:512 \
 //	      -rounds 0 -loops -1 -sample 100 [-audit] [-workers 4] \
-//	      [-events burst:40,0,2048] [-target -1] \
+//	      [-events burst:40,0,2048] [-faults partition:30,32,70] [-target -1] \
 //	      [-scenario run.json] [-emit-scenario run.json]
 //
 // -scenario loads the run from a scenario JSON file (a single-cell family;
@@ -22,6 +22,14 @@
 // its recovery. -target N ≥ 0 sets the discrepancy target (0 = perfect
 // balance): static runs stop there, dynamic runs measure per-shock recovery
 // against it.
+//
+// -faults injects deterministic topology faults between rounds
+// (faillink:ROUND,U,V | restorelink:ROUND,U,V | failnode:ROUND,NODE[,REDIST] |
+// restorenode:ROUND,NODE | flap:U,V,FROM,PERIOD[,DUTY] |
+// partition:ROUND,BOUNDARY[,HEAL] | periodic-fault:EVERY,DOWN[,SEED],
+// "+"-composable); each fault event is reported with its per-component
+// recovery (see docs/topology.md). Faulted runs are incompatible with -orbit,
+// which replays the pristine static process.
 //
 // Graphs:    cycle:N | torus:SIDE[,R] | hypercube:R | complete:N |
 //
@@ -67,6 +75,7 @@ func run() int {
 	audit := flag.Bool("audit", false, "attach conservation, min-share and fairness auditors")
 	workers := flag.Int("workers", 0, "engine worker goroutines")
 	events := flag.String("events", "", "dynamic-workload schedule (empty = static run)")
+	faults := flag.String("faults", "", "fault-injection topology schedule (empty = pristine graph)")
 	target := flag.Int64("target", -1, "discrepancy target (-1 = none; ≥ 0 stops static runs, defines dynamic recovery)")
 	scenarioPath := flag.String("scenario", "", "load the run from this scenario JSON file (spec flags are ignored)")
 	emitPath := flag.String("emit-scenario", "", "write the resolved run as a scenario JSON file (re-runnable via -scenario)")
@@ -74,7 +83,7 @@ func run() int {
 	orbit := flag.Bool("orbit", false, "after the run, detect the process's eventual load cycle")
 	flag.Parse()
 
-	cell, fam, err := buildScenario(*scenarioPath, *graphSpec, *algoSpec, *loadSpec, *events,
+	cell, fam, err := buildScenario(*scenarioPath, *graphSpec, *algoSpec, *loadSpec, *events, *faults,
 		*loops, *rounds, *workers, *sample, *target)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
@@ -82,7 +91,7 @@ func run() int {
 	}
 	if *scenarioPath != "" {
 		scenario.WarnOverriddenFlags("lbsim", flag.CommandLine,
-			"graph", "algo", "workload", "events", "loops", "rounds", "workers", "sample", "target")
+			"graph", "algo", "workload", "events", "faults", "loops", "rounds", "workers", "sample", "target")
 	}
 	spec, err := cell.Bind()
 	if err != nil {
@@ -135,6 +144,12 @@ func run() int {
 			fmt.Printf("round %8d  discrepancy %6d  <- shock (net %+d tokens)\n", p.Round, p.Discrepancy, p.Injected)
 			continue
 		}
+		if p.Fault {
+			fmt.Printf("round %8d  discrepancy %6d  <- fault (-%d/+%d links, -%d/+%d nodes, %d components)\n",
+				p.Round, p.Discrepancy, p.FaultChange.FailedLinks, p.FaultChange.RestoredLinks,
+				p.FaultChange.FailedNodes, p.FaultChange.RestoredNodes, p.Components)
+			continue
+		}
 		fmt.Printf("round %8d  discrepancy %6d\n", p.Round, p.Discrepancy)
 	}
 	fmt.Println(res.String())
@@ -147,6 +162,26 @@ func run() int {
 		}
 		fmt.Printf("shock %d after round %d: +%d/-%d tokens, disc %d (peak %d), %s\n",
 			i+1, s.Round, s.Added, s.Removed, s.Discrepancy, s.PeakDiscrepancy, recov)
+	}
+	for i, f := range res.Faults {
+		recov := "not recovered within the run"
+		if f.RecoveryRounds >= 0 {
+			recov = fmt.Sprintf("recovered to target in %d rounds", f.RecoveryRounds)
+		} else if spec.TargetDiscrepancy == nil {
+			recov = "no target set"
+		}
+		detail := ""
+		if f.Stranded != 0 {
+			detail = fmt.Sprintf(", stranded %d tokens", f.Stranded)
+		} else if f.Redistributed != 0 {
+			detail = fmt.Sprintf(", redistributed %d tokens", f.Redistributed)
+		}
+		if f.UnreachableLoad != 0 {
+			detail += fmt.Sprintf(", unreachable %d", f.UnreachableLoad)
+		}
+		fmt.Printf("fault %d after round %d: -%d/+%d links, -%d/+%d nodes, %d components (µ=%.4g), eff disc %d (peak %d)%s, %s\n",
+			i+1, f.Round, f.FailedLinks, f.RestoredLinks, f.FailedNodes, f.RestoredNodes,
+			f.Components, f.Gap, f.Discrepancy, f.PeakDiscrepancy, detail, recov)
 	}
 	if res.ReachedTarget {
 		fmt.Printf("target %d reached at round %d\n", *spec.TargetDiscrepancy, res.TargetRound)
@@ -176,11 +211,11 @@ func run() int {
 		return 1
 	}
 	if *orbit {
-		if schedule != nil {
-			// DetectOrbit replays the process from x1 without the schedule,
-			// so it would report the orbit of a process the dynamic run never
-			// executed.
-			fmt.Fprintln(os.Stderr, "lbsim: -orbit cannot be combined with -events (orbit detection replays the static process)")
+		if schedule != nil || spec.Topology != nil {
+			// DetectOrbit replays the process from x1 without the schedule or
+			// the fault overlay, so it would report the orbit of a process the
+			// dynamic run never executed.
+			fmt.Fprintln(os.Stderr, "lbsim: -orbit cannot be combined with -events or -faults (orbit detection replays the pristine static process)")
 			return 2
 		}
 		// Re-run from scratch warmed past the observed stopping round: the
@@ -207,7 +242,7 @@ func run() int {
 // family is what -emit-scenario writes: the loaded one when a file was
 // given (so load → re-emit is byte-identical), the cell's singleton family
 // otherwise.
-func buildScenario(path, graphSpec, algoSpec, loadSpec, events string,
+func buildScenario(path, graphSpec, algoSpec, loadSpec, events, faults string,
 	loops, rounds, workers, sample int, target int64) (scenario.Scenario, *scenario.Family, error) {
 	if path != "" {
 		fam, err := scenario.LoadFile(path)
@@ -239,12 +274,16 @@ func buildScenario(path, graphSpec, algoSpec, loadSpec, events string,
 	if err != nil {
 		return scenario.Scenario{}, nil, err
 	}
+	ts, err := scenario.ParseTopology(faults)
+	if err != nil {
+		return scenario.Scenario{}, nil, err
+	}
 	n, err := gs.Nodes()
 	if err != nil {
 		return scenario.Scenario{}, nil, err
 	}
 	cell := scenario.Scenario{
-		Graph: gs, Algo: as, Workload: ws, Schedule: ss,
+		Graph: gs, Algo: as, Workload: ws, Schedule: ss, Topology: ts,
 		Run: scenario.RunParams{
 			Rounds:      rounds,
 			Patience:    16 * n,

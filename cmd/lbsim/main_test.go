@@ -88,12 +88,17 @@ func TestParseAlgoRejects(t *testing.T) {
 
 // TestScenarioEmitLoadRoundTrip: the flag combination resolves to a scenario
 // cell whose emitted file loads back to the identical cell, and the re-run is
-// bit-identical — lbsim's half of the acceptance criterion.
+// bit-identical — lbsim's half of the acceptance criterion. The cell carries
+// both a shock schedule and a fault topology, so the round trip covers the
+// fifth descriptor dimension too.
 func TestScenarioEmitLoadRoundTrip(t *testing.T) {
 	cell, _, err := buildScenario("", "hypercube:4", "rotor-router", "point:160",
-		"burst:10,0,512", -1, 80, 0, 5, 8)
+		"burst:10,0,512", "flap:0,1,12,16,6+partition:30,8,50", -1, 80, 0, 5, 8)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if cell.Topology.String() != "flap:0,1,12,16,6+partition:30,8,50" {
+		t.Fatalf("topology spec not materialized: %q", cell.Topology.String())
 	}
 	if cell.Run.Patience != 16*16 {
 		t.Fatalf("lbsim's graph-sized patience must be materialized, got %d", cell.Run.Patience)
@@ -106,7 +111,7 @@ func TestScenarioEmitLoadRoundTrip(t *testing.T) {
 	if err := cell.Family().WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
-	loaded, loadedFam, err := buildScenario(path, "", "", "", "", -1, 0, 0, 0, -1)
+	loaded, loadedFam, err := buildScenario(path, "", "", "", "", "", -1, 0, 0, 0, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,11 +151,14 @@ func TestScenarioEmitLoadRoundTrip(t *testing.T) {
 	if len(res1.Shocks) != 1 || len(res1.Series) == 0 {
 		t.Fatalf("expected a shocked, sampled run: %+v", res1)
 	}
+	if len(res1.Faults) == 0 {
+		t.Fatalf("expected a faulted run: %+v", res1)
+	}
 }
 
 // A multi-run family is lbsweep's business, not lbsim's.
 func TestScenarioRejectsFamilies(t *testing.T) {
-	cell, _, err := buildScenario("", "cycle:8", "send-floor", "point:64", "", -1, 10, 0, 0, -1)
+	cell, _, err := buildScenario("", "cycle:8", "send-floor", "point:64", "", "", -1, 10, 0, 0, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +168,7 @@ func TestScenarioRejectsFamilies(t *testing.T) {
 	if err := fam.WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := buildScenario(path, "", "", "", "", -1, 0, 0, 0, -1); err == nil {
+	if _, _, err := buildScenario(path, "", "", "", "", "", -1, 0, 0, 0, -1); err == nil {
 		t.Fatal("lbsim should refuse a 2-run family")
 	}
 }

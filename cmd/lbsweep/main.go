@@ -1,8 +1,8 @@
 // Command lbsweep runs a scenario sweep: the cross product of graph ×
-// algorithm × workload × schedule specs, fanned out over the concurrent
-// sweep harness (engines reused per (graph, algorithm) group, spectral gaps
-// memoized per graph), with per-spec rows and per-(graph, algorithm)
-// aggregate tables emitted as text, CSV, or JSON.
+// algorithm × workload × schedule × topology specs, fanned out over the
+// concurrent sweep harness (engines reused per (graph, algorithm) group,
+// spectral gaps memoized per graph), with per-spec rows and
+// per-(graph, algorithm) aggregate tables emitted as text, CSV, or JSON.
 //
 // Usage:
 //
@@ -10,6 +10,7 @@
 //	        -algos "send-floor;rotor-router;good:2" \
 //	        -workloads "point:2048;bimodal:0,64" \
 //	        [-schedules "none;burst:40,0,2048;refill:40,1024,40"] \
+//	        [-topologies "none;partition:30,64,70;periodic-fault:15,5"] \
 //	        [-target -1] [-rounds 0] [-loops -1] [-patience 0] [-sample 0] \
 //	        [-workers 0] [-sweep-workers 0] [-progress] \
 //	        [-scenario family.json] [-emit-scenario family.json] \
@@ -36,6 +37,15 @@
 // "+"; "none" is a static run). -target N ≥ 0 sets the discrepancy target:
 // static runs stop when they reach it, dynamic runs use it to measure
 // per-shock recovery (shocks / mean recovery rounds / peak columns).
+//
+// -topologies injects deterministic faults between rounds
+// (faillink:ROUND,U,V | restorelink:ROUND,U,V | failnode:ROUND,NODE[,REDIST] |
+// restorenode:ROUND,NODE | flap:U,V,FROM,PERIOD[,DUTY] |
+// partition:ROUND,BOUNDARY[,HEAL] | periodic-fault:EVERY,DOWN[,SEED],
+// composable with "+"; "none" keeps the graph pristine). Faulted runs report
+// per-fault recovery to the target on the effective (per-component)
+// discrepancy (faults / fault recovery / fault peak columns); see
+// docs/topology.md.
 package main
 
 import (
@@ -67,6 +77,7 @@ type row struct {
 	Algo        string  `json:"algo"`
 	Workload    string  `json:"workload"`
 	Schedule    string  `json:"schedule,omitempty"`
+	Topology    string  `json:"topology,omitempty"`
 	N           int     `json:"n"`
 	Degree      int     `json:"d"`
 	SelfLoops   int     `json:"self_loops"`
@@ -89,12 +100,21 @@ type row struct {
 	Recovered    int     `json:"recovered"`
 	MeanRecovery float64 `json:"mean_recovery_rounds"`
 	PeakDisc     int64   `json:"peak_shock_discrepancy"`
-	Err          string  `json:"error,omitempty"`
+	// Faulted-run recovery metrics, the topology mirror of the shock columns:
+	// fault event count, how many recovered to the target on the effective
+	// (per-component) discrepancy, mean rounds-to-recover over those, and the
+	// worst post-fault effective peak. Not omitempty for the same reason.
+	Faults            int     `json:"faults"`
+	FaultRecovered    int     `json:"fault_recovered"`
+	MeanFaultRecovery float64 `json:"mean_fault_recovery_rounds"`
+	PeakFaultDisc     int64   `json:"peak_fault_discrepancy"`
+	Err               string  `json:"error,omitempty"`
 
-	// recoverySum is the exact integer rounds-to-recover total behind
-	// MeanRecovery, carried so aggregates don't re-derive it from the
-	// rounded float (unexported: not serialized).
-	recoverySum int
+	// recoverySum / faultRecoverySum are the exact integer rounds-to-recover
+	// totals behind the mean columns, carried so aggregates don't re-derive
+	// them from the rounded floats (unexported: not serialized).
+	recoverySum      int
+	faultRecoverySum int
 }
 
 // aggregate summarizes one (graph, algorithm) group over its workloads and
@@ -116,6 +136,10 @@ type aggregate struct {
 	Shocks       int     `json:"shocks"`
 	Recovered    int     `json:"recovered"`
 	MeanRecovery float64 `json:"mean_recovery_rounds"`
+	// Faults aggregate the faulted runs of the group the same way.
+	Faults            int     `json:"faults"`
+	FaultRecovered    int     `json:"fault_recovered"`
+	MeanFaultRecovery float64 `json:"mean_fault_recovery_rounds"`
 }
 
 func run(args []string, stdout io.Writer) int {
@@ -124,6 +148,7 @@ func run(args []string, stdout io.Writer) int {
 	algosFlag := fs.String("algos", "send-floor;rotor-router", "semicolon-separated algorithm specs")
 	workloadsFlag := fs.String("workloads", "point:2048", "semicolon-separated workload specs")
 	schedulesFlag := fs.String("schedules", "none", "semicolon-separated dynamic-workload schedule specs (none = static)")
+	topologiesFlag := fs.String("topologies", "none", "semicolon-separated fault-injection topology specs (none = pristine)")
 	target := fs.Int64("target", -1, "discrepancy target (-1 = none; ≥ 0 stops static runs and defines dynamic recovery)")
 	rounds := fs.Int("rounds", 0, "round cap per run (0 = paper horizon T)")
 	loops := fs.Int("loops", -1, "self-loops per node (-1 = d, the lazy default)")
@@ -165,7 +190,7 @@ func run(args []string, stdout io.Writer) int {
 	case *presetName != "":
 		fam, err = scenario.Preset(*presetName)
 	default:
-		fam, err = scenario.ParseFamily(*graphsFlag, *algosFlag, *workloadsFlag, *schedulesFlag)
+		fam, err = scenario.ParseFamily(*graphsFlag, *algosFlag, *workloadsFlag, *schedulesFlag, *topologiesFlag)
 		if err == nil {
 			fam.Run = scenario.RunParams{
 				Rounds:      *rounds,
@@ -191,7 +216,7 @@ func run(args []string, stdout io.Writer) int {
 		// The scenario file or preset is the whole description: explicitly
 		// set spec-list/run flags would silently vanish otherwise.
 		scenario.WarnOverriddenFlags("lbsweep", fs,
-			"graphs", "algos", "workloads", "schedules",
+			"graphs", "algos", "workloads", "schedules", "topologies",
 			"target", "rounds", "loops", "patience", "sample", "workers")
 	}
 
@@ -215,7 +240,7 @@ func run(args []string, stdout io.Writer) int {
 	// Row labels are the canonical descriptor strings — defaults and seeds
 	// materialized ("rand-extra" reports as "rand-extra:1") — so every label
 	// identifies its run unambiguously and matches the emitted scenario.
-	type meta struct{ graphName, algoSpec, workloadSpec, scheduleSpec string }
+	type meta struct{ graphName, algoSpec, workloadSpec, scheduleSpec, topologySpec string }
 	metas := make([]meta, len(specs))
 	for i := range specs {
 		metas[i] = meta{
@@ -223,6 +248,7 @@ func run(args []string, stdout io.Writer) int {
 			algoSpec:     cells[i].Algo.String(),
 			workloadSpec: cells[i].Workload.String(),
 			scheduleSpec: cells[i].Schedule.String(),
+			topologySpec: cells[i].Topology.String(),
 		}
 	}
 
@@ -274,6 +300,7 @@ func run(args []string, stdout io.Writer) int {
 			Algo:        m.algoSpec,
 			Workload:    m.workloadSpec,
 			Schedule:    m.scheduleSpec,
+			Topology:    m.topologySpec,
 			N:           specs[i].Balancing.N(),
 			Degree:      specs[i].Balancing.Degree(),
 			SelfLoops:   specs[i].Balancing.SelfLoops(),
@@ -287,9 +314,13 @@ func run(args []string, stdout io.Writer) int {
 			TargetRound: res.TargetRound,
 			Stopped:     res.StoppedEarly,
 			Shocks:      len(res.Shocks),
+			Faults:      len(res.Faults),
 		}
 		if r.Schedule == "none" {
 			r.Schedule = ""
+		}
+		if r.Topology == "none" {
+			r.Topology = ""
 		}
 		for _, s := range res.Shocks {
 			if s.PeakDiscrepancy > r.PeakDisc {
@@ -303,6 +334,18 @@ func run(args []string, stdout io.Writer) int {
 		if r.Recovered > 0 {
 			r.MeanRecovery = float64(r.recoverySum) / float64(r.Recovered)
 		}
+		for _, f := range res.Faults {
+			if f.PeakDiscrepancy > r.PeakFaultDisc {
+				r.PeakFaultDisc = f.PeakDiscrepancy
+			}
+			if f.RecoveryRounds >= 0 {
+				r.FaultRecovered++
+				r.faultRecoverySum += f.RecoveryRounds
+			}
+		}
+		if r.FaultRecovered > 0 {
+			r.MeanFaultRecovery = float64(r.faultRecoverySum) / float64(r.FaultRecovered)
+		}
 		if res.Err != nil {
 			r.Err = res.Err.Error()
 			failures++
@@ -314,19 +357,23 @@ func run(args []string, stdout io.Writer) int {
 	tab := &analysis.Table{
 		Title: fmt.Sprintf("sweep: %d specs in %v (%.1f runs/sec, %d failed)",
 			len(specs), elapsed.Round(time.Millisecond), float64(len(specs))/elapsed.Seconds(), failures),
-		Header: []string{"graph", "algo", "specs", "err", "µ", "final mean", "min", "max", "p50", "rounds mean", "shocks", "recov mean"},
-		Note:   "final columns aggregate the final discrepancy over the group's workloads; recov mean is rounds-to-target after a shock",
+		Header: []string{"graph", "algo", "specs", "err", "µ", "final mean", "min", "max", "p50", "rounds mean", "shocks", "recov mean", "faults", "frecov mean"},
+		Note:   "final columns aggregate the final discrepancy over the group's workloads; recov/frecov mean is rounds-to-target after a shock/fault",
 	}
 	for _, a := range aggs {
 		recov := "-"
 		if a.Recovered > 0 {
 			recov = fmt.Sprintf("%.1f", a.MeanRecovery)
 		}
+		frecov := "-"
+		if a.FaultRecovered > 0 {
+			frecov = fmt.Sprintf("%.1f", a.MeanFaultRecovery)
+		}
 		tab.AddRow(a.Graph, a.Algo, strconv.Itoa(a.Specs), strconv.Itoa(a.Errors),
 			fmt.Sprintf("%.4g", a.Gap), fmt.Sprintf("%.2f", a.MeanFinal),
 			fmt.Sprintf("%.0f", a.MinFinal), fmt.Sprintf("%.0f", a.MaxFinal),
 			fmt.Sprintf("%.1f", a.P50Final), fmt.Sprintf("%.1f", a.MeanRound),
-			strconv.Itoa(a.Shocks), recov)
+			strconv.Itoa(a.Shocks), recov, strconv.Itoa(a.Faults), frecov)
 	}
 	fmt.Fprint(stdout, tab.String())
 
@@ -367,6 +414,7 @@ func aggregateRows(rows []row) []aggregate {
 	finals := map[key][]float64{}
 	roundsSum := map[key]int{}
 	recoverySum := map[key]int{}
+	faultRecoverySum := map[key]int{}
 	for _, r := range rows {
 		k := key{r.Graph, r.Algo}
 		if _, ok := idx[k]; !ok {
@@ -384,6 +432,9 @@ func aggregateRows(rows []row) []aggregate {
 		a.Shocks += r.Shocks
 		a.Recovered += r.Recovered
 		recoverySum[k] += r.recoverySum
+		a.Faults += r.Faults
+		a.FaultRecovered += r.FaultRecovered
+		faultRecoverySum[k] += r.faultRecoverySum
 	}
 	for k, i := range idx {
 		a := &aggs[i]
@@ -399,6 +450,9 @@ func aggregateRows(rows []row) []aggregate {
 		if a.Recovered > 0 {
 			a.MeanRecovery = float64(recoverySum[k]) / float64(a.Recovered)
 		}
+		if a.FaultRecovered > 0 {
+			a.MeanFaultRecovery = float64(faultRecoverySum[k]) / float64(a.FaultRecovered)
+		}
 	}
 	return aggs
 }
@@ -411,21 +465,24 @@ func writeRowsCSV(path string, rows []row) error {
 	defer f.Close()
 	w := csv.NewWriter(f)
 	if err := w.Write([]string{
-		"graph", "algo", "workload", "schedule", "n", "d", "self_loops", "gap", "T",
+		"graph", "algo", "workload", "schedule", "topology", "n", "d", "self_loops", "gap", "T",
 		"horizon", "rounds", "initial_disc", "final_disc", "min_disc", "target_round",
-		"stopped_early", "shocks", "recovered", "mean_recovery_rounds", "peak_shock_discrepancy", "error",
+		"stopped_early", "shocks", "recovered", "mean_recovery_rounds", "peak_shock_discrepancy",
+		"faults", "fault_recovered", "mean_fault_recovery_rounds", "peak_fault_discrepancy", "error",
 	}); err != nil {
 		return err
 	}
 	for _, r := range rows {
 		if err := w.Write([]string{
-			r.Graph, r.Algo, r.Workload, r.Schedule, strconv.Itoa(r.N), strconv.Itoa(r.Degree),
+			r.Graph, r.Algo, r.Workload, r.Schedule, r.Topology, strconv.Itoa(r.N), strconv.Itoa(r.Degree),
 			strconv.Itoa(r.SelfLoops), strconv.FormatFloat(r.Gap, 'g', -1, 64),
 			strconv.Itoa(r.T), strconv.Itoa(r.Horizon), strconv.Itoa(r.Rounds),
 			strconv.FormatInt(r.InitialDisc, 10), strconv.FormatInt(r.FinalDisc, 10),
 			strconv.FormatInt(r.MinDisc, 10), strconv.Itoa(r.TargetRound),
 			strconv.FormatBool(r.Stopped), strconv.Itoa(r.Shocks), strconv.Itoa(r.Recovered),
-			strconv.FormatFloat(r.MeanRecovery, 'g', -1, 64), strconv.FormatInt(r.PeakDisc, 10), r.Err,
+			strconv.FormatFloat(r.MeanRecovery, 'g', -1, 64), strconv.FormatInt(r.PeakDisc, 10),
+			strconv.Itoa(r.Faults), strconv.Itoa(r.FaultRecovered),
+			strconv.FormatFloat(r.MeanFaultRecovery, 'g', -1, 64), strconv.FormatInt(r.PeakFaultDisc, 10), r.Err,
 		}); err != nil {
 			return err
 		}

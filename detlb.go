@@ -224,7 +224,7 @@ type (
 	// Scenario is the pure-data description of one run.
 	Scenario = scenario.Scenario
 	// ScenarioFamily is the cross-product description (graphs × algos ×
-	// workloads × schedules) and the scenario file format.
+	// workloads × schedules × topologies) and the scenario file format.
 	ScenarioFamily = scenario.Family
 	// GraphSpec describes a balancing graph (family + args + d°).
 	GraphSpec = scenario.GraphSpec
@@ -236,6 +236,10 @@ type (
 	ScheduleSpec = scenario.ScheduleSpec
 	// SchedulePart is one component of a ScheduleSpec.
 	SchedulePart = scenario.SchedulePart
+	// TopologySpec describes a composed fault-injection schedule.
+	TopologySpec = scenario.TopologySpec
+	// TopologyPart is one component of a TopologySpec.
+	TopologyPart = scenario.TopologyPart
 	// RunParams are the harness parameters of a described run.
 	RunParams = scenario.RunParams
 )
@@ -255,6 +259,8 @@ var (
 	ParseWorkloadSpec = scenario.ParseWorkload
 	// ParseScheduleSpec parses a text schedule spec into a descriptor.
 	ParseScheduleSpec = scenario.ParseSchedule
+	// ParseTopologySpec parses a text fault-injection topology spec.
+	ParseTopologySpec = scenario.ParseTopology
 	// BindScenarios binds scenario cells into RunSpecs, sharing balancing
 	// graphs and algorithm instances exactly as the sweep harness groups.
 	BindScenarios = scenario.BindScenarios

@@ -12,6 +12,7 @@ import (
 	"detlb/internal/core"
 	"detlb/internal/graph"
 	"detlb/internal/spectral"
+	"detlb/internal/topology"
 	"detlb/internal/workload"
 )
 
@@ -53,6 +54,17 @@ type RunSpec struct {
 	// Schedules are pure functions of (round, loads), so dynamic runs keep
 	// the engine's bit-identical-across-worker-counts guarantee.
 	Events workload.Schedule
+	// Topology, when non-nil, injects link/node fault events between rounds:
+	// after every completed round r (including r = 0, before the first) the
+	// schedule's delta is applied via Engine.ApplyTopologyDelta — before the
+	// same round's workload injection, so the network changes first and load
+	// then arrives on the changed network — and every effective delta is
+	// recorded as a FaultEvent with its recovery metrics. Schedules are pure
+	// functions of (round, graph), so faulted runs keep the engine's
+	// bit-identical-across-worker-counts guarantee. Like Events, a topology
+	// schedule makes the run dynamic: the discrepancy target defines
+	// per-fault recovery instead of stopping the run.
+	Topology topology.Schedule
 	// Workers selects engine parallelism (0/1 = serial).
 	Workers int
 	// Auditors are attached to the engine.
@@ -87,6 +99,13 @@ type Point struct {
 	// carry a marker for every injection.
 	Shock    bool
 	Injected int64
+	// Fault marks a topology-event point: the sample was taken immediately
+	// after an ApplyTopologyDelta changed the graph, with FaultChange the
+	// event summary and Components the live component count after it. Like
+	// shock points, fault points are recorded whenever sampling is on.
+	Fault       bool
+	FaultChange core.TopologyChange
+	Components  int
 }
 
 // Shock records one load injection of a dynamic run and the recovery that
@@ -111,6 +130,50 @@ type Shock struct {
 	// ended first). RecoveryRounds is RecoveryRound − Round.
 	RecoveryRound  int
 	RecoveryRounds int
+}
+
+// FaultEvent records one effective topology delta of a faulted run and the
+// recovery that followed it — the robustness mirror of Shock. Recovery is
+// judged on the *effective* discrepancy (the maximum per-component max−min
+// over live components, Engine.EffectiveDiscrepancy): after a partition each
+// side can still balance internally even though the global discrepancy is
+// pinned by the imbalance across the cut, and that internal re-convergence
+// is what graceful degradation means.
+type FaultEvent struct {
+	// Round is the number of completed rounds when the delta was applied
+	// (0 = before the first round); round Round+1 is the first to run on the
+	// changed graph.
+	Round int
+	// FailedLinks/RestoredLinks/FailedNodes/RestoredNodes count the event's
+	// effective changes (no-op events are not recorded at all).
+	FailedLinks   int
+	RestoredLinks int
+	FailedNodes   int
+	RestoredNodes int
+	// Stranded is the load removed with stranded node failures by this
+	// event; Redistributed the load moved from failing nodes to neighbors.
+	Stranded      int64
+	Redistributed int64
+	// Components is the number of live components right after the event.
+	Components int
+	// Gap is the faulted eigenvalue gap of the post-event graph
+	// (spectral.FaultedGap); ≈ 0 when the event disconnected it.
+	Gap float64
+	// Discrepancy is the effective discrepancy immediately after the event;
+	// PeakDiscrepancy the maximum effective discrepancy observed from the
+	// event until recovery (or until the run ended).
+	Discrepancy     int64
+	PeakDiscrepancy int64
+	// RecoveryRound is the first round after the event whose effective
+	// discrepancy was ≤ TargetDiscrepancy, or −1 (no target set, or the run
+	// ended first). RecoveryRounds is RecoveryRound − Round.
+	RecoveryRound  int
+	RecoveryRounds int
+	// UnreachableLoad is the load excess no amount of balancing can move off
+	// its component at event time: Σ over live components of
+	// max(0, total − size·⌈L/N⌉) with L, N the live totals. 0 while the live
+	// graph stays connected.
+	UnreachableLoad int64
 }
 
 // RunResult captures the outcome of a simulation.
@@ -141,6 +204,9 @@ type RunResult struct {
 	// Shocks holds one record per load injection of a dynamic run (Events),
 	// in injection order, each with its recovery metrics.
 	Shocks []Shock
+	// Faults holds one record per effective topology delta of a faulted run
+	// (Topology), in event order, each with its recovery metrics.
+	Faults []FaultEvent
 	// Err is the first audit error, if any.
 	Err error
 }

@@ -6,6 +6,7 @@ import (
 	"iter"
 
 	"detlb/internal/core"
+	"detlb/internal/spectral"
 )
 
 // Round counts completed balancing rounds; it is the key of the streaming
@@ -27,6 +28,15 @@ type Snapshot struct {
 	// twice: once for the injection, once for the round that follows it.
 	Shock    bool
 	Injected int64
+	// Fault marks a topology-event observation: the snapshot was taken right
+	// after an ApplyTopologyDelta changed the graph, between the keyed round
+	// and the next one, with FaultChange the event summary and Components
+	// the live component count after it. A faulted round yields twice, like
+	// a shocked one (and up to three times when a round carries both a fault
+	// and a shock: fault first — the network changes before load arrives).
+	Fault       bool
+	FaultChange core.TopologyChange
+	Components  int
 }
 
 // Stream executes the spec as a lazy per-round sequence — the primitive the
@@ -138,10 +148,11 @@ func streamEngine(ctx context.Context, spec RunSpec, eng *core.Engine, res *RunR
 		if targetSet && disc <= target {
 			// The initial vector already meets the target: a time-to-target
 			// measurement is 0 rounds, not "whenever the trajectory next
-			// happens to dip under it".
+			// happens to dip under it". A topology schedule, like a workload
+			// one, makes the run dynamic: it continues to its horizon.
 			res.ReachedTarget = true
 			res.TargetRound = 0
-			if spec.Events == nil {
+			if spec.Events == nil && spec.Topology == nil {
 				if spec.SampleEvery > 0 {
 					// The stopping state joins the series here too, so a
 					// sampled spec always produces a (one-point) trajectory.
@@ -163,12 +174,14 @@ func streamEngine(ctx context.Context, spec RunSpec, eng *core.Engine, res *RunR
 		}
 
 		// patienceBest/lastImprovement drive early stopping; unlike best they
-		// restart at every shock. openFrom indexes the first shock still
-		// awaiting recovery — recoveries close all open shocks at once, so the
-		// open ones always form a suffix of res.Shocks.
+		// restart at every shock and at every fault. openFrom indexes the
+		// first shock still awaiting recovery — recoveries close all open
+		// shocks at once, so the open ones always form a suffix of
+		// res.Shocks. openFaultFrom mirrors it for fault events.
 		patienceBest := disc
 		lastImprovement := 0
 		openFrom := 0
+		openFaultFrom := 0
 		var delta []int64
 		if spec.Events != nil {
 			delta = make([]int64, spec.Balancing.N())
@@ -180,6 +193,26 @@ func streamEngine(ctx context.Context, spec RunSpec, eng *core.Engine, res *RunR
 				res.Shocks[i].RecoveryRounds = round - res.Shocks[i].Round
 			}
 			openFrom = len(res.Shocks)
+		}
+
+		closeFaults := func(round int) {
+			for i := openFaultFrom; i < len(res.Faults); i++ {
+				res.Faults[i].RecoveryRound = round
+				res.Faults[i].RecoveryRounds = round - res.Faults[i].Round
+			}
+			openFaultFrom = len(res.Faults)
+		}
+
+		// updateFaultPeaks folds the current effective discrepancy into every
+		// open fault event's peak, with the same backward-walk amortization as
+		// updatePeaks below.
+		updateFaultPeaks := func(eff int64) {
+			for i := len(res.Faults) - 1; i >= openFaultFrom; i-- {
+				if res.Faults[i].PeakDiscrepancy >= eff {
+					break
+				}
+				res.Faults[i].PeakDiscrepancy = eff
+			}
 		}
 
 		// updatePeaks folds disc into every open shock's peak. Open shocks
@@ -290,6 +323,77 @@ func streamEngine(ctx context.Context, spec RunSpec, eng *core.Engine, res *RunR
 		lastDisc, lastLo, lastHi := disc, lo, hi
 		lastSampled := false
 
+		// injectFault applies the topology schedule's delta after `completed`
+		// rounds — before the same round's workload injection — records the
+		// FaultEvent, and yields the post-event snapshot. It reports whether
+		// the stream should continue; on a schedule error (a generator
+		// addressing a node out of range) or a consumer break it finalizes
+		// the bookkeeping itself.
+		injectFault := func(completed int) bool {
+			tdelta, fire := spec.Topology.DeltaAt(completed, spec.Balancing.Graph())
+			if !fire || tdelta.Empty() {
+				return true
+			}
+			ch, err := eng.ApplyTopologyDelta(tdelta)
+			if err != nil {
+				res.Err = fmt.Errorf("analysis: topology schedule at round %d: %w", completed, err)
+				finish(completed, lastDisc, lastLo, lastHi, lastSampled)
+				return false
+			}
+			if !ch.Changed() {
+				return true
+			}
+			flo, fhi := core.Extrema(eng.Loads())
+			fdisc := fhi - flo
+			_, comps := eng.Components()
+			eff := eng.EffectiveDiscrepancy()
+			// A redistribution (or the next fault of a flap) can spike the
+			// global discrepancy inside open shock windows too.
+			updatePeaks(fdisc)
+			updateFaultPeaks(eff)
+			res.Faults = append(res.Faults, FaultEvent{
+				Round:       completed,
+				FailedLinks: ch.FailedLinks, RestoredLinks: ch.RestoredLinks,
+				FailedNodes: ch.FailedNodes, RestoredNodes: ch.RestoredNodes,
+				Stranded: ch.Stranded, Redistributed: ch.Redistributed,
+				Components:  comps,
+				Gap:         spectral.FaultedGap(spec.Balancing, eng.ArcAlive()),
+				Discrepancy: eff, PeakDiscrepancy: eff,
+				RecoveryRound: -1, RecoveryRounds: -1,
+				UnreachableLoad: eng.UnreachableLoad(),
+			})
+			if fdisc < best {
+				best = fdisc
+				res.MinDiscrepancy = best
+			}
+			// A fault restarts the patience clock: the pre-fault minimum is
+			// not a meaningful baseline while the system re-converges on the
+			// changed graph.
+			patienceBest = fdisc
+			lastImprovement = completed
+			if spec.SampleEvery > 0 {
+				res.Series = append(res.Series, Point{
+					Round: completed, Discrepancy: fdisc, Max: fhi, Min: flo,
+					Fault: true, FaultChange: ch, Components: comps,
+				})
+			}
+			if targetSet && eff <= target {
+				// A restore (or a stranding that removed the outliers) can
+				// itself re-reach the effective target: the faults recover
+				// instantly.
+				closeFaults(completed)
+			}
+			if !yield(completed, Snapshot{
+				Discrepancy: fdisc, Max: fhi, Min: flo,
+				Fault: true, FaultChange: ch, Components: comps,
+			}) {
+				finish(completed, fdisc, flo, fhi, true)
+				return false
+			}
+			lastDisc, lastLo, lastHi = fdisc, flo, fhi
+			return true
+		}
+
 		for round := 1; round <= horizon; round++ {
 			if ctx.Err() != nil {
 				// Per-round cancellation: the run stops before starting
@@ -300,6 +404,10 @@ func streamEngine(ctx context.Context, spec RunSpec, eng *core.Engine, res *RunR
 				// the consumer-break-at-round-0 path — a sampled spec always
 				// produces a trajectory.
 				finish(round-1, lastDisc, lastLo, lastHi, lastSampled)
+				return
+			}
+			if spec.Topology != nil && !injectFault(round-1) {
+				// injectFault already finalized at the post-event state.
 				return
 			}
 			if spec.Events != nil && !inject(round-1) {
@@ -335,13 +443,23 @@ func streamEngine(ctx context.Context, spec RunSpec, eng *core.Engine, res *RunR
 				lastImprovement = round
 			}
 			updatePeaks(disc)
+			// Fault recovery is judged on the effective (per-component)
+			// discrepancy; computing it is only worth a components lookup
+			// while fault events are actually open.
+			if len(res.Faults) > openFaultFrom {
+				eff := eng.EffectiveDiscrepancy()
+				updateFaultPeaks(eff)
+				if targetSet && eff <= target {
+					closeFaults(round)
+				}
+			}
 			if targetSet && disc <= target {
 				closeShocks(round)
 				if !res.ReachedTarget {
 					res.ReachedTarget = true
 					res.TargetRound = round
 				}
-				if spec.Events == nil {
+				if spec.Events == nil && spec.Topology == nil {
 					finish(round, disc, lo, hi, sampled)
 					yield(round, Snapshot{Discrepancy: disc, Max: hi, Min: lo})
 					return

@@ -11,7 +11,8 @@ import "detlb/internal/trace"
 // Sample converts the snapshot observed at the given round to its trace wire
 // record. A Shock-marked snapshot carries the net injected token count behind
 // the Shock pointer — presence is the marker, so a net-0 injection (pure
-// churn) still marks, matching the JSONL convention.
+// churn) still marks, matching the JSONL convention. A Fault-marked snapshot
+// carries the event summary behind the Fault pointer the same way.
 func (s Snapshot) Sample(round Round) trace.Sample {
 	smp := trace.Sample{
 		Round:       round,
@@ -22,6 +23,16 @@ func (s Snapshot) Sample(round Round) trace.Sample {
 	if s.Shock {
 		injected := s.Injected
 		smp.Shock = &injected
+	}
+	if s.Fault {
+		smp.Fault = &trace.FaultMark{
+			FailedLinks:   s.FaultChange.FailedLinks,
+			RestoredLinks: s.FaultChange.RestoredLinks,
+			FailedNodes:   s.FaultChange.FailedNodes,
+			RestoredNodes: s.FaultChange.RestoredNodes,
+			Components:    s.Components,
+			Stranded:      s.FaultChange.Stranded,
+		}
 	}
 	return smp
 }
@@ -36,5 +47,8 @@ func (p Point) Sample() trace.Sample {
 		Min:         p.Min,
 		Shock:       p.Shock,
 		Injected:    p.Injected,
+		Fault:       p.Fault,
+		FaultChange: p.FaultChange,
+		Components:  p.Components,
 	}.Sample(p.Round)
 }

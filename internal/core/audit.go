@@ -193,12 +193,19 @@ func (a *MinShareAuditor) Requires() Requirements { return Requirements{SelfLoop
 // ResetState implements StateResetter (stateless).
 func (a *MinShareAuditor) ResetState() {}
 
-// Observe implements Auditor.
+// Observe implements Auditor. Arcs the fault overlay marked dead are skipped:
+// their sends were bounced back to the sender and zeroed, which is the
+// overlay's doing, not the balancer's.
 func (a *MinShareAuditor) Observe(e *Engine, prevLoads []int64, sends, selfLoops [][]int64) error {
 	dplus := e.Balancing().DegreePlus()
+	alive := e.ArcAlive()
+	d := e.Balancing().Degree()
 	for u, x := range prevLoads {
 		floor := FloorShare(x, dplus)
 		for i, s := range sends[u] {
+			if alive != nil && !alive[u*d+i] {
+				continue
+			}
 			if s < floor {
 				return fmt.Errorf("min-share violated at node %d edge %d: sent %d < ⌊%d/%d⌋=%d", u, i, s, x, dplus, floor)
 			}
@@ -228,14 +235,25 @@ func (a *RoundFairAuditor) Requires() Requirements { return Requirements{SelfLoo
 // ResetState implements StateResetter (stateless).
 func (a *RoundFairAuditor) ResetState() {}
 
-// Observe implements Auditor.
+// Observe implements Auditor. Under the fault overlay, dead arcs carry
+// bounced (zeroed) sends that were each a valid {⌊x/d⁺⌋, ⌈x/d⁺⌉} share before
+// the bounce, so the audit checks live arcs exactly and bounds the residual
+// x − Σ_live − Σ_loops by the dead arcs' share range (with no dead arcs this
+// reduces to the exact residual == 0 check).
 func (a *RoundFairAuditor) Observe(e *Engine, prevLoads []int64, sends, selfLoops [][]int64) error {
 	dplus := e.Balancing().DegreePlus()
+	alive := e.ArcAlive()
+	d := e.Balancing().Degree()
 	for u, x := range prevLoads {
 		floor := FloorShare(x, dplus)
 		ceil := CeilShare(x, dplus)
 		var sum int64
+		dead := int64(0)
 		for i, s := range sends[u] {
+			if alive != nil && !alive[u*d+i] {
+				dead++
+				continue
+			}
 			if s < floor || s > ceil {
 				return fmt.Errorf("round-fairness violated at node %d edge %d: sent %d ∉ {%d,%d}", u, i, s, floor, ceil)
 			}
@@ -247,8 +265,12 @@ func (a *RoundFairAuditor) Observe(e *Engine, prevLoads []int64, sends, selfLoop
 			}
 			sum += s
 		}
-		if sum != x {
-			return fmt.Errorf("round-fairness violated at node %d: distributed %d of load %d", u, sum, x)
+		if rem := x - sum; rem < dead*floor || rem > dead*ceil {
+			if dead == 0 {
+				return fmt.Errorf("round-fairness violated at node %d: distributed %d of load %d", u, sum, x)
+			}
+			return fmt.Errorf("round-fairness violated at node %d: residual %d outside %d dead arcs' share range [%d,%d]",
+				u, rem, dead, dead*floor, dead*ceil)
 		}
 	}
 	return nil

@@ -72,6 +72,12 @@ type Engine struct {
 	workers  int
 	par      *parallelizer
 
+	// topo is the fault overlay (per-arc alive mask, live degrees, stranded
+	// accounting), nil until the first ApplyTopologyDelta; linkScratch is its
+	// parallel-arc lookup scratch. See topology.go.
+	topo        *topoState
+	linkScratch []int32
+
 	// distribute and apply are the two phase closures, bound once at
 	// construction so Step allocates nothing.
 	distribute phaseFunc
@@ -220,6 +226,7 @@ func (e *Engine) Reset(x1 []int64) error {
 	}
 	copy(e.x, x1)
 	e.round = 0
+	e.topo = nil // a reset engine starts on the pristine graph
 	for i := range e.flowsFlat {
 		e.flowsFlat[i] = 0
 	}
@@ -307,13 +314,15 @@ func (e *Engine) Discrepancy() int64 { return Discrepancy(e.x) }
 // here too. Both fusions are safe because next[u], flows[u] and sends[u] are
 // written only by the worker that owns u.
 func (e *Engine) distributePhase(lo, hi int) {
+	faulted := e.topo != nil && e.topo.faulted
 	if e.bulk != nil {
 		e.bulk.DistributeRange(e.x, e.bp, e.next, lo, hi)
 		// Expand (base, mask) into the per-arc sends: a uniform fill plus
 		// one increment per set mask bit. The parallel apply gather always
 		// reads the per-arc array; the serial step only needs it for flow
-		// tracking and auditors, and otherwise skips this expansion.
-		if e.par.width > 1 || e.expandSends {
+		// tracking and auditors — or to give the fault overlay's bounce pass
+		// per-arc sends to mask — and otherwise skips this expansion.
+		if e.par.width > 1 || e.expandSends || faulted {
 			d, bp, sends := e.d, e.bp, e.sendsFlat
 			for u := lo; u < hi; u++ {
 				base := bp[2*u]
@@ -344,6 +353,11 @@ func (e *Engine) distributePhase(lo, hi int) {
 			}
 			next[u] = kept
 		}
+	}
+	// Bounce tokens assigned to dead arcs back to their senders before the
+	// flow fold, so cumulative flows only ever count tokens that moved.
+	if faulted {
+		e.maskDeadSends(lo, hi)
 	}
 	if e.flowsFlat != nil {
 		flows, sends := e.flowsFlat, e.sendsFlat
@@ -379,7 +393,10 @@ func (e *Engine) applyPhase(lo, hi int) {
 // associative, so the resulting vector is bit-identical to the gather's.
 func (e *Engine) applySerial() {
 	next := e.next
-	if e.bulk != nil && !e.expandSends {
+	// The compressed push reads (base, mask) pairs, which the fault overlay's
+	// bounce pass cannot mask — under faults the distribute phase materialized
+	// per-arc sends, so take the per-arc push below instead.
+	if e.bulk != nil && !e.expandSends && !(e.topo != nil && e.topo.faulted) {
 		// Per-arc sends were never materialized: push base tokens along
 		// every out-arc, folding each set mask bit's extra token into the
 		// same read-modify-write.

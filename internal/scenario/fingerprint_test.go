@@ -9,7 +9,7 @@ import (
 // trip (the archive's content-address contract), and any semantic change —
 // here a different seed — moves the digest.
 func TestFingerprintStability(t *testing.T) {
-	fam, err := ParseFamily("random:64,8,1;hypercube:5", "rotor-router", "point:2048", "burst:20,0,4096")
+	fam, err := ParseFamily("random:64,8,1;hypercube:5", "rotor-router", "point:2048", "burst:20,0,4096", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestFingerprintStability(t *testing.T) {
 		t.Fatal("Write and Canonical drifted apart")
 	}
 
-	other, err := ParseFamily("random:64,8,2;hypercube:5", "rotor-router", "point:2048", "burst:20,0,4096")
+	other, err := ParseFamily("random:64,8,2;hypercube:5", "rotor-router", "point:2048", "burst:20,0,4096", "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,10 @@ func FuzzSpecRoundTrip(f *testing.F) {
 		"point:100", "point", "uniform:3", "bimodal:1,5", "random:10,3", "ramp:0,2",
 		"burst:5,0,100", "burst:5,0,100+churn:4,32", "drain:2,9,1",
 		"periodic:4,1,16", "refill:6,64,3", "none",
+		"faillink:3,0,1", "restorelink:7,0,1", "failnode:2,5", "failnode:2,5,1",
+		"restorenode:9,5", "flap:0,1,4,8", "flap:0,1,4,8,3",
+		"partition:5,8", "partition:5,8,20", "periodic-fault:6,2",
+		"periodic-fault:6,2,9", "flap:0,1,4,8+partition:5,8,20",
 	} {
 		f.Add(s)
 	}
@@ -32,6 +36,7 @@ func FuzzSpecRoundTrip(f *testing.F) {
 		fuzzAlgo(t, text)
 		fuzzWorkload(t, text)
 		fuzzSchedule(t, text)
+		fuzzTopology(t, text)
 	})
 }
 
@@ -146,5 +151,26 @@ func fuzzSchedule(t *testing.T, text string) {
 	}
 	if err1 == nil && !reflect.DeepEqual(e1, e2) {
 		t.Fatalf("bound schedules differ: %#v vs %#v", e1, e2)
+	}
+}
+
+func fuzzTopology(t *testing.T, text string) {
+	s, err := ParseTopology(text)
+	if err != nil {
+		return
+	}
+	var rt TopologySpec
+	jsonRoundTrip(t, s, &rt)
+	again, err := ParseTopology(s.String())
+	if err != nil || !reflect.DeepEqual(s, again) {
+		t.Fatalf("String() re-parse: %q -> %#v (%v), want %#v", s.String(), again, err, s)
+	}
+	e1, err1 := s.Bind(16)
+	e2, err2 := rt.Bind(16)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("bind divergence: %v vs %v", err1, err2)
+	}
+	if err1 == nil && !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("bound topologies differ: %#v vs %#v", e1, e2)
 	}
 }

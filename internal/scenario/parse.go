@@ -165,6 +165,37 @@ func ParseSchedule(spec string) (ScheduleSpec, error) {
 	return normalizeSchedule(out)
 }
 
+// ParseTopology parses a fault-injection topology spec:
+//
+//	none | faillink:ROUND,U,V | restorelink:ROUND,U,V |
+//	failnode:ROUND,NODE[,REDISTRIBUTE] | restorenode:ROUND,NODE |
+//	flap:U,V,FROM,PERIOD[,DUTY] | partition:ROUND,BOUNDARY[,HEAL] |
+//	periodic-fault:EVERY,DOWN[,SEED]
+//
+// Parts joined with "+" overlay into one schedule; "none" (or the empty
+// string) is the empty (pristine) descriptor. Node-range and can-never-fire
+// validation happen at bind time, when n is known.
+func ParseTopology(spec string) (TopologySpec, error) {
+	var out TopologySpec
+	for _, part := range strings.Split(spec, "+") {
+		part = strings.TrimSpace(part)
+		if part == "" || part == "none" {
+			continue
+		}
+		kind, tokens := splitSpec(part)
+		e, ok := topologyRegistry[kind]
+		if !ok {
+			return nil, fmt.Errorf("unknown topology %q", kind)
+		}
+		args, err := parseArgs("topology "+kind, tokens, e.args)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TopologyPart{Kind: kind, Args: args})
+	}
+	return normalizeTopology(out)
+}
+
 // splitList splits a semicolon-separated spec list, dropping empty entries —
 // the list syntax of the lbsweep flags.
 func splitList(s string) []string {
@@ -178,9 +209,10 @@ func splitList(s string) []string {
 }
 
 // ParseFamily parses the lbsweep cross-product grammar — semicolon-separated
-// lists of graph, algorithm, workload, and schedule specs — into a normalized
-// Family. The schedule list may be empty (all runs static).
-func ParseFamily(graphs, algos, workloads, schedules string) (*Family, error) {
+// lists of graph, algorithm, workload, schedule, and topology specs — into a
+// normalized Family. The schedule list may be empty (all runs static), and
+// the topology list may be empty (all runs pristine).
+func ParseFamily(graphs, algos, workloads, schedules, topologies string) (*Family, error) {
 	f := &Family{Version: Version}
 	for _, gs := range splitList(graphs) {
 		g, err := ParseGraph(gs)
@@ -209,6 +241,13 @@ func ParseFamily(graphs, algos, workloads, schedules string) (*Family, error) {
 			return nil, err
 		}
 		f.Schedules = append(f.Schedules, s)
+	}
+	for _, ts := range splitList(topologies) {
+		t, err := ParseTopology(ts)
+		if err != nil {
+			return nil, err
+		}
+		f.Topologies = append(f.Topologies, t)
 	}
 	return f, nil
 }

@@ -21,6 +21,7 @@ type presetDef struct {
 	algos       string
 	workloads   string
 	schedules   string
+	topologies  string
 	run         RunParams
 }
 
@@ -57,6 +58,18 @@ var presetDefs = []presetDef{
 		schedules: "none;burst:20,0,4096;burst:10,5,1024+refill:60,2048,0",
 		run:       RunParams{Rounds: 120, Target: targetPtr(16), SampleEvery: 25},
 	},
+	{
+		name: "link-failure-recovery",
+		description: "the robustness suite: pristine baseline vs a steady trickle of " +
+			"transient link faults vs a mid-run partition that heals, measuring " +
+			"per-fault recovery to a discrepancy target of 16 on an expander and " +
+			"a hypercube",
+		graphs:     "random:64,8,1;hypercube:5",
+		algos:      "rotor-router;send-floor",
+		workloads:  "point:2048",
+		topologies: "none;periodic-fault:15,5,1;partition:30,16,70",
+		run:        RunParams{Rounds: 140, Target: targetPtr(16), SampleEvery: 25},
+	},
 }
 
 func targetPtr(d int64) *int64 { return &d }
@@ -88,7 +101,7 @@ func Preset(name string) (*Family, error) {
 		if p.name != name {
 			continue
 		}
-		f, err := ParseFamily(p.graphs, p.algos, p.workloads, p.schedules)
+		f, err := ParseFamily(p.graphs, p.algos, p.workloads, p.schedules, p.topologies)
 		if err != nil {
 			// Presets are package constants; a parse failure is a bug.
 			panic(fmt.Sprintf("scenario: preset %q does not parse: %v", name, err))

@@ -101,6 +101,7 @@ func TestGoldenMatchesFlagInvocation(t *testing.T) {
 		"rotor-router;send-floor",
 		"point:2048",
 		"none;burst:20,0,4096;burst:10,5,1024+refill:60,2048,0",
+		"",
 	)
 	if err != nil {
 		t.Fatal(err)

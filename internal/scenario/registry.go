@@ -8,6 +8,7 @@ import (
 	"detlb/internal/balancer"
 	"detlb/internal/core"
 	"detlb/internal/graph"
+	"detlb/internal/topology"
 	"detlb/internal/workload"
 )
 
@@ -502,6 +503,177 @@ func (s ScheduleSpec) Bind(n int) (workload.Schedule, error) {
 	}
 }
 
+// topologyEntry describes one fault-injection schedule shape.
+type topologyEntry struct {
+	args []argDef
+	// build validates the part against the n-node graph and constructs the
+	// schedule. Like the workload schedules, a part that can never fire (bad
+	// cadence, out-of-range node, degenerate boundary) is rejected instead of
+	// silently producing a pristine run labeled as faulted.
+	build func(a []int64, n int) (topology.Schedule, error)
+}
+
+var topologyRegistry = map[string]topologyEntry{
+	"faillink": {
+		args: []argDef{req("round"), req("u"), req("v")},
+		build: func(a []int64, n int) (topology.Schedule, error) {
+			if err := checkTopologyLink("faillink", a[0], a[1], a[2], n); err != nil {
+				return nil, err
+			}
+			return topology.FailLinks{Round: int(a[0]), Links: [][2]int{{int(a[1]), int(a[2])}}}, nil
+		},
+	},
+	"restorelink": {
+		args: []argDef{req("round"), req("u"), req("v")},
+		build: func(a []int64, n int) (topology.Schedule, error) {
+			if err := checkTopologyLink("restorelink", a[0], a[1], a[2], n); err != nil {
+				return nil, err
+			}
+			return topology.RestoreLinks{Round: int(a[0]), Links: [][2]int{{int(a[1]), int(a[2])}}}, nil
+		},
+	},
+	"failnode": {
+		args: []argDef{req("round"), req("node"), opt("redistribute", 0)},
+		build: func(a []int64, n int) (topology.Schedule, error) {
+			if err := checkTopologyNode("failnode", a[1], n); err != nil {
+				return nil, err
+			}
+			if a[0] < 0 {
+				return nil, cantFireTopology("failnode", "negative round")
+			}
+			if a[2] != 0 && a[2] != 1 {
+				return nil, fmt.Errorf("topology \"failnode\": redistribute must be 0 or 1, got %d", a[2])
+			}
+			return topology.FailNodes{Round: int(a[0]), Nodes: []int{int(a[1])}, Redistribute: a[2] == 1}, nil
+		},
+	},
+	"restorenode": {
+		args: []argDef{req("round"), req("node")},
+		build: func(a []int64, n int) (topology.Schedule, error) {
+			if err := checkTopologyNode("restorenode", a[1], n); err != nil {
+				return nil, err
+			}
+			if a[0] < 0 {
+				return nil, cantFireTopology("restorenode", "negative round")
+			}
+			return topology.RestoreNodes{Round: int(a[0]), Nodes: []int{int(a[1])}}, nil
+		},
+	},
+	"flap": {
+		args: []argDef{req("u"), req("v"), req("from"), req("period"), opt("duty", 0)},
+		build: func(a []int64, n int) (topology.Schedule, error) {
+			if err := checkTopologyNode("flap", a[0], n); err != nil {
+				return nil, err
+			}
+			if err := checkTopologyNode("flap", a[1], n); err != nil {
+				return nil, err
+			}
+			if a[2] < 0 || a[3] <= 0 {
+				return nil, cantFireTopology("flap", "negative start or non-positive period")
+			}
+			if a[4] < 0 || a[4] >= a[3] {
+				return nil, fmt.Errorf("topology \"flap\": duty %d outside [0,%d) (0 = half the period)", a[4], a[3])
+			}
+			return topology.Flap{
+				Link: [2]int{int(a[0]), int(a[1])}, From: int(a[2]), Period: int(a[3]), Duty: int(a[4]),
+			}, nil
+		},
+	},
+	"partition": {
+		args: []argDef{req("round"), req("boundary"), opt("heal", 0)},
+		build: func(a []int64, n int) (topology.Schedule, error) {
+			if a[0] < 0 {
+				return nil, cantFireTopology("partition", "negative round")
+			}
+			if a[1] <= 0 || a[1] >= int64(n) {
+				return nil, fmt.Errorf("topology \"partition\": boundary %d outside (0,%d)", a[1], n)
+			}
+			if a[2] != 0 && a[2] <= a[0] {
+				return nil, cantFireTopology("partition", "heal round not after the cut")
+			}
+			return topology.Partition{Round: int(a[0]), Boundary: int(a[1]), Heal: int(a[2])}, nil
+		},
+	},
+	"periodic-fault": {
+		args: []argDef{req("every"), req("down"), opt("seed", 1)},
+		build: func(a []int64, n int) (topology.Schedule, error) {
+			if a[0] <= 0 || a[1] <= 0 {
+				return nil, cantFireTopology("periodic-fault", "non-positive cadence or downtime")
+			}
+			return topology.Periodic{Every: int(a[0]), Down: int(a[1]), Seed: uint64(a[2])}, nil
+		},
+	},
+}
+
+func cantFireTopology(kind, why string) error {
+	return fmt.Errorf("topology %q can never fire: %s", kind, why)
+}
+
+func checkTopologyNode(kind string, node int64, n int) error {
+	if node < 0 || node >= int64(n) {
+		return fmt.Errorf("topology %q: node %d out of range [0,%d)", kind, node, n)
+	}
+	return nil
+}
+
+func checkTopologyLink(kind string, round, u, v int64, n int) error {
+	if round < 0 {
+		return cantFireTopology(kind, "negative round")
+	}
+	if err := checkTopologyNode(kind, u, n); err != nil {
+		return err
+	}
+	return checkTopologyNode(kind, v, n)
+}
+
+func normalizeTopology(s TopologySpec) (TopologySpec, error) {
+	if len(s) == 0 {
+		// Normalized pristine topologies are empty but non-nil, so they
+		// serialize as [] rather than null, matching normalizeSchedule.
+		return TopologySpec{}, nil
+	}
+	out := make(TopologySpec, len(s))
+	for i, p := range s {
+		e, ok := topologyRegistry[p.Kind]
+		if !ok {
+			return nil, fmt.Errorf("unknown topology %q", p.Kind)
+		}
+		args, err := normalizeArgs("topology "+p.Kind, p.Args, e.args)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = TopologyPart{Kind: p.Kind, Args: args}
+	}
+	return out, nil
+}
+
+// Bind validates the topology schedule against an n-node graph and constructs
+// it: nil for a pristine run, the bare part for a single-part spec, a
+// topology.Compose for a composition (parts overlay; the engine's
+// failure-wins ordering resolves same-round conflicts).
+func (s TopologySpec) Bind(n int) (topology.Schedule, error) {
+	s, err := normalizeTopology(s)
+	if err != nil {
+		return nil, err
+	}
+	var composed topology.Compose
+	for _, p := range s {
+		one, err := topologyRegistry[p.Kind].build(p.Args, n)
+		if err != nil {
+			return nil, err
+		}
+		composed = append(composed, one)
+	}
+	switch len(composed) {
+	case 0:
+		return nil, nil
+	case 1:
+		return composed[0], nil
+	default:
+		return composed, nil
+	}
+}
+
 // BindScenarios binds a list of scenario cells into RunSpecs, sharing one
 // balancing graph per distinct graph descriptor, one algorithm instance per
 // (graph, algorithm) descriptor pair, and one initial vector per
@@ -552,6 +724,10 @@ func BindScenarios(cells []Scenario) ([]analysis.RunSpec, error) {
 		if err != nil {
 			return nil, err
 		}
+		faults, err := cell.Topology.Bind(b.N())
+		if err != nil {
+			return nil, err
+		}
 		spec := analysis.RunSpec{
 			Balancing:       b,
 			Algorithm:       algo,
@@ -562,6 +738,7 @@ func BindScenarios(cells []Scenario) ([]analysis.RunSpec, error) {
 			Workers:         cell.Run.Workers,
 			SampleEvery:     cell.Run.SampleEvery,
 			Events:          events,
+			Topology:        faults,
 		}
 		if cell.Run.Target != nil {
 			spec.TargetDiscrepancy = analysis.Target(*cell.Run.Target)

@@ -1,8 +1,9 @@
 // Package scenario is the declarative experiment-description layer: pure-data
 // descriptors for every component of a run — graph family, algorithm, initial
-// workload, dynamic-load schedule, and the run parameters — that serialize to
-// JSON, render back to the CLI mini-language, and bind into live
-// analysis.RunSpec values through a constructor registry.
+// workload, dynamic-load schedule, fault-injection topology schedule, and the
+// run parameters — that serialize to JSON, render back to the CLI
+// mini-language, and bind into live analysis.RunSpec values through a
+// constructor registry.
 //
 // One grammar, two front-ends: the text mini-language shared by lbsim and
 // lbsweep (parse.go) and JSON scenario files (Load/Write) both produce the
@@ -11,8 +12,8 @@
 // is materialized at parse time.
 //
 // A Scenario describes one run; a Family is the cross-product description
-// (graphs × algos × workloads × schedules, the lbsweep grammar as data) that
-// expands to Scenarios and binds to RunSpecs with the same engine-reuse
+// (graphs × algos × workloads × schedules × topologies, the lbsweep grammar
+// as data) that expands to Scenarios and binds to RunSpecs with the same engine-reuse
 // grouping the sweep harness expects: one balancing graph per graph
 // descriptor, one algorithm instance per (graph, algorithm) pair.
 package scenario
@@ -73,6 +74,17 @@ type SchedulePart struct {
 // means a static run (the "none" of the text grammar).
 type ScheduleSpec []SchedulePart
 
+// TopologyPart is one component of a fault-injection schedule — the
+// structural counterpart of SchedulePart.
+type TopologyPart struct {
+	Kind string  `json:"kind"`
+	Args []int64 `json:"args,omitempty"`
+}
+
+// TopologySpec is a composition of topology parts overlaid into one fault
+// schedule; empty means a pristine run (the "none" of the text grammar).
+type TopologySpec []TopologyPart
+
 // RunParams are the harness parameters of a run — the RunSpec fields that are
 // not component descriptors. The zero value means "paper defaults": horizon
 // T, no patience, no target, serial engine, no sampling.
@@ -97,6 +109,10 @@ type Scenario struct {
 	Algo     AlgoSpec     `json:"algo"`
 	Workload WorkloadSpec `json:"workload"`
 	Schedule ScheduleSpec `json:"schedule,omitempty"`
+	// Topology is the fault-injection schedule; empty means the graph stays
+	// pristine (omitted from JSON, so pre-fault scenario files and their
+	// fingerprints are unchanged).
+	Topology TopologySpec `json:"topology,omitempty"`
 	Run      RunParams    `json:"run,omitzero"`
 }
 
@@ -115,6 +131,9 @@ type Family struct {
 	Workloads []WorkloadSpec `json:"workloads"`
 	// Schedules default to a single static schedule when empty.
 	Schedules []ScheduleSpec `json:"schedules,omitempty"`
+	// Topologies default to a single pristine topology when empty; omitted
+	// from JSON so fault-free families keep their historical fingerprints.
+	Topologies []TopologySpec `json:"topologies,omitempty"`
 	// Run parameters are shared by every expanded scenario; per-cell
 	// overrides are applied on the expanded Scenarios directly.
 	Run RunParams `json:"run,omitzero"`
@@ -139,7 +158,11 @@ func (s *Scenario) Normalize() error {
 	if err != nil {
 		return err
 	}
-	s.Graph, s.Algo, s.Workload, s.Schedule = g, a, w, sch
+	top, err := normalizeTopology(s.Topology)
+	if err != nil {
+		return err
+	}
+	s.Graph, s.Algo, s.Workload, s.Schedule, s.Topology = g, a, w, sch, top
 	return nil
 }
 
@@ -156,6 +179,9 @@ func (s Scenario) Family() *Family {
 	}
 	if len(s.Schedule) > 0 {
 		f.Schedules = []ScheduleSpec{s.Schedule}
+	}
+	if len(s.Topology) > 0 {
+		f.Topologies = []TopologySpec{s.Topology}
 	}
 	return f
 }
@@ -205,12 +231,20 @@ func (f *Family) Normalize() error {
 		}
 		f.Schedules[i] = s
 	}
+	for i := range f.Topologies {
+		t, err := normalizeTopology(f.Topologies[i])
+		if err != nil {
+			return err
+		}
+		f.Topologies[i] = t
+	}
 	return nil
 }
 
 // Scenarios expands the cross product in the sweep's nesting order: graphs
-// (outermost), then algorithms, workloads, and schedules (innermost). An
-// empty schedule list contributes one static schedule.
+// (outermost), then algorithms, workloads, schedules, and topologies
+// (innermost). An empty schedule list contributes one static schedule; an
+// empty topology list contributes one pristine topology.
 func (f *Family) Scenarios() []Scenario {
 	schedules := f.Schedules
 	if len(schedules) == 0 {
@@ -219,14 +253,20 @@ func (f *Family) Scenarios() []Scenario {
 		// DeepEqual across an emit/load round trip.
 		schedules = []ScheduleSpec{{}}
 	}
-	cells := make([]Scenario, 0, len(f.Graphs)*len(f.Algos)*len(f.Workloads)*len(schedules))
+	topologies := f.Topologies
+	if len(topologies) == 0 {
+		topologies = []TopologySpec{{}}
+	}
+	cells := make([]Scenario, 0, len(f.Graphs)*len(f.Algos)*len(f.Workloads)*len(schedules)*len(topologies))
 	for _, g := range f.Graphs {
 		for _, a := range f.Algos {
 			for _, w := range f.Workloads {
 				for _, sch := range schedules {
-					cells = append(cells, Scenario{
-						Graph: g, Algo: a, Workload: w, Schedule: sch, Run: f.Run,
-					})
+					for _, top := range topologies {
+						cells = append(cells, Scenario{
+							Graph: g, Algo: a, Workload: w, Schedule: sch, Topology: top, Run: f.Run,
+						})
+					}
 				}
 			}
 		}
@@ -367,6 +407,21 @@ func (p SchedulePart) String() string { return renderKindArgs(p.Kind, p.Args) }
 
 // String renders the "+"-joined composition, or "none" for a static run.
 func (s ScheduleSpec) String() string {
+	if len(s) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(s))
+	for i, p := range s {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// String renders the canonical text-grammar spec, e.g. "partition:30,16,70".
+func (p TopologyPart) String() string { return renderKindArgs(p.Kind, p.Args) }
+
+// String renders the "+"-joined composition, or "none" for a pristine run.
+func (s TopologySpec) String() string {
 	if len(s) == 0 {
 		return "none"
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"detlb/internal/topology"
 	"detlb/internal/workload"
 )
 
@@ -141,12 +142,118 @@ func TestScheduleSpecRoundTripsThroughString(t *testing.T) {
 	}
 }
 
+func TestTopologyGrammar(t *testing.T) {
+	// Malformed numerics and excess arguments are parse errors, never
+	// defaults, matching every other descriptor domain.
+	for _, spec := range []string{
+		"faillink:x,0,1", "faillink:1,0", "restorelink:1,0,1,9",
+		"failnode:1,n", "flap:0,1,4", "partition:abc,8", "periodic-fault:6",
+		"meteor:1,2,3",
+	} {
+		if _, err := ParseTopology(spec); err == nil {
+			t.Errorf("topology %q should fail to parse", spec)
+		}
+	}
+	// Static defaults (seed, duty, heal, redistribute) are materialized.
+	for _, c := range []struct{ spec, want string }{
+		{"periodic-fault:6,2", "periodic-fault:6,2,1"},
+		{"flap:0,1,4,8", "flap:0,1,4,8,0"},
+		{"partition:5,8", "partition:5,8,0"},
+		{"failnode:2,5", "failnode:2,5,0"},
+		{"none", "none"},
+		{"", "none"},
+	} {
+		s, err := ParseTopology(c.spec)
+		if err != nil {
+			t.Fatalf("%q: %v", c.spec, err)
+		}
+		if got := s.String(); got != c.want {
+			t.Errorf("%q canonicalizes to %q, want %q", c.spec, got, c.want)
+		}
+	}
+	spec, err := ParseTopology("flap:0,1,4,8,3+partition:5,8,20+periodic-fault:6,2,9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseTopology(spec.String())
+	if err != nil || !reflect.DeepEqual(spec, again) {
+		t.Fatalf("String() re-parse: %v != %v (%v)", spec, again, err)
+	}
+}
+
+func TestTopologyBindValidation(t *testing.T) {
+	// Bind-time validation against the graph size: out-of-range nodes and
+	// can-never-fire descriptors are rejected, not silently pristine.
+	for _, spec := range []string{
+		"faillink:1,0,16", "restorelink:1,16,0", "failnode:1,99",
+		"restorenode:1,-1", "failnode:1,5,2", "flap:0,16,4,8",
+		"flap:0,1,4,8,9", "partition:5,16", "partition:5,0",
+		"partition:10,8,10", "periodic-fault:0,2", "faillink:-1,0,1",
+	} {
+		s, err := ParseTopology(spec)
+		if err != nil {
+			t.Fatalf("%q should parse (bind rejects it): %v", spec, err)
+		}
+		if _, err := s.Bind(16); err == nil {
+			t.Errorf("topology %q should fail to bind on 16 nodes", spec)
+		}
+	}
+	// A pristine spec binds to nil; a composition binds to a Compose.
+	none, err := ParseTopology("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched, err := none.Bind(16); err != nil || sched != nil {
+		t.Fatalf("pristine bind: %v (%v)", sched, err)
+	}
+	composed, err := ParseTopology("flap:0,1,4,8+partition:5,8,20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := composed.Bind(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sched.(topology.Compose); !ok {
+		t.Fatalf("composed spec bound to %T, want topology.Compose", sched)
+	}
+}
+
+// Topologies are the innermost cross-product dimension, and a bound faulted
+// cell carries its schedule through to the RunSpec.
+func TestFamilyTopologyCrossProduct(t *testing.T) {
+	fam, err := ParseFamily("cycle:16", "rotor-router", "point:64", "none;burst:5,0,32", "none;partition:5,8,20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, cells, err := fam.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("expected 2 schedules × 2 topologies = 4 cells, got %d", len(cells))
+	}
+	// Innermost: topology varies fastest.
+	wantTopos := []string{"none", "partition:5,8,20", "none", "partition:5,8,20"}
+	wantScheds := []string{"none", "none", "burst:5,0,32", "burst:5,0,32"}
+	for i := range cells {
+		if cells[i].Topology.String() != wantTopos[i] || cells[i].Schedule.String() != wantScheds[i] {
+			t.Fatalf("cell %d is (%s, %s), want (%s, %s)", i,
+				cells[i].Schedule.String(), cells[i].Topology.String(), wantScheds[i], wantTopos[i])
+		}
+		if (specs[i].Topology != nil) != (wantTopos[i] != "none") {
+			t.Fatalf("cell %d bound Topology %v for spec %q", i, specs[i].Topology, wantTopos[i])
+		}
+	}
+}
+
 func TestFamilyJSONRoundTripIsStable(t *testing.T) {
 	fam, err := ParseFamily(
 		"hypercube:4;cycle:32",
 		"send-floor;rand-extra:7",
 		"point:160;bimodal:0,16",
 		"none;burst:10,0,512",
+		"none;flap:0,1,5,8,3",
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +295,7 @@ func TestLoadRejectsUnknownFieldsAndVersions(t *testing.T) {
 }
 
 func TestFamilyExpansionOrder(t *testing.T) {
-	fam, err := ParseFamily("cycle:8;petersen", "send-floor;rotor-router", "point:64", "none;burst:5,0,32")
+	fam, err := ParseFamily("cycle:8;petersen", "send-floor;rotor-router", "point:64", "none;burst:5,0,32", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +321,7 @@ func TestFamilyExpansionOrder(t *testing.T) {
 // Binding shares one balancing graph per graph descriptor and one algorithm
 // instance per (graph, algorithm) pair — the sweep's engine-reuse identities.
 func TestBindScenariosShares(t *testing.T) {
-	fam, err := ParseFamily("cycle:16", "rotor-router", "point:64;uniform:4", "none;burst:5,0,32")
+	fam, err := ParseFamily("cycle:16", "rotor-router", "point:64;uniform:4", "none;burst:5,0,32", "")
 	if err != nil {
 		t.Fatal(err)
 	}

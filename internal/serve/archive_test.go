@@ -13,7 +13,7 @@ import (
 
 func archiveFixture(t *testing.T) (digest string, canonical []byte) {
 	t.Helper()
-	fam, err := scenario.ParseFamily("cycle:8", "send-floor", "point:64", "")
+	fam, err := scenario.ParseFamily("cycle:8", "send-floor", "point:64", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}

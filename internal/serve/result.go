@@ -25,6 +25,24 @@ type ShockResult struct {
 	RecoveryRounds  int   `json:"recovery_rounds"`
 }
 
+// FaultResult is the wire form of one analysis.FaultEvent.
+type FaultResult struct {
+	Round           int     `json:"round"`
+	FailedLinks     int     `json:"failed_links,omitempty"`
+	RestoredLinks   int     `json:"restored_links,omitempty"`
+	FailedNodes     int     `json:"failed_nodes,omitempty"`
+	RestoredNodes   int     `json:"restored_nodes,omitempty"`
+	Stranded        int64   `json:"stranded,omitempty"`
+	Redistributed   int64   `json:"redistributed,omitempty"`
+	Components      int     `json:"components"`
+	Gap             float64 `json:"gap"`
+	Discrepancy     int64   `json:"discrepancy"`
+	PeakDiscrepancy int64   `json:"peak_discrepancy"`
+	RecoveryRound   int     `json:"recovery_round"`
+	RecoveryRounds  int     `json:"recovery_rounds"`
+	UnreachableLoad int64   `json:"unreachable_load,omitempty"`
+}
+
 // CellResult is one cell's outcome: the canonical descriptor labels plus the
 // RunResult fields, with the sampled trajectory in the trace wire encoding
 // (the same records the stream endpoint sends and trace.ReadJSONL parses).
@@ -33,6 +51,7 @@ type CellResult struct {
 	Algo     string `json:"algo"`
 	Workload string `json:"workload"`
 	Schedule string `json:"schedule,omitempty"`
+	Topology string `json:"topology,omitempty"`
 
 	N         int `json:"n"`
 	Degree    int `json:"d"`
@@ -50,6 +69,7 @@ type CellResult struct {
 	ReachedTarget bool    `json:"reached_target"`
 
 	Shocks []ShockResult  `json:"shocks,omitempty"`
+	Faults []FaultResult  `json:"faults,omitempty"`
 	Series []trace.Sample `json:"series,omitempty"`
 	Err    string         `json:"error,omitempty"`
 }
@@ -68,12 +88,13 @@ const resultVersion = 1
 // cellResult folds one cell's spec and result into its wire record. The
 // graph label is the canonical descriptor string (not Balancing.Name()), so
 // the document is recomputable from the scenario alone.
-func cellResult(spec analysis.RunSpec, res analysis.RunResult, graph, algo, workload, schedule string) CellResult {
+func cellResult(spec analysis.RunSpec, res analysis.RunResult, graph, algo, workload, schedule, topology string) CellResult {
 	c := CellResult{
 		Graph:    graph,
 		Algo:     algo,
 		Workload: workload,
 		Schedule: displaySchedule(schedule),
+		Topology: displaySchedule(topology),
 
 		Gap:           res.Gap,
 		BalancingTime: res.BalancingTime,
@@ -102,6 +123,24 @@ func cellResult(spec analysis.RunSpec, res analysis.RunResult, graph, algo, work
 			RecoveryRounds:  s.RecoveryRounds,
 		})
 	}
+	for _, f := range res.Faults {
+		c.Faults = append(c.Faults, FaultResult{
+			Round:           f.Round,
+			FailedLinks:     f.FailedLinks,
+			RestoredLinks:   f.RestoredLinks,
+			FailedNodes:     f.FailedNodes,
+			RestoredNodes:   f.RestoredNodes,
+			Stranded:        f.Stranded,
+			Redistributed:   f.Redistributed,
+			Components:      f.Components,
+			Gap:             f.Gap,
+			Discrepancy:     f.Discrepancy,
+			PeakDiscrepancy: f.PeakDiscrepancy,
+			RecoveryRound:   f.RecoveryRound,
+			RecoveryRounds:  f.RecoveryRounds,
+			UnreachableLoad: f.UnreachableLoad,
+		})
+	}
 	for _, p := range res.Series {
 		c.Series = append(c.Series, p.Sample())
 	}
@@ -122,7 +161,7 @@ func buildResultDoc(name, digest string, cells []cellMeta, specs []analysis.RunS
 	}
 	for i, res := range results {
 		m := cells[i]
-		d.Cells[i] = cellResult(specs[i], res, m.graph, m.algo, m.workload, m.schedule)
+		d.Cells[i] = cellResult(specs[i], res, m.graph, m.algo, m.workload, m.schedule, m.topology)
 		if res.Err != nil {
 			failures++
 		}
@@ -136,12 +175,13 @@ func buildResultDoc(name, digest string, cells []cellMeta, specs []analysis.RunS
 
 // cellMeta carries one cell's canonical descriptor labels.
 type cellMeta struct {
-	graph, algo, workload, schedule string
+	graph, algo, workload, schedule, topology string
 }
 
-// displaySchedule blanks the grammar's "none": descriptors render a static
-// run explicitly, wire records leave the field absent. Every wire surface
-// (cell events, result records) goes through this one normalization.
+// displaySchedule blanks the grammar's "none" (schedules and topologies
+// alike): descriptors render a static run explicitly, wire records leave the
+// field absent. Every wire surface (cell events, result records) goes through
+// this one normalization.
 func displaySchedule(s string) string {
 	if s == "none" {
 		return ""

@@ -66,6 +66,12 @@ type Config struct {
 	// because sampling memory is Series ≈ rounds/sample_every, a sampled
 	// scenario must carry an explicit rounds cap at all. 0 means 1<<20.
 	MaxRunRounds int
+	// MaxTopologyParts caps the total fault-schedule part count across a
+	// scenario's topology dimension. Each part is O(1) state but costs a
+	// per-round schedule probe, so a hostile body packed with tens of
+	// thousands of parts would turn every round into a linear scan.
+	// 0 means 1024.
+	MaxTopologyParts int
 	// MaxConcurrentStreams bounds concurrent stream re-executions — each is
 	// a full deterministic re-run, so without a cap anonymous GETs could
 	// multiply the work the POST-side semaphore exists to bound. Excess
@@ -164,6 +170,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxRunRounds <= 0 {
 		cfg.MaxRunRounds = 1 << 20
+	}
+	if cfg.MaxTopologyParts <= 0 {
+		cfg.MaxTopologyParts = 1024
 	}
 	if cfg.MaxConcurrentStreams <= 0 {
 		cfg.MaxConcurrentStreams = 8
@@ -449,6 +458,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			Algo:     cell.Algo.String(),
 			Workload: cell.Workload.String(),
 			Schedule: displaySchedule(cell.Schedule.String()),
+			Topology: displaySchedule(cell.Topology.String()),
 		}
 		if err := enc.send(eventCell, labels); err != nil {
 			return
@@ -468,7 +478,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			failures++
 		}
 		rec := resultEvent{Cell: i, CellResult: cellResult(
-			spec, res, labels.Graph, labels.Algo, labels.Workload, cell.Schedule.String())}
+			spec, res, labels.Graph, labels.Algo, labels.Workload, cell.Schedule.String(), cell.Topology.String())}
 		if err := enc.send(eventResult, rec); err != nil {
 			return
 		}
@@ -536,10 +546,20 @@ func (s *Server) admit(fam *scenario.Family) error {
 	// Multiply with an early bail so absurd list lengths cannot overflow
 	// the product past the cap.
 	cells := int64(1)
-	for _, k := range []int{len(fam.Graphs), len(fam.Algos), len(fam.Workloads), max(1, len(fam.Schedules))} {
+	for _, k := range []int{len(fam.Graphs), len(fam.Algos), len(fam.Workloads), max(1, len(fam.Schedules)), max(1, len(fam.Topologies))} {
 		cells *= int64(k)
 		if cells > int64(s.cfg.MaxCells) {
 			return fmt.Errorf("family expands to more than %d cells, this server's limit", s.cfg.MaxCells)
+		}
+	}
+	// Fault-schedule density cap: every part of every topology spec is
+	// probed once per round per cell, so the total part count bounds the
+	// per-round fault-injection work.
+	parts := 0
+	for _, spec := range fam.Topologies {
+		parts += len(spec)
+		if parts > s.cfg.MaxTopologyParts {
+			return fmt.Errorf("topology specs total more than %d parts, this server's limit", s.cfg.MaxTopologyParts)
 		}
 	}
 	// Run-length caps: an explicit rounds count is bounded directly, and a
@@ -598,6 +618,7 @@ func (s *Server) execute(run *run) {
 			algo:     cell.Algo.String(),
 			workload: cell.Workload.String(),
 			schedule: cell.Schedule.String(),
+			topology: cell.Topology.String(),
 		}
 	}
 	resultJSON, failures, err := buildResultDoc(run.family.Name, run.digest, metas, specs, results)

@@ -24,7 +24,7 @@ import (
 // one algorithm, a static and a shocked schedule, every round sampled.
 func testFamily(t *testing.T) *scenario.Family {
 	t.Helper()
-	fam, err := scenario.ParseFamily("cycle:16", "rotor-router", "point:160", "none;burst:3,0,256")
+	fam, err := scenario.ParseFamily("cycle:16", "rotor-router", "point:160", "none;burst:3,0,256", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestStreamConsumersBitIdentical(t *testing.T) {
 // goroutines must be released on disconnect.
 func longFamily(t *testing.T, workers int) *scenario.Family {
 	t.Helper()
-	fam, err := scenario.ParseFamily("cycle:64", "rotor-router", "point:640", "")
+	fam, err := scenario.ParseFamily("cycle:64", "rotor-router", "point:640", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,6 +443,117 @@ func TestPresetRunAndSSE(t *testing.T) {
 	}
 	if !strings.Contains(text, "event: done") {
 		t.Fatal("SSE stream did not close with done")
+	}
+}
+
+// TestFaultedPresetRunSSEAndArchiveReplay is the serving layer's half of the
+// fault-injection acceptance criteria: the link-failure-recovery preset runs
+// to completion, its result document carries per-cell topology labels and
+// fault records with recovery metrics, the SSE stream carries fault-marked
+// snapshot frames, and the archived scenario replays bit-identically.
+func TestFaultedPresetRunSSEAndArchiveReplay(t *testing.T) {
+	_, ts := newTestServer(t, Config{ArchiveDir: t.TempDir()})
+	resp, err := http.Post(ts.URL+"/v1/runs?preset=link-failure-recovery", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("preset POST: %d: %s", resp.StatusCode, data)
+	}
+	var sum RunSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Name != "link-failure-recovery" || sum.Cells != 12 {
+		t.Fatalf("preset summary: %+v", sum)
+	}
+	code, r1 := waitResult(t, ts.URL, sum.ID)
+	if code != http.StatusOK {
+		t.Fatalf("preset result: %d: %s", code, r1)
+	}
+
+	var doc ResultDoc
+	if err := json.Unmarshal(r1, &doc); err != nil {
+		t.Fatal(err)
+	}
+	faulted, recovered, partitioned := 0, 0, 0
+	for _, c := range doc.Cells {
+		if c.Err != "" {
+			t.Fatalf("cell %s/%s/%s failed: %s", c.Graph, c.Algo, c.Topology, c.Err)
+		}
+		if c.Topology == "" {
+			if len(c.Faults) != 0 {
+				t.Fatalf("static-topology cell carries faults: %+v", c)
+			}
+			continue
+		}
+		faulted++
+		if len(c.Faults) == 0 {
+			t.Fatalf("faulted cell %s has no fault records", c.Topology)
+		}
+		for _, f := range c.Faults {
+			if f.Components > 1 {
+				partitioned++
+			}
+			if f.RecoveryRounds >= 0 {
+				recovered++
+			}
+		}
+	}
+	if faulted != 8 {
+		t.Fatalf("faulted cells: %d, want 8", faulted)
+	}
+	if recovered == 0 || partitioned == 0 {
+		t.Fatalf("expected recovered and partitioned fault events (recovered=%d partitioned=%d)",
+			recovered, partitioned)
+	}
+
+	// The SSE stream carries fault-marked snapshot frames.
+	sresp, err := http.Get(fmt.Sprintf("%s/v1/runs/%s/stream?format=sse", ts.URL, sum.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, `"fault"`) {
+		t.Fatal("SSE stream carries no fault-marked snapshots")
+	}
+	if !strings.Contains(text, `"topology"`) {
+		t.Fatal("SSE cell headers carry no topology labels")
+	}
+	if !strings.Contains(text, "event: done") {
+		t.Fatal("SSE stream did not close with done")
+	}
+
+	// The archived scenario re-POSTs to the same digest and reproduces the
+	// archived faulted result bit-identically.
+	aresp, err := http.Get(fmt.Sprintf("%s/v1/archive/%s/scenario", ts.URL, sum.Digest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	archived, _ := io.ReadAll(aresp.Body)
+	aresp.Body.Close()
+	sum2 := postBytes(t, ts.URL, archived)
+	if sum2.Digest != sum.Digest {
+		t.Fatalf("re-POST digest %s != %s", sum2.Digest, sum.Digest)
+	}
+	code, r2 := waitResult(t, ts.URL, sum2.ID)
+	if code != http.StatusOK {
+		t.Fatalf("replay: %d: %s", code, r2)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("faulted replay is not bit-identical to the archived result")
+	}
+	var got RunSummary
+	getJSON(t, fmt.Sprintf("%s/v1/runs/%s", ts.URL, sum2.ID), &got)
+	if got.Archive != "verified" {
+		t.Fatalf("replay archive state: %+v", got)
 	}
 }
 
@@ -648,7 +759,7 @@ func TestPostAfterCloseRejected(t *testing.T) {
 // TestAdmissionCaps: hostile or typo'd sizes are rejected before anything
 // is bound — the daemon must answer 400, not OOM.
 func TestAdmissionCaps(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxCells: 4})
+	_, ts := newTestServer(t, Config{MaxCells: 4, MaxTopologyParts: 8})
 	post := func(body string) (int, string) {
 		t.Helper()
 		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
@@ -680,6 +791,22 @@ func TestAdmissionCaps(t *testing.T) {
 		`"run":{"rounds":2000000000,"sample_every":1}}`)
 	if code != http.StatusBadRequest || !strings.Contains(body, "run.rounds") {
 		t.Fatalf("giant round count: %d: %s", code, body)
+	}
+	// The topology dimension multiplies into the cell cap...
+	topo := `[{"kind":"faillink","args":[1,0,1]}]`
+	code, body = post(`{"graphs":[{"kind":"cycle","args":[8]}],` +
+		`"algos":[{"kind":"send-floor"}],"workloads":[{"kind":"point"}],` +
+		`"topologies":[` + topo + `,` + topo + `,` + topo + `,` + topo + `,` + topo + `]}`)
+	if code != http.StatusBadRequest || !strings.Contains(body, "cells") {
+		t.Fatalf("oversized topology cross product: %d: %s", code, body)
+	}
+	// ...and a single spec packed with fault parts trips the density cap.
+	parts := strings.Repeat(`{"kind":"faillink","args":[1,0,1]},`, 9)
+	code, body = post(`{"graphs":[{"kind":"cycle","args":[8]}],` +
+		`"algos":[{"kind":"send-floor"}],"workloads":[{"kind":"point"}],` +
+		`"topologies":[[` + strings.TrimSuffix(parts, ",") + `]]}`)
+	if code != http.StatusBadRequest || !strings.Contains(body, "parts") {
+		t.Fatalf("topology part bomb: %d: %s", code, body)
 	}
 	code, body = post(`{"graphs":[{"kind":"cycle","args":[64]}],` +
 		`"algos":[{"kind":"send-floor"}],"workloads":[{"kind":"point"}],` +

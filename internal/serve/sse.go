@@ -48,10 +48,12 @@ type cellEvent struct {
 	Algo     string `json:"algo"`
 	Workload string `json:"workload"`
 	Schedule string `json:"schedule,omitempty"`
+	Topology string `json:"topology,omitempty"`
 }
 
 // snapshotEvent is one observation of the streaming run: the cell index plus
-// the trace wire record (shock-marked snapshots carry the "shock" field).
+// the trace wire record (shock-marked snapshots carry the "shock" field,
+// fault-marked ones the "fault" field).
 type snapshotEvent struct {
 	Cell int `json:"cell"`
 	trace.Sample

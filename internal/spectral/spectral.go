@@ -116,16 +116,29 @@ func GapFresh(b *graph.Balancing) float64 {
 	if nu2, ok := b.Graph().Nu2(); ok {
 		return 1 - (self+d*nu2)/dplus
 	}
-	return 1 - powerLambda2(b)
+	return 1 - powerLambda2(b, nil)
 }
 
 // lambda2Key identifies one memoized power-iteration result. The weak graph
 // pointer keeps the cache from pinning graphs: weak.Make returns equal
 // pointers for the same object, so lookups for live graphs always hit, and
 // the per-graph cleanup removes the entry once the graph is collected.
+//
+// Keying on the graph pointer is sound because graph.Graph is immutable
+// after construction — the engine's fault overlay (core.ApplyTopologyDelta)
+// never touches the CSR arrays, it layers an aliveness mask over them.
+// Results for faulted topologies therefore must NOT come through this key:
+// FaultedGap extends it with a hash of the alive mask, so one graph shared
+// by many fault schedules (or many epochs of one schedule) yields distinct,
+// correctly memoized entries, and flapping schedules that revisit a mask hit
+// the cache instead of re-iterating.
 type lambda2Key struct {
 	g         weak.Pointer[graph.Graph]
 	selfLoops int
+	// maskHash is 0 for the pristine graph and a 64-bit hash of the packed
+	// per-arc alive mask otherwise (offset so an all-alive mask still hashes
+	// nonzero and cannot collide with the pristine entry).
+	maskHash uint64
 }
 
 // lambda2Entry is a once-guarded cache slot: concurrent sweep workers asking
@@ -142,8 +155,13 @@ var (
 )
 
 func cachedPowerLambda2(b *graph.Balancing) float64 {
-	g := b.Graph()
-	key := lambda2Key{g: weak.Make(g), selfLoops: b.SelfLoops()}
+	key := lambda2Key{g: weak.Make(b.Graph()), selfLoops: b.SelfLoops()}
+	return memoLambda2(b.Graph(), key, func() float64 { return powerLambda2(b, nil) })
+}
+
+// memoLambda2 resolves key through the once-guarded cache, computing via
+// compute on first use and evicting when g is collected.
+func memoLambda2(g *graph.Graph, key lambda2Key, compute func() float64) float64 {
 	lambda2Mu.Lock()
 	e, ok := lambda2Cache[key]
 	if !ok {
@@ -156,8 +174,69 @@ func cachedPowerLambda2(b *graph.Balancing) float64 {
 		}, key)
 	}
 	lambda2Mu.Unlock()
-	e.once.Do(func() { e.val = powerLambda2(b) })
+	e.once.Do(func() { e.val = compute() })
 	return e.val
+}
+
+// FaultedGap returns the eigenvalue gap µ of the balancing graph under a
+// fault overlay: alive is the engine's per-arc alive mask (Engine.ArcAlive),
+// nil meaning pristine. A dead arc behaves as an extra self-loop — exactly
+// the engine's bounce-back semantics — so the faulted transition matrix is
+//
+//	P'(u,v) = (#live arcs u→v)/d⁺,  P'(u,u) = (d° + #dead arcs at u)/d⁺,
+//
+// which is again symmetric and doubly stochastic (link and node failures
+// kill arcs in mirrored pairs). The gap is estimated by the same shifted
+// projected power iteration as Gap and memoized per (graph, d°, mask hash):
+// a flapping schedule revisiting a mask pays the iteration once. For a
+// partitioned or node-failed graph the operator has a second eigenvalue at 1
+// and the returned gap is ≈ 0 — the global process no longer converges, and
+// per-component metrics (Engine.EffectiveDiscrepancy) carry the signal
+// instead.
+func FaultedGap(b *graph.Balancing, alive []bool) float64 {
+	if alive == nil {
+		return Gap(b)
+	}
+	g := b.Graph()
+	key := lambda2Key{g: weak.Make(g), selfLoops: b.SelfLoops(), maskHash: maskHash(alive)}
+	return 1 - memoLambda2(g, key, func() float64 { return powerLambda2(b, alive) })
+}
+
+// maskHash hashes the packed alive bits with an FNV-1a/SplitMix combination.
+// The +1 offset keeps an all-alive mask distinct from the pristine (hash 0)
+// cache key.
+func maskHash(alive []bool) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	var word uint64
+	bit := 0
+	for _, a := range alive {
+		if a {
+			word |= 1 << uint(bit)
+		}
+		if bit++; bit == 64 {
+			h = splitmixRound(h ^ word)
+			word, bit = 0, 0
+		}
+	}
+	if bit > 0 {
+		h = splitmixRound(h ^ word)
+	}
+	h = splitmixRound(h ^ uint64(len(alive)))
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// splitmixRound is the SplitMix64 finalizer used as the hash's mixing round.
+func splitmixRound(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // powerLambda2 estimates λ₂ via shifted projected power iteration.
@@ -167,7 +246,10 @@ func cachedPowerLambda2(b *graph.Balancing) float64 {
 // subtract-mean pass and a normalize pass — three linear sweeps total. The
 // Rayleigh quotient falls out of the fused pass for free: with x unit and
 // orthogonal to the all-ones vector, x·(P+I)x = λ + 1.
-func powerLambda2(b *graph.Balancing) float64 {
+//
+// A non-nil alive mask applies the fault overlay: dead arcs contribute x[u]
+// (a self-loop) instead of x[heads[p]], matching the engine's bounce-back.
+func powerLambda2(b *graph.Balancing, alive []bool) float64 {
 	g := b.Graph()
 	n := g.N()
 	if n == 1 {
@@ -195,8 +277,18 @@ func powerLambda2(b *graph.Balancing) float64 {
 		var dotXY float64
 		for u, p := 0, 0; u < n; u++ {
 			sum := self * x[u]
-			for end := p + d; p < end; p++ {
-				sum += x[heads[p]]
+			if alive == nil {
+				for end := p + d; p < end; p++ {
+					sum += x[heads[p]]
+				}
+			} else {
+				for end := p + d; p < end; p++ {
+					if alive[p] {
+						sum += x[heads[p]]
+					} else {
+						sum += x[u]
+					}
+				}
 			}
 			yu := sum/dplus + x[u]
 			y[u] = yu

@@ -1,0 +1,257 @@
+// Package topology yields deterministic per-round fault events for
+// robustness runs: links and nodes failing and recovering while balancing is
+// in progress. It is the structural counterpart of package workload — where
+// a workload.Schedule perturbs the load vector, a topology.Schedule perturbs
+// the communication graph itself, turning the harness into a testbed for the
+// self-stabilization claims around the paper's deterministic schemes.
+//
+// The harness calls DeltaAt once after every completed round r (including
+// r = 0, before the first round, and before the same round's workload
+// injection — the network changes first, then load arrives on it). An
+// implementation returns the core.TopologyDelta to apply and whether it
+// carries any event. Implementations must be pure functions of
+// (round, graph): the engine's bit-identical-across-workers determinism
+// contract extends to faulted runs, so a schedule must not keep hidden
+// mutable state or draw from a shared RNG (Periodic derives its
+// pseudorandomness by hashing the round number, exactly like
+// workload.Churn).
+package topology
+
+import (
+	"detlb/internal/core"
+	"detlb/internal/graph"
+)
+
+// Schedule yields the fault events to apply after round r completes. The
+// graph is the pristine bound graph (generators that enumerate edges, like
+// Partition, read it); the engine's current fault overlay is deliberately
+// not an input, so a schedule's output depends only on (round, graph).
+type Schedule interface {
+	DeltaAt(round int, g *graph.Graph) (core.TopologyDelta, bool)
+}
+
+// FailLinks fails a fixed set of links after round Round completes
+// (Round = 0 fails them before the first round). Links are undirected node
+// pairs; pairs that are not edges of the graph are no-ops, and failing an
+// already-dead link is a no-op too.
+type FailLinks struct {
+	Round int
+	Links [][2]int
+}
+
+// DeltaAt implements Schedule.
+func (f FailLinks) DeltaAt(round int, _ *graph.Graph) (core.TopologyDelta, bool) {
+	if round != f.Round || len(f.Links) == 0 {
+		return core.TopologyDelta{}, false
+	}
+	return core.TopologyDelta{FailLinks: f.Links}, true
+}
+
+// RestoreLinks restores a fixed set of links after round Round completes.
+type RestoreLinks struct {
+	Round int
+	Links [][2]int
+}
+
+// DeltaAt implements Schedule.
+func (f RestoreLinks) DeltaAt(round int, _ *graph.Graph) (core.TopologyDelta, bool) {
+	if round != f.Round || len(f.Links) == 0 {
+		return core.TopologyDelta{}, false
+	}
+	return core.TopologyDelta{RestoreLinks: f.Links}, true
+}
+
+// FailNodes fails a fixed set of nodes after round Round completes, all
+// under the same load policy: Redistribute moves each failing node's load to
+// its live neighbors, otherwise the load strands (leaves the system, with
+// conservation auditors notified).
+type FailNodes struct {
+	Round        int
+	Nodes        []int
+	Redistribute bool
+}
+
+// DeltaAt implements Schedule.
+func (f FailNodes) DeltaAt(round int, _ *graph.Graph) (core.TopologyDelta, bool) {
+	if round != f.Round || len(f.Nodes) == 0 {
+		return core.TopologyDelta{}, false
+	}
+	faults := make([]core.NodeFault, len(f.Nodes))
+	for i, u := range f.Nodes {
+		faults[i] = core.NodeFault{Node: u, Redistribute: f.Redistribute}
+	}
+	return core.TopologyDelta{FailNodes: faults}, true
+}
+
+// RestoreNodes restores a fixed set of nodes after round Round completes.
+// A restored node rejoins with whatever load it holds (usually zero; load a
+// workload schedule injected into it while dead stayed stranded on it).
+type RestoreNodes struct {
+	Round int
+	Nodes []int
+}
+
+// DeltaAt implements Schedule.
+func (f RestoreNodes) DeltaAt(round int, _ *graph.Graph) (core.TopologyDelta, bool) {
+	if round != f.Round || len(f.Nodes) == 0 {
+		return core.TopologyDelta{}, false
+	}
+	return core.TopologyDelta{RestoreNodes: f.Nodes}, true
+}
+
+// Periodic fails one pseudorandomly chosen link after every Every completed
+// rounds (rounds Every, 2·Every, …) and restores it Down rounds later — a
+// steady trickle of transient faults. The link is a pure hash of
+// (Seed, round): node u = h₁ mod n, and the link is u's (h₂ mod d)-th
+// out-edge, so the choice is always an actual edge of the graph. There is no
+// mutable RNG state; one Periodic value is safe to share across concurrent
+// runs and bit-identical everywhere.
+type Periodic struct {
+	Every int
+	Down  int
+	Seed  uint64
+}
+
+// pick returns the link Periodic fails at firing round r.
+func (p Periodic) pick(r int, g *graph.Graph) [2]int {
+	h := splitmix64(p.Seed ^ uint64(r)*0x9e3779b97f4a7c15)
+	u := int(h % uint64(g.N()))
+	h = splitmix64(h)
+	v := int(g.Heads()[u*g.Degree()+int(h%uint64(g.Degree()))])
+	return [2]int{u, v}
+}
+
+// DeltaAt implements Schedule.
+func (p Periodic) DeltaAt(round int, g *graph.Graph) (core.TopologyDelta, bool) {
+	if p.Every <= 0 || g.N() == 0 || g.Degree() == 0 {
+		return core.TopologyDelta{}, false
+	}
+	down := p.Down
+	if down < 1 {
+		down = 1
+	}
+	var delta core.TopologyDelta
+	// The link failed at round r recovers at r + down; both ends of the
+	// window re-derive the same link from the firing round's hash.
+	if round >= p.Every+down && (round-down)%p.Every == 0 {
+		delta.RestoreLinks = [][2]int{p.pick(round-down, g)}
+	}
+	if round >= p.Every && round%p.Every == 0 {
+		delta.FailLinks = append(delta.FailLinks, p.pick(round, g))
+	}
+	return delta, !delta.Empty()
+}
+
+// Flap fails one fixed link on a duty cycle: starting at round From, the
+// link goes down at every round with (round−From) ≡ 0 (mod Period) and comes
+// back up Duty rounds into each period — a persistently unreliable link, the
+// classic hard case for self-stabilizing protocols.
+type Flap struct {
+	Link   [2]int
+	From   int
+	Period int
+	Duty   int
+}
+
+// DeltaAt implements Schedule.
+func (f Flap) DeltaAt(round int, _ *graph.Graph) (core.TopologyDelta, bool) {
+	if f.Period <= 0 || round < f.From {
+		return core.TopologyDelta{}, false
+	}
+	duty := f.Duty
+	if duty < 1 || duty >= f.Period {
+		duty = (f.Period + 1) / 2
+	}
+	switch (round - f.From) % f.Period {
+	case 0:
+		return core.TopologyDelta{FailLinks: [][2]int{f.Link}}, true
+	case duty:
+		return core.TopologyDelta{RestoreLinks: [][2]int{f.Link}}, true
+	}
+	return core.TopologyDelta{}, false
+}
+
+// Partition cuts the graph in two after round Round completes: every link
+// with exactly one endpoint below Boundary fails, splitting the node set
+// into [0, Boundary) and [Boundary, n). When Heal > Round, the cut links are
+// restored after round Heal. The cut is enumerated from the graph's
+// adjacency on the firing rounds only, so non-firing rounds cost nothing.
+type Partition struct {
+	Round    int
+	Boundary int
+	Heal     int
+}
+
+// cut enumerates the links crossing the boundary, each once (from its lower
+// endpoint's side).
+func (p Partition) cut(g *graph.Graph) [][2]int {
+	n, d := g.N(), g.Degree()
+	heads := g.Heads()
+	var links [][2]int
+	for u := 0; u < n && u < p.Boundary; u++ {
+		for i := 0; i < d; i++ {
+			v := int(heads[u*d+i])
+			if v >= p.Boundary {
+				links = append(links, [2]int{u, v})
+			}
+		}
+	}
+	return links
+}
+
+// DeltaAt implements Schedule.
+func (p Partition) DeltaAt(round int, g *graph.Graph) (core.TopologyDelta, bool) {
+	if p.Boundary <= 0 {
+		return core.TopologyDelta{}, false
+	}
+	if round == p.Round {
+		links := p.cut(g)
+		return core.TopologyDelta{FailLinks: links}, len(links) > 0
+	}
+	if p.Heal > p.Round && round == p.Heal {
+		links := p.cut(g)
+		return core.TopologyDelta{RestoreLinks: links}, len(links) > 0
+	}
+	return core.TopologyDelta{}, false
+}
+
+// Compose overlays several schedules into one: each round, every non-nil
+// schedule's events are merged into a single delta, in order. Within the
+// merged delta the engine's field-order semantics apply (restores before
+// failures per category), so a link one part fails and another restores in
+// the same round ends the round failed.
+type Compose []Schedule
+
+// DeltaAt implements Schedule.
+func (c Compose) DeltaAt(round int, g *graph.Graph) (core.TopologyDelta, bool) {
+	var merged core.TopologyDelta
+	any := false
+	for _, s := range c {
+		if s == nil {
+			continue
+		}
+		delta, ok := s.DeltaAt(round, g)
+		if !ok {
+			continue
+		}
+		any = true
+		merged.FailLinks = append(merged.FailLinks, delta.FailLinks...)
+		merged.RestoreLinks = append(merged.RestoreLinks, delta.RestoreLinks...)
+		merged.FailNodes = append(merged.FailNodes, delta.FailNodes...)
+		merged.RestoreNodes = append(merged.RestoreNodes, delta.RestoreNodes...)
+	}
+	return merged, any
+}
+
+// splitmix64 is the SplitMix64 finalizer (the same mixer package workload
+// uses): a bijective avalanche mixer turning a counter into high-quality
+// pseudorandom bits without any carried state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -30,6 +30,25 @@ type Sample struct {
 	// legitimately be 0 (a pure migration such as churn), so presence — the
 	// pointer — is the marker, mirroring Phi.
 	Shock *int64 `json:"shock,omitempty"`
+	// Fault, when non-nil, marks this sample as a topology-event point: it
+	// was recorded immediately after link/node fault events were applied
+	// between rounds. Every count inside can legitimately be 0 (e.g. a pure
+	// restore has no failures), so presence — the pointer — is the marker,
+	// mirroring Shock.
+	Fault *FaultMark `json:"fault,omitempty"`
+}
+
+// FaultMark summarizes the topology event behind a Fault-marked sample.
+type FaultMark struct {
+	FailedLinks   int `json:"failed_links,omitempty"`
+	RestoredLinks int `json:"restored_links,omitempty"`
+	FailedNodes   int `json:"failed_nodes,omitempty"`
+	RestoredNodes int `json:"restored_nodes,omitempty"`
+	// Components is the live component count after the event (1 while the
+	// live graph stays connected; it is always ≥ 1 and never omitted).
+	Components int `json:"components"`
+	// Stranded is the load removed with stranded node failures.
+	Stranded int64 `json:"stranded,omitempty"`
 }
 
 // Recorder is a core.Auditor that snapshots load statistics every Interval

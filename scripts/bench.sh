@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the engine micro-benchmarks and record the perf trajectory.
 #
-# Records three files (by default at the repo root; -o redirects them, so CI
+# Records four files (by default at the repo root; -o redirects them, so CI
 # runners never need a writable checkout):
 #
 #   BENCH_step.json    — the BenchmarkStep* hot-path benchmarks plus the
@@ -11,7 +11,10 @@
 #                        gap cache), whose runs/sec and allocs/op columns are
 #                        the sweep subsystem's acceptance numbers;
 #   BENCH_dynamic.json — the BenchmarkDynamic* shocked-run benchmarks (dynamic
-#                        harness vs its static baseline, plus a shocked sweep).
+#                        harness vs its static baseline, plus a shocked sweep);
+#   BENCH_topology.json — the BenchmarkTopology* fault-injection benchmarks
+#                        (faulted engine round, delta application, and a full
+#                        fault-injected run).
 #
 # Each run uses -benchmem -count=$COUNT. The "baseline" section of an
 # existing output file is preserved across runs so future PRs always compare
@@ -121,3 +124,6 @@ record 'BenchmarkSweep100' BENCH_sweep.json \
 
 record 'BenchmarkDynamic' BENCH_dynamic.json \
   "shocked-run numbers: ShockedRun is one 128-round dynamic run (burst + periodic refill + churn, recovery-tracked); StaticBaseline is the same instance without a schedule — the dynamic-harness overhead denominator; DynamicSweep25 pushes 25 shocked specs through the concurrent sweep."
+
+record 'BenchmarkTopology' BENCH_topology.json \
+  "fault-injection numbers: FaultedStep is one engine round with 32 dead links (compare BenchmarkStepRotorRouter — must stay 0 allocs/op); ApplyDelta is one fail+restore delta pair (mask updates, component census, epoch bump); FaultedRun is the dynamic benchmark instance with a periodic fault schedule and a flapping link (compare BenchmarkDynamicShockedRun)."
