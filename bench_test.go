@@ -323,6 +323,68 @@ func BenchmarkTopologyFaultedRun(b *testing.B) {
 	}
 }
 
+// --- population protocols ---------------------------------------------------
+
+// BenchmarkProtocolMajorityStep measures one well-mixed majority round
+// (n pairwise interactions) on a 1024-agent instance — the protocol
+// backend's hot path; like the engine round, it must stay allocation-free.
+func BenchmarkProtocolMajorityStep(b *testing.B) {
+	m, err := detlb.NewMajorityProtocol(1024, 1).New(detlb.OpinionsLoad(1024, 600), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolHermanStep measures one Herman round (deterministic coin
+// flips + XOR merge, both phases on the kernel) on a 1025-node ring.
+func BenchmarkProtocolHermanStep(b *testing.B) {
+	m, err := detlb.NewHermanProtocol(1).New(detlb.TokensLoad(1025, 257, 1), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolMajorityRun measures one full majority run to consensus
+// through the harness — model construction, per-round metric evaluation, and
+// the time-to-target stop on a 256-agent expander-labeled instance.
+func BenchmarkProtocolMajorityRun(b *testing.B) {
+	spec := detlb.RunSpec{
+		Balancing:         detlb.Lazy(detlb.RandomRegular(256, 8, 1)),
+		Model:             detlb.NewMajorityProtocol(256, 1),
+		Metric:            detlb.UnconvergedMetric,
+		Initial:           detlb.OpinionsLoad(256, 150),
+		MaxRounds:         4096,
+		TargetDiscrepancy: detlb.TargetDiscrepancy(0),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := detlb.Run(spec)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if !res.ReachedTarget {
+			b.Fatal("majority run did not reach consensus")
+		}
+	}
+}
+
 // --- micro-benchmarks -------------------------------------------------------
 
 func benchStep(b *testing.B, algo detlb.Balancer, workers int) {

@@ -37,12 +37,17 @@
 //
 // Workloads: point:TOTAL | uniform:EACH | bimodal:LO,HI | random:MAX[,SEED] |
 //
-//	ramp:BASE,STEP
+//	ramp:BASE,STEP | opinions[:A] | tokens[:COUNT,SEED]
 //
 // Algos:     send-floor | send-round | rotor-router | rotor-router* |
 //
 //	good:S | biased | rand-extra[:SEED] | rand-round[:SEED] |
 //	mimic | bounded-error | matching | matching-rand
+//
+// Population-protocol models run on the same flags (the graph contributes
+// the agent count): majority[:SEED] | herman[:SEED], converging in their own
+// metric (unconverged minority count, surviving ring tokens). Protocol runs
+// reject -events, -faults, -audit, -csv, and -orbit.
 //
 // -rounds 0 uses the paper's horizon T = ⌈16·ln(nK)/µ⌉.
 // -loops -1 uses d° = d (the lazy default).
@@ -113,6 +118,31 @@ func run() int {
 	algo := spec.Algorithm
 	x1 := spec.Initial
 	schedule := spec.Events
+
+	if spec.Model != nil {
+		// Population-protocol run: the graph contributes sizing and labels,
+		// and the diffusion-only outputs have no meaning here.
+		if *audit || *csvPath != "" || *orbit {
+			fmt.Fprintln(os.Stderr, "lbsim: -audit, -csv and -orbit apply to diffusion runs (protocol models audit their invariants internally)")
+			return 2
+		}
+		fmt.Printf("graph=%s n=%d (sizing and labels only for protocol models)\n", g.Name(), g.N())
+		fmt.Printf("model=%s metric=%s initial=%d\n",
+			spec.Model.Name(), spec.Metric.Name(), spec.Metric.Measure(x1))
+		res := analysis.Run(spec)
+		for _, p := range res.Series {
+			fmt.Printf("round %8d  %s %6d\n", p.Round, spec.Metric.Name(), p.Discrepancy)
+		}
+		fmt.Println(res.String())
+		if res.ReachedTarget {
+			fmt.Printf("target %d reached at round %d\n", *spec.TargetDiscrepancy, res.TargetRound)
+		}
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", res.Err)
+			return 1
+		}
+		return 0
+	}
 
 	mu := spectral.Gap(b)
 	k := core.Discrepancy(x1)

@@ -19,7 +19,10 @@
 //
 // Spec lists are semicolon-separated; the mini-language is lbsim's (the
 // grammar lives in internal/scenario, shared by the flags and the JSON
-// scenario files). -rounds 0 uses the paper's horizon T = ⌈16·ln(nK)/µ⌉
+// scenario files). Population-protocol models (majority[:SEED] |
+// herman[:SEED], with the opinions/tokens workloads) sweep on the same
+// grammar; their rows carry a metric column naming the model's convergence
+// metric in place of the diffusion discrepancy. -rounds 0 uses the paper's horizon T = ⌈16·ln(nK)/µ⌉
 // per instance; -loops -1 uses d° = d. -sweep-workers bounds the concurrent
 // (graph, algorithm) groups; results are bit-identical for every value.
 // -series writes one JSONL trajectory file per sampled spec via
@@ -73,11 +76,15 @@ func main() {
 
 // row is one per-spec record of the sweep report.
 type row struct {
-	Graph       string  `json:"graph"`
-	Algo        string  `json:"algo"`
-	Workload    string  `json:"workload"`
-	Schedule    string  `json:"schedule,omitempty"`
-	Topology    string  `json:"topology,omitempty"`
+	Graph    string `json:"graph"`
+	Algo     string `json:"algo"`
+	Workload string `json:"workload"`
+	Schedule string `json:"schedule,omitempty"`
+	Topology string `json:"topology,omitempty"`
+	// Metric names the convergence metric of a model run ("unconverged",
+	// "tokens"); empty for diffusion rows, whose discrepancy columns keep
+	// their historical meaning.
+	Metric      string  `json:"metric,omitempty"`
 	N           int     `json:"n"`
 	Degree      int     `json:"d"`
 	SelfLoops   int     `json:"self_loops"`
@@ -301,6 +308,7 @@ func run(args []string, stdout io.Writer) int {
 			Workload:    m.workloadSpec,
 			Schedule:    m.scheduleSpec,
 			Topology:    m.topologySpec,
+			Metric:      res.Metric,
 			N:           specs[i].Balancing.N(),
 			Degree:      specs[i].Balancing.Degree(),
 			SelfLoops:   specs[i].Balancing.SelfLoops(),
@@ -465,7 +473,7 @@ func writeRowsCSV(path string, rows []row) error {
 	defer f.Close()
 	w := csv.NewWriter(f)
 	if err := w.Write([]string{
-		"graph", "algo", "workload", "schedule", "topology", "n", "d", "self_loops", "gap", "T",
+		"graph", "algo", "workload", "schedule", "topology", "metric", "n", "d", "self_loops", "gap", "T",
 		"horizon", "rounds", "initial_disc", "final_disc", "min_disc", "target_round",
 		"stopped_early", "shocks", "recovered", "mean_recovery_rounds", "peak_shock_discrepancy",
 		"faults", "fault_recovered", "mean_fault_recovery_rounds", "peak_fault_discrepancy", "error",
@@ -474,7 +482,7 @@ func writeRowsCSV(path string, rows []row) error {
 	}
 	for _, r := range rows {
 		if err := w.Write([]string{
-			r.Graph, r.Algo, r.Workload, r.Schedule, r.Topology, strconv.Itoa(r.N), strconv.Itoa(r.Degree),
+			r.Graph, r.Algo, r.Workload, r.Schedule, r.Topology, r.Metric, strconv.Itoa(r.N), strconv.Itoa(r.Degree),
 			strconv.Itoa(r.SelfLoops), strconv.FormatFloat(r.Gap, 'g', -1, 64),
 			strconv.Itoa(r.T), strconv.Itoa(r.Horizon), strconv.Itoa(r.Rounds),
 			strconv.FormatInt(r.InitialDisc, 10), strconv.FormatInt(r.FinalDisc, 10),

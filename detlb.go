@@ -7,6 +7,7 @@ import (
 	"detlb/internal/core"
 	"detlb/internal/graph"
 	"detlb/internal/lowerbound"
+	"detlb/internal/protocol"
 	"detlb/internal/scenario"
 	"detlb/internal/serve"
 	"detlb/internal/spectral"
@@ -75,6 +76,47 @@ type (
 	SweepOptions = analysis.SweepOptions
 	// StateResetter is the optional rewind interface engine reuse relies on.
 	StateResetter = core.StateResetter
+)
+
+// Model kernel: the model-agnostic simulation layer. Any deterministic
+// round-based dynamics implementing Model runs on the same
+// sweep/stream/serve stack as the diffusion engine (which itself
+// implements Model).
+type (
+	// Model is the round-based dynamics interface the harness drives.
+	Model = core.Model
+	// ModelBuilder describes a model family; comparable builders are the
+	// sweep grouping unit for model reuse.
+	ModelBuilder = core.ModelBuilder
+	// Metric maps a model state vector to the scalar the harness tracks.
+	Metric = core.Metric
+	// Kernel is the deterministic parallel round executor: chunked phases
+	// with a barrier, bit-identical at every worker count.
+	Kernel = core.Kernel
+)
+
+var (
+	// NewKernel builds a worker pool of the given width (clamped to
+	// GOMAXPROCS).
+	NewKernel = core.NewKernel
+	// ChunkBounds returns the deterministic [lo, hi) slice of chunk i when
+	// n items are split across width workers.
+	ChunkBounds = core.ChunkBounds
+)
+
+// Population-protocol models (internal/protocol): pairwise-interaction
+// dynamics on the model kernel.
+var (
+	// NewMajorityProtocol returns the 4-state exact-majority protocol
+	// builder (well-mixed scheduler, seeded).
+	NewMajorityProtocol = protocol.NewMajority
+	// NewHermanProtocol returns Herman's self-stabilizing token ring
+	// builder (seeded coin flips).
+	NewHermanProtocol = protocol.NewHerman
+	// UnconvergedMetric counts the minority opinion mass (0 at consensus).
+	UnconvergedMetric = protocol.Unconverged
+	// TokensMetric counts surviving tokens (stabilizes at 1).
+	TokensMetric = protocol.Tokens
 )
 
 // Engine construction and options.
@@ -215,6 +257,11 @@ var (
 	PowerLawLoad = workload.PowerLaw
 	// CheckerboardLoad alternates two load levels by node index.
 	CheckerboardLoad = workload.Checkerboard
+	// OpinionsLoad builds a signed majority-protocol opinion vector
+	// (a strong positives, the rest strong negatives).
+	OpinionsLoad = workload.Opinions
+	// TokensLoad places an odd number of Herman tokens pseudorandomly.
+	TokensLoad = workload.Tokens
 )
 
 // Scenario API v1: declarative, JSON-serializable experiment descriptions

@@ -57,6 +57,17 @@
 //     as a content-addressed (scenario, result) pair whose bit-identical
 //     reproducibility is the regression-tracking contract (Server,
 //     NewServer, RunArchive; see docs/serving.md);
+//   - a model-agnostic simulation kernel: the engine's parallel round
+//     executor is exported as Kernel (chunked phases, barrier, bit-identical
+//     at every width), and the Model/ModelBuilder/Metric interfaces let any
+//     deterministic round-based dynamics run on the same sweep/stream/serve
+//     stack — the diffusion Engine is the reference implementation;
+//   - a population-protocol backend on that kernel: the 4-state
+//     exact-majority protocol (NewMajorityProtocol, UnconvergedMetric) and
+//     Herman's self-stabilizing token ring (NewHermanProtocol,
+//     TokensMetric), seeded and deterministic, with conservation invariants
+//     audited inside the models and the majority-vs-rotor preset racing
+//     both model families on one initial vector (see docs/models.md);
 //   - an actor runtime executing the same model with one goroutine per
 //     processor and channel message passing.
 //

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"detlb/internal/core"
+)
+
+// This file is the model-agnostic side of the harness: RunSpec.Model selects
+// it, and every entry point — Run, Sweep, Stream/StreamInto — routes model
+// specs here while diffusion specs keep their historical path untouched.
+// streamModel mirrors streamEngine's static round loop exactly (round-0
+// yield, target stop including round 0, no-new-minimum patience, horizon
+// exit, Step-error and cancellation bookkeeping, sampling semantics), with
+// the spec's Metric in place of the load discrepancy; the diffusion-specific
+// machinery (shock injection, topology deltas, engine auditors) has no model
+// analogue and such specs are rejected up front.
+
+// prepareModelResult computes the machine-independent result fields for a
+// model run — the counterpart of prepareResult. ok is false when the spec is
+// too broken to build a model from; res.Err carries the reason.
+func prepareModelResult(spec RunSpec) (res RunResult, ok bool) {
+	res = RunResult{TargetRound: -1}
+	if spec.Balancing == nil {
+		res.Err = fmt.Errorf("analysis: model spec needs a balancing graph (it sizes the run and labels results)")
+		return res, false
+	}
+	if spec.Algorithm != nil {
+		res.Err = fmt.Errorf("analysis: spec sets both Algorithm and Model; pick one")
+		return res, false
+	}
+	if spec.Metric == nil {
+		res.Err = fmt.Errorf("analysis: model spec needs a Metric")
+		return res, false
+	}
+	if spec.Events != nil || spec.Topology != nil {
+		res.Err = fmt.Errorf("analysis: model runs do not support workload or topology schedules")
+		return res, false
+	}
+	if len(spec.Auditors) > 0 {
+		res.Err = fmt.Errorf("analysis: spec auditors are engine-typed; model invariants are audited inside the model")
+		return res, false
+	}
+	res.Metric = spec.Metric.Name()
+	res.InitialDiscrepancy = spec.Metric.Measure(spec.Initial)
+	horizon := spec.MaxRounds
+	if horizon == 0 {
+		horizon = spec.Model.DefaultHorizon(spec.Balancing.N())
+		if m := spec.HorizonMultiple; m > 1 {
+			horizon *= m
+		}
+		if horizon < 1 {
+			horizon = 1
+		}
+	}
+	res.Horizon = horizon
+	return res, true
+}
+
+// streamModel drives a model already holding the spec's initial vector
+// through the round loop, yielding one snapshot per observation and folding
+// the RunResult bookkeeping into res — streamEngine's static path with
+// spec.Metric in place of the discrepancy (Snapshot.Discrepancy and the
+// Series carry the metric value; Max/Min carry the state extrema). It is the
+// single model round loop: Run, the sweep runner (models reused via
+// Model.Reset), and every streaming consumer drain it, so their results are
+// bit-identical to each other at every worker count.
+func streamModel(ctx context.Context, spec RunSpec, m core.Model, res *RunResult) iter.Seq2[Round, Snapshot] {
+	return func(yield func(Round, Snapshot) bool) {
+		target, targetSet := int64(0), false
+		if spec.TargetDiscrepancy != nil {
+			target, targetSet = *spec.TargetDiscrepancy, true
+		}
+		lo, hi := core.Extrema(m.State())
+		val := spec.Metric.Measure(m.State())
+		best := val
+		res.MinDiscrepancy = best
+		res.FinalDiscrepancy = val
+		horizon := res.Horizon
+
+		if targetSet && val <= target {
+			// The initial state already meets the target: time-to-target is 0
+			// rounds, exactly as on the static diffusion path.
+			res.ReachedTarget = true
+			res.TargetRound = 0
+			if spec.SampleEvery > 0 {
+				res.Series = append(res.Series, Point{Round: 0, Discrepancy: val, Max: hi, Min: lo})
+			}
+			yield(0, Snapshot{Discrepancy: val, Max: hi, Min: lo})
+			return
+		}
+
+		// Round 0 — the state before the first round — opens every stream.
+		if !yield(0, Snapshot{Discrepancy: val, Max: hi, Min: lo}) {
+			if spec.SampleEvery > 0 {
+				res.Series = append(res.Series, Point{Round: 0, Discrepancy: val, Max: hi, Min: lo})
+			}
+			return
+		}
+
+		patienceBest := val
+		lastImprovement := 0
+
+		// finish records the stopping state, appending the final sample when
+		// the stop fell between sampling points.
+		finish := func(round int, val, lo, hi int64, sampled bool) {
+			res.Rounds = round
+			res.FinalDiscrepancy = val
+			res.MinDiscrepancy = best
+			if spec.SampleEvery > 0 && !sampled {
+				res.Series = append(res.Series, Point{Round: round, Discrepancy: val, Max: hi, Min: lo})
+			}
+		}
+
+		lastVal, lastLo, lastHi := val, lo, hi
+		lastSampled := false
+		for round := 1; round <= horizon; round++ {
+			if ctx.Err() != nil {
+				// Per-round cancellation, keeping every completed round's
+				// bookkeeping.
+				res.Err = &streamCanceledError{cause: context.Cause(ctx)}
+				finish(round-1, lastVal, lastLo, lastHi, lastSampled)
+				return
+			}
+			if err := m.Step(); err != nil {
+				// The failed round did execute (state is left advanced for
+				// debugging), so its metric value joins the bookkeeping like
+				// any other stopping round.
+				res.Err = err
+				slo, shi := core.Extrema(m.State())
+				sval := spec.Metric.Measure(m.State())
+				if sval < best {
+					best = sval
+				}
+				finish(round, sval, slo, shi, false)
+				yield(round, Snapshot{Discrepancy: sval, Max: shi, Min: slo})
+				return
+			}
+			lo, hi := core.Extrema(m.State())
+			val := spec.Metric.Measure(m.State())
+			sampled := false
+			if spec.SampleEvery > 0 && round%spec.SampleEvery == 0 {
+				res.Series = append(res.Series, Point{Round: round, Discrepancy: val, Max: hi, Min: lo})
+				sampled = true
+			}
+			if val < best {
+				best = val
+			}
+			if val < patienceBest {
+				patienceBest = val
+				lastImprovement = round
+			}
+			if targetSet && val <= target {
+				res.ReachedTarget = true
+				res.TargetRound = round
+				finish(round, val, lo, hi, sampled)
+				yield(round, Snapshot{Discrepancy: val, Max: hi, Min: lo})
+				return
+			}
+			if spec.Patience > 0 && round-lastImprovement >= spec.Patience {
+				res.StoppedEarly = true
+				finish(round, val, lo, hi, sampled)
+				yield(round, Snapshot{Discrepancy: val, Max: hi, Min: lo})
+				return
+			}
+			lastVal, lastLo, lastHi, lastSampled = val, lo, hi, sampled
+			if round < horizon {
+				if !yield(round, Snapshot{Discrepancy: val, Max: hi, Min: lo}) {
+					finish(round, val, lo, hi, sampled)
+					return
+				}
+			}
+		}
+		// Horizon exhausted. The final state joins the series like any other
+		// stopping round when it fell mid-interval.
+		finish(horizon, lastVal, lastLo, lastHi, lastSampled || horizon < 1)
+		if horizon >= 1 {
+			yield(horizon, Snapshot{Discrepancy: lastVal, Max: lastHi, Min: lastLo})
+		}
+	}
+}
+
+// runModelContext drives a model already holding the spec's initial vector
+// through the streaming round loop, draining it to completion — the sweep
+// runner's model entry point (models reused across specs via Model.Reset),
+// bit-identical to Run's fresh-model path.
+func runModelContext(ctx context.Context, spec RunSpec, m core.Model, res RunResult) RunResult {
+	for range streamModel(ctx, spec, m, &res) {
+	}
+	return res
+}

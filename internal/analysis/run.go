@@ -22,6 +22,20 @@ type RunSpec struct {
 	Balancing *graph.Balancing
 	// Algorithm is the balancer under test.
 	Algorithm core.Balancer
+	// Model, when non-nil, selects the model-agnostic path: the run executes
+	// a model built by Model.New(Initial, Workers) — a population-protocol
+	// machine, say — instead of a diffusion engine, and Metric maps its state
+	// to the scalar the harness tracks. Algorithm must be nil; Balancing is
+	// still required (it sizes the run and labels results). Model runs are
+	// static: Events, Topology, and Auditors (engine-typed) are rejected
+	// through RunResult.Err.
+	Model core.ModelBuilder
+	// Metric maps model state to the scalar convergence measure (required
+	// with Model; ignored on diffusion runs, which always measure the load
+	// discrepancy). TargetDiscrepancy, Patience, and the Series/Snapshot
+	// discrepancy fields all read this metric's value on model runs, so
+	// time-to-target generalizes to time-to-consensus.
+	Metric core.Metric
 	// Initial is x₁ (not mutated).
 	Initial []int64
 
@@ -207,6 +221,13 @@ type RunResult struct {
 	// Faults holds one record per effective topology delta of a faulted run
 	// (Topology), in event order, each with its recovery metrics.
 	Faults []FaultEvent
+	// Metric names the convergence measure the scalar fields carry: "" for
+	// diffusion runs (plain load discrepancy, the historical encoding, kept
+	// implicit so existing consumers and archives are untouched) or the model
+	// metric's name (e.g. "unconverged", "tokens") for model runs, where
+	// InitialDiscrepancy, FinalDiscrepancy, MinDiscrepancy, and the Series
+	// values are values of that metric.
+	Metric string
 	// Err is the first audit error, if any.
 	Err error
 }
@@ -295,6 +316,12 @@ func RunToTarget(b *graph.Balancing, algo core.Balancer, x1 []int64, target int6
 
 // String renders a one-line summary for logs.
 func (r RunResult) String() string {
+	if r.Metric != "" {
+		// Model runs: the discrepancy fields carry the model's metric, and the
+		// diffusion-only spectral quantities are meaningless.
+		return fmt.Sprintf("rounds=%d/%d %s=%d (min %d, initial %d)",
+			r.Rounds, r.Horizon, r.Metric, r.FinalDiscrepancy, r.MinDiscrepancy, r.InitialDiscrepancy)
+	}
 	return fmt.Sprintf("rounds=%d/%d disc=%d (min %d) K=%d µ=%.4g T=%d",
 		r.Rounds, r.Horizon, r.FinalDiscrepancy, r.MinDiscrepancy,
 		r.InitialDiscrepancy, r.Gap, r.BalancingTime)

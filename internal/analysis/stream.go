@@ -82,6 +82,26 @@ func StreamInto(ctx context.Context, spec RunSpec, res *RunResult) iter.Seq2[Rou
 				res.Err = fmt.Errorf("analysis: run panicked: %v", r)
 			}
 		}()
+		if spec.Model != nil {
+			r, ok := prepareModelResult(spec)
+			*res = r
+			if !ok {
+				return
+			}
+			m, err := spec.Model.New(spec.Initial, spec.Workers)
+			if err != nil {
+				res.Err = err
+				return
+			}
+			defer m.Close()
+			streamModel(ctx, spec, m, res)(func(round Round, snap Snapshot) bool {
+				inYield = true
+				ok := yield(round, snap)
+				inYield = false
+				return ok
+			})
+			return
+		}
 		r, ok := prepareResult(spec)
 		*res = r
 		if !ok {

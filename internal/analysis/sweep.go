@@ -52,12 +52,13 @@ func (p *sweepProgress) specDone() {
 // balancer × initial-vector grids — and Sweep is the harness layer that makes
 // such families cheap to run:
 //
-//   - Specs are grouped by (balancing graph, algorithm) identity. Each group
-//     runs sequentially on one runner, reusing a single engine across the
-//     group's specs via Engine.Reset — the worker pool, flat arrays, and
-//     bound balancer state are allocated once per group, not once per run.
-//     Specs carrying auditors opt out of reuse (auditors are per-run
-//     observers) and get a fresh engine.
+//   - Specs are grouped by (balancing graph, algorithm) identity — model
+//     specs (RunSpec.Model) by (balancing graph, model builder) identity.
+//     Each group runs sequentially on one runner, reusing a single engine
+//     (or model) across the group's specs via Reset — the worker pool, flat
+//     arrays, and bound balancer state are allocated once per group, not
+//     once per run. Specs carrying auditors opt out of reuse (auditors are
+//     per-run observers) and get a fresh engine.
 //   - Groups are fanned out over a bounded runner pool. Concurrency is
 //     across groups: within a group, sequential execution guarantees a
 //     Balancer instance that keeps per-run state on itself (continuous-mimic,
@@ -143,18 +144,31 @@ func SweepContext(ctx context.Context, specs []RunSpec, opt SweepOptions) []RunR
 	return results
 }
 
-// sweepKey identifies one engine-reuse group: same balancing graph, same
-// algorithm instance.
+// sweepKey identifies one reuse group: same balancing graph plus the same
+// algorithm instance (diffusion specs) or the same model builder (model
+// specs). Exactly one of algo/model is set, so the two families never share
+// a group.
 type sweepKey struct {
-	b    *graph.Balancing
-	algo core.Balancer
+	b     *graph.Balancing
+	algo  core.Balancer
+	model core.ModelBuilder
 }
 
 // groupKey returns the spec's reuse key. keyed is false when the spec cannot
-// be grouped — nil fields (the spec will fail in prepareResult) or an
-// algorithm of a non-comparable dynamic type, which cannot serve as a map
-// key; such specs each form their own single-spec group.
+// be grouped — nil fields (the spec will fail in prepareResult), a spec
+// setting both Algorithm and Model (it will fail in prepareModelResult), or
+// an algorithm/builder of a non-comparable dynamic type, which cannot serve
+// as a map key; such specs each form their own single-spec group.
 func groupKey(spec RunSpec) (sweepKey, bool) {
+	if spec.Model != nil {
+		if spec.Balancing == nil || spec.Algorithm != nil {
+			return sweepKey{}, false
+		}
+		if t := reflect.TypeOf(spec.Model); !t.Comparable() {
+			return sweepKey{}, false
+		}
+		return sweepKey{b: spec.Balancing, model: spec.Model}, true
+	}
 	if spec.Balancing == nil || spec.Algorithm == nil {
 		return sweepKey{}, false
 	}
@@ -164,23 +178,39 @@ func groupKey(spec RunSpec) (sweepKey, bool) {
 	return sweepKey{b: spec.Balancing, algo: spec.Algorithm}, true
 }
 
+// sweepCache carries one group's reusable simulator — a diffusion engine or
+// a model — between compatible specs.
+type sweepCache struct {
+	eng        *core.Engine
+	engWorkers int
+	mdl        core.Model
+	mdlWorkers int
+}
+
+// close releases whatever the cache holds; idempotent.
+func (c *sweepCache) close() {
+	if c.eng != nil {
+		c.eng.Close()
+		c.eng = nil
+	}
+	if c.mdl != nil {
+		c.mdl.Close()
+		c.mdl = nil
+	}
+}
+
 // runSweepGroup executes one group's specs in order, carrying a reusable
-// engine between compatible specs. A done context short-circuits the
-// remaining specs into cancellation errors.
+// engine or model between compatible specs. A done context short-circuits
+// the remaining specs into cancellation errors.
 func runSweepGroup(ctx context.Context, specs []RunSpec, indices []int, results []RunResult, prog *sweepProgress) {
-	var eng *core.Engine
-	var engWorkers int
-	defer func() {
-		if eng != nil {
-			eng.Close()
-		}
-	}()
+	var cache sweepCache
+	defer cache.close()
 	for _, i := range indices {
 		if ctx.Err() != nil {
 			results[i] = RunResult{TargetRound: -1,
 				Err: fmt.Errorf("analysis: sweep canceled: %w", context.Cause(ctx))}
 		} else {
-			res := runSweepSpec(ctx, specs[i], &eng, &engWorkers)
+			res := runSweepSpec(ctx, specs[i], &cache)
 			// An in-flight spec stopped by the context reports the round
 			// loop's "stream canceled"; relabel it so every spec of one
 			// canceled sweep — started or not — reads the same.
@@ -194,21 +224,43 @@ func runSweepGroup(ctx context.Context, specs []RunSpec, indices []int, results 
 	}
 }
 
-// runSweepSpec runs one spec, reusing *eng (resetting it in place) when the
-// spec is compatible with it, replacing it otherwise. Panics — bind-time
-// validation in balancers, hostile user implementations — are converted to
-// the spec's Err, and any cached engine is discarded since its state is
-// unknown after an unwound run.
-func runSweepSpec(ctx context.Context, spec RunSpec, eng **core.Engine, engWorkers *int) (res RunResult) {
+// runSweepSpec runs one spec, reusing the cached engine/model (resetting it
+// in place) when the spec is compatible with it, replacing it otherwise.
+// Panics — bind-time validation in balancers, hostile user implementations —
+// are converted to the spec's Err, and the cache is discarded since its
+// state is unknown after an unwound run.
+func runSweepSpec(ctx context.Context, spec RunSpec, cache *sweepCache) (res RunResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("analysis: sweep spec panicked: %v", r)
-			if *eng != nil {
-				(*eng).Close()
-				*eng = nil
-			}
+			cache.close()
 		}
 	}()
+
+	if spec.Model != nil {
+		res, ok := prepareModelResult(spec)
+		if !ok {
+			return res
+		}
+		if cache.mdl != nil && cache.mdlWorkers == spec.Workers {
+			if err := cache.mdl.Reset(spec.Initial); err == nil {
+				return runModelContext(ctx, spec, cache.mdl, res)
+			}
+			// Reset declined (wrong vector length, illegal state encoding):
+			// fall through to a fresh model, which surfaces the real error.
+		}
+		if cache.mdl != nil {
+			cache.mdl.Close()
+			cache.mdl = nil
+		}
+		m, err := spec.Model.New(spec.Initial, spec.Workers)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		cache.mdl, cache.mdlWorkers = m, spec.Workers
+		return runModelContext(ctx, spec, m, res)
+	}
 
 	res, ok := prepareResult(spec)
 	if !ok {
@@ -230,22 +282,22 @@ func runSweepSpec(ctx context.Context, spec RunSpec, eng **core.Engine, engWorke
 		return runEngineContext(ctx, spec, e, res)
 	}
 
-	if *eng != nil && *engWorkers == spec.Workers {
-		if err := (*eng).Reset(spec.Initial); err == nil {
-			return runEngineContext(ctx, spec, *eng, res)
+	if cache.eng != nil && cache.engWorkers == spec.Workers {
+		if err := cache.eng.Reset(spec.Initial); err == nil {
+			return runEngineContext(ctx, spec, cache.eng, res)
 		}
 		// Reset declined (wrong vector length, unresettable bound state):
 		// fall through to a fresh engine, which surfaces any real error.
 	}
-	if *eng != nil {
-		(*eng).Close()
-		*eng = nil
+	if cache.eng != nil {
+		cache.eng.Close()
+		cache.eng = nil
 	}
 	e, err := core.NewEngine(spec.Balancing, spec.Algorithm, spec.Initial, core.WithWorkers(spec.Workers))
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	*eng, *engWorkers = e, spec.Workers
+	cache.eng, cache.engWorkers = e, spec.Workers
 	return runEngineContext(ctx, spec, e, res)
 }

@@ -70,7 +70,7 @@ type Engine struct {
 
 	auditors []Auditor
 	workers  int
-	par      *parallelizer
+	kern     *Kernel
 
 	// topo is the fault overlay (per-arc alive mask, live degrees, stranded
 	// accounting), nil until the first ApplyTopologyDelta; linkScratch is its
@@ -171,15 +171,11 @@ func NewEngine(b *graph.Balancing, algo Balancer, x1 []int64, opts ...Option) (*
 			return nil, fmt.Errorf("core: balancer %q bound %d nodes for %d-node graph", algo.Name(), len(e.nodes), b.N())
 		}
 	}
-	// More pool workers than schedulable CPUs cannot run simultaneously and
-	// only add handoff overhead, so the pool sizes itself to the smaller.
-	width := e.workers
-	if p := runtime.GOMAXPROCS(0); width > p {
-		width = p
-	}
-	e.par = newParallelizer(width)
-	if width > 1 {
-		runtime.AddCleanup(e, func(p *parallelizer) { p.close() }, e.par)
+	// The kernel clamps pool workers to schedulable CPUs; extra workers
+	// cannot run simultaneously and only add handoff overhead.
+	e.kern = NewKernel(e.workers)
+	if e.kern.Width() > 1 {
+		runtime.AddCleanup(e, func(k *Kernel) { k.Close() }, e.kern)
 	}
 	e.distribute = e.distributePhase
 	e.apply = e.applyPhase
@@ -198,7 +194,7 @@ func MustEngine(b *graph.Balancing, algo Balancer, x1 []int64, opts ...Option) *
 // Close releases the engine's worker pool. It is optional — the pool is also
 // reclaimed when the engine is garbage collected — and idempotent; the engine
 // must not Step after Close.
-func (e *Engine) Close() { e.par.close() }
+func (e *Engine) Close() { e.kern.Close() }
 
 // Reset rewinds the engine to round zero with a new initial load vector,
 // reusing the worker pool, the flat backing arrays, and — when the bound
@@ -279,6 +275,9 @@ func (e *Engine) ApplyDelta(delta []int64) error {
 // Balancing returns the balancing graph the engine runs on.
 func (e *Engine) Balancing() *graph.Balancing { return e.bal }
 
+// N returns the number of nodes.
+func (e *Engine) N() int { return e.bal.N() }
+
 // Algorithm returns the bound balancer.
 func (e *Engine) Algorithm() Balancer { return e.algo }
 
@@ -288,6 +287,9 @@ func (e *Engine) Round() int { return e.round }
 // Loads returns the current load vector. The slice is shared with the engine
 // and must not be modified; copy it if it needs to survive a Step.
 func (e *Engine) Loads() []int64 { return e.x }
+
+// State returns the current load vector — the Model view of Loads.
+func (e *Engine) State() []int64 { return e.x }
 
 // Flows returns the cumulative per-arc flows F_t(e), or nil when flow
 // tracking is disabled. flows[u][i] is the total sent over u's i-th original
@@ -322,7 +324,7 @@ func (e *Engine) distributePhase(lo, hi int) {
 		// reads the per-arc array; the serial step only needs it for flow
 		// tracking and auditors — or to give the fault overlay's bounce pass
 		// per-arc sends to mask — and otherwise skips this expansion.
-		if e.par.width > 1 || e.expandSends || faulted {
+		if e.kern.Width() > 1 || e.expandSends || faulted {
 			d, bp, sends := e.d, e.bp, e.sendsFlat
 			for u := lo; u < hi; u++ {
 				base := bp[2*u]
@@ -434,8 +436,8 @@ func (e *Engine) Step() error {
 	// One fused dispatch: distribute (+ flow accounting) on every node range,
 	// round barrier, then apply on the same ranges. The single-worker engine
 	// runs the same distribute followed by the linear push variant of apply.
-	if e.par.width > 1 {
-		e.par.runRound(e.bal.N(), e.distribute, e.apply)
+	if e.kern.Width() > 1 {
+		e.kern.RunRound(e.bal.N(), e.distribute, e.apply)
 	} else {
 		e.distributePhase(0, e.bal.N())
 		e.applySerial()

@@ -1,0 +1,60 @@
+package core
+
+import "runtime"
+
+// Kernel is the model-agnostic execution substrate every simulation model in
+// this module runs on: a persistent worker-goroutine pool plus the
+// deterministic chunking contract that makes parallel rounds bit-identical to
+// serial ones. The diffusion Engine and the population-protocol machines
+// (internal/protocol) both dispatch their rounds through a Kernel; anything
+// scheduled through it inherits the determinism guarantees the engine's tests
+// pin.
+//
+// A round is one fused dispatch: every worker runs the first phase on its
+// node range, meets the others at a barrier, then runs the second phase on
+// the same range. Chunk boundaries are a pure function of (n, width) — see
+// ChunkBounds — so the partition never depends on scheduling.
+type Kernel struct {
+	par *parallelizer
+}
+
+// NewKernel builds a kernel with the given worker count. Values below 2
+// select the serial path (phases run as direct calls on the caller's
+// goroutine, which is both the determinism baseline and the fast path for
+// small n); values above GOMAXPROCS are clamped to it — extra workers cannot
+// run simultaneously and only add handoff overhead.
+//
+// Kernels with Width > 1 own goroutines; release them with Close. A kernel
+// that is simply dropped leaks its pool until process exit, so owners that
+// cannot guarantee a Close call should register a GC cleanup the way the
+// Engine does.
+func NewKernel(workers int) *Kernel {
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	return &Kernel{par: newParallelizer(workers)}
+}
+
+// Width returns the effective worker count after clamping; 0 and 1 both mean
+// the serial path.
+func (k *Kernel) Width() int { return k.par.width }
+
+// RunRound executes one fused two-phase round: first over all of [0, n),
+// then — after every worker has finished its share of first — second over
+// the same ranges. second may be nil. The inter-phase barrier guarantees
+// second never observes a partially written first phase; with Width <= 1
+// both phases run serially on the caller's goroutine.
+func (k *Kernel) RunRound(n int, first, second func(lo, hi int)) {
+	k.par.runRound(n, first, second)
+}
+
+// Close shuts the worker pool down; idempotent. The kernel must not be used
+// afterwards.
+func (k *Kernel) Close() { k.par.close() }
+
+// ChunkBounds returns the half-open boundary of chunk c when [0, n) is split
+// into the given number of chunks — the kernel's deterministic partition
+// contract. The first n mod chunks chunks have size ⌈n/chunks⌉ and the rest
+// ⌊n/chunks⌋, so no chunk is empty and the same (n, chunks) always yields
+// the same partition.
+func ChunkBounds(n, chunks, c int) (lo, hi int) { return chunkBounds(n, chunks, c) }

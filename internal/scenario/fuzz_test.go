@@ -21,7 +21,9 @@ func FuzzSpecRoundTrip(f *testing.F) {
 		"random:32,4,7", "gp:7,2", "kbipartite:3", "circulant:16,1+3",
 		"cycle", "torus:,3", "circulant:12",
 		"send-floor", "rotor-router*", "good:2", "rand-extra:9", "matching:5",
+		"majority", "majority:5", "herman", "herman:3",
 		"point:100", "point", "uniform:3", "bimodal:1,5", "random:10,3", "ramp:0,2",
+		"opinions", "opinions:10", "tokens", "tokens:5,2",
 		"burst:5,0,100", "burst:5,0,100+churn:4,32", "drain:2,9,1",
 		"periodic:4,1,16", "refill:6,64,3", "none",
 		"faillink:3,0,1", "restorelink:7,0,1", "failnode:2,5", "failnode:2,5,1",
@@ -101,6 +103,30 @@ func fuzzAlgo(t *testing.T, text string) {
 	b, err := (GraphSpec{Kind: "cycle", Args: []int64{8}}).Bind()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if s.IsModel() {
+		// Protocol kinds bind through BindModel; Bind must refuse them.
+		if s.Model != ModelProtocol {
+			t.Fatalf("model kind %q normalized without the %q tag: %#v", s.Kind, ModelProtocol, s)
+		}
+		if _, err := s.Bind(b); err == nil {
+			t.Fatalf("Bind accepted model kind %q", s.Kind)
+		}
+		m1, met1, err1 := s.BindModel(b)
+		m2, met2, err2 := rt.BindModel(b)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("bind divergence: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if m1.Name() != m2.Name() || met1.Name() != met2.Name() {
+			t.Fatalf("bound models differ: %s/%s vs %s/%s", m1.Name(), met1.Name(), m2.Name(), met2.Name())
+		}
+		return
+	}
+	if _, _, err := s.BindModel(b); err == nil {
+		t.Fatalf("BindModel accepted diffusion kind %q", s.Kind)
 	}
 	a1, err1 := s.Bind(b)
 	a2, err2 := rt.Bind(b)

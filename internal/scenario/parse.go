@@ -95,11 +95,15 @@ func ParseGraph(spec string) (GraphSpec, error) {
 	return normalizeGraph(s)
 }
 
-// ParseAlgo parses an algorithm spec:
+// ParseAlgo parses an algorithm spec — a diffusion balancer:
 //
 //	send-floor | send-round | rotor-router | rotor-router* | good:S |
 //	biased | rand-extra[:SEED] | rand-round[:SEED] | mimic |
 //	bounded-error | matching[:SEED] | matching-rand[:SEED]
+//
+// or a population-protocol model:
+//
+//	majority[:SEED] | herman[:SEED]
 //
 // ("rotor-star" is accepted as an alias for "rotor-router*".)
 func ParseAlgo(spec string) (AlgoSpec, error) {
@@ -107,11 +111,15 @@ func ParseAlgo(spec string) (AlgoSpec, error) {
 	if kind == "rotor-star" {
 		kind = "rotor-router*"
 	}
-	e, ok := algoRegistry[kind]
-	if !ok {
+	var defs []argDef
+	if e, ok := protocolRegistry[kind]; ok {
+		defs = e.args
+	} else if e, ok := algoRegistry[kind]; ok {
+		defs = e.args
+	} else {
 		return AlgoSpec{}, fmt.Errorf("unknown algorithm %q", kind)
 	}
-	args, err := parseArgs("algorithm "+kind, tokens, e.args)
+	args, err := parseArgs("algorithm "+kind, tokens, defs)
 	if err != nil {
 		return AlgoSpec{}, err
 	}
@@ -121,7 +129,7 @@ func ParseAlgo(spec string) (AlgoSpec, error) {
 // ParseWorkload parses an initial-load spec:
 //
 //	point:TOTAL | uniform:EACH | bimodal:LO,HI | random:MAX[,SEED] |
-//	ramp:BASE,STEP
+//	ramp:BASE,STEP | opinions[:A] | tokens[:COUNT,SEED]
 func ParseWorkload(spec string) (WorkloadSpec, error) {
 	kind, tokens := splitSpec(spec)
 	e, ok := workloadRegistry[kind]

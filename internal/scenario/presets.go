@@ -59,6 +59,17 @@ var presetDefs = []presetDef{
 		run:       RunParams{Rounds: 120, Target: targetPtr(16), SampleEvery: 25},
 	},
 	{
+		name: "majority-vs-rotor",
+		description: "one signed opinion vector (40 strong-positive vs 24 strong-negative " +
+			"agents), two dynamics: the 4-state exact-majority population protocol racing " +
+			"rotor-router diffusion on the same expander, each to its own convergence " +
+			"metric's target of 2",
+		graphs:    "random:64,8,1",
+		algos:     "rotor-router;majority:1",
+		workloads: "opinions:40",
+		run:       RunParams{Rounds: 400, Target: targetPtr(2), SampleEvery: 20},
+	},
+	{
 		name: "link-failure-recovery",
 		description: "the robustness suite: pristine baseline vs a steady trickle of " +
 			"transient link faults vs a mid-run partition that heals, measuring " +

@@ -53,7 +53,7 @@ func TestPresetCatalog(t *testing.T) {
 // or format change that would silently alter saved experiment descriptions
 // fails here first. Regenerate deliberately with -update.
 func TestPresetGoldenFiles(t *testing.T) {
-	for _, name := range []string{"shock-recovery", "rotor-vs-quasirandom"} {
+	for _, name := range []string{"shock-recovery", "rotor-vs-quasirandom", "majority-vs-rotor"} {
 		path := filepath.Join("testdata", "preset-"+name+".json")
 		fam, err := Preset(name)
 		if err != nil {
@@ -143,5 +143,48 @@ func TestGoldenMatchesFlagInvocation(t *testing.T) {
 	}
 	if !sawShock || !sawSeries {
 		t.Fatalf("expected shocks and series in the golden runs (shock=%v series=%v)", sawShock, sawSeries)
+	}
+}
+
+// The majority-vs-rotor preset is the two-family acceptance scenario: one
+// signed opinion vector driven through rotor-router diffusion and the
+// exact-majority protocol in a single sweep, each cell judged by its own
+// metric. Both must actually converge to the shared target.
+func TestMajorityVsRotorPreset(t *testing.T) {
+	fam, err := Preset("majority-vs-rotor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, cells, err := fam.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("expected 2 cells, got %d", len(specs))
+	}
+	results := analysis.Sweep(specs, analysis.SweepOptions{})
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("cell %d (%s): %v", i, cells[i].Algo.String(), res.Err)
+		}
+		if !res.ReachedTarget {
+			t.Errorf("cell %d (%s): did not reach the target (final %d after %d rounds)",
+				i, cells[i].Algo.String(), res.FinalDiscrepancy, res.Rounds)
+		}
+		wantMetric := ""
+		if cells[i].Algo.IsModel() {
+			wantMetric = "unconverged"
+		}
+		if res.Metric != wantMetric {
+			t.Errorf("cell %d (%s): metric %q, want %q", i, cells[i].Algo.String(), res.Metric, wantMetric)
+		}
+		if len(res.Series) == 0 && res.TargetRound > 20 {
+			t.Errorf("cell %d: SampleEvery produced no series", i)
+		}
+	}
+	// The two cells share the same initial vector object (one workload bind
+	// per (graph, workload) pair), so the race really is on identical input.
+	if &specs[0].Initial[0] != &specs[1].Initial[0] {
+		t.Error("cells do not share the bound initial vector")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"detlb/internal/balancer"
 	"detlb/internal/core"
 	"detlb/internal/graph"
+	"detlb/internal/protocol"
 	"detlb/internal/topology"
 	"detlb/internal/workload"
 )
@@ -293,9 +294,50 @@ var algoRegistry = map[string]algoEntry{
 	},
 }
 
+// protocolEntry describes one population-protocol model kind. build returns
+// the sweep-groupable builder together with the convergence metric the family
+// is judged by — the pair BindScenarios threads into RunSpec.Model/Metric.
+type protocolEntry struct {
+	args  []argDef
+	build func(a []int64, b *graph.Balancing) (core.ModelBuilder, core.Metric)
+}
+
+var protocolRegistry = map[string]protocolEntry{
+	"majority": {
+		// Well-mixed 4-state exact majority; the graph contributes the agent
+		// count (and result labeling), not the interaction structure.
+		args: []argDef{opt("seed", 1)},
+		build: func(a []int64, b *graph.Balancing) (core.ModelBuilder, core.Metric) {
+			return protocol.NewMajority(b.N(), uint64(a[0])), protocol.Unconverged
+		},
+	},
+	"herman": {
+		// Herman's self-stabilizing token ring over the node indices.
+		args: []argDef{opt("seed", 1)},
+		build: func(a []int64, b *graph.Balancing) (core.ModelBuilder, core.Metric) {
+			return protocol.NewHerman(uint64(a[0])), protocol.Tokens
+		},
+	},
+}
+
 func normalizeAlgo(s AlgoSpec) (AlgoSpec, error) {
 	if s.Kind == "rotor-star" { // historical alias
 		s.Kind = "rotor-router*"
+	}
+	if s.Model != "" && s.Model != ModelProtocol {
+		return s, fmt.Errorf("unknown algorithm model %q (supported: %q)", s.Model, ModelProtocol)
+	}
+	if e, ok := protocolRegistry[s.Kind]; ok {
+		args, err := normalizeArgs("algorithm "+s.Kind, s.Args, e.args)
+		if err != nil {
+			return s, err
+		}
+		s.Args = args
+		s.Model = ModelProtocol
+		return s, nil
+	}
+	if s.Model == ModelProtocol {
+		return s, fmt.Errorf("algorithm %q is not a %s model", s.Kind, ModelProtocol)
 	}
 	e, ok := algoRegistry[s.Kind]
 	if !ok {
@@ -309,6 +351,14 @@ func normalizeAlgo(s AlgoSpec) (AlgoSpec, error) {
 	return s, nil
 }
 
+// IsModel reports whether the descriptor names a population-protocol model
+// kind (bound with BindModel) rather than a diffusion balancer (bound with
+// Bind).
+func (s AlgoSpec) IsModel() bool {
+	_, ok := protocolRegistry[s.Kind]
+	return ok
+}
+
 // Bind instantiates the balancer against the balancing graph b (matching
 // schedulers need the graph). Every call returns a fresh instance:
 // algorithms that keep per-run state on the instance (mimic, bounded-error,
@@ -318,8 +368,30 @@ func (s AlgoSpec) Bind(b *graph.Balancing) (algo core.Balancer, err error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.IsModel() {
+		return nil, fmt.Errorf("algorithm %s is a %s model; bind it with BindModel", s.String(), ModelProtocol)
+	}
 	defer recoverTo(&err, "algorithm "+s.String())
 	return algoRegistry[s.Kind].build(s.Args, b), nil
+}
+
+// BindModel constructs the model builder and convergence metric a protocol
+// descriptor describes, sized against the balancing graph b. Builders are
+// stateless descriptors (models are instantiated per run by the harness), so
+// one bound builder may back every cell of a sweep — the identity
+// analysis.Sweep groups model specs on.
+func (s AlgoSpec) BindModel(b *graph.Balancing) (m core.ModelBuilder, metric core.Metric, err error) {
+	s, err = normalizeAlgo(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, ok := protocolRegistry[s.Kind]
+	if !ok {
+		return nil, nil, fmt.Errorf("algorithm %s is not a %s model; bind it with Bind", s.String(), ModelProtocol)
+	}
+	defer recoverTo(&err, "algorithm "+s.String())
+	m, metric = e.build(s.Args, b)
+	return m, metric, nil
 }
 
 // workloadEntry describes one initial-load generator.
@@ -355,6 +427,22 @@ var workloadRegistry = map[string]workloadEntry{
 	"ramp": {
 		args:  []argDef{opt("base", 0), opt("step", 1)},
 		build: func(a []int64, n int) []int64 { return workload.Ramp(n, a[0], a[1]) },
+	},
+	"opinions": {
+		// The default — a one-vote strong majority — depends on n, so it
+		// stays dynamic like point's total.
+		args: []argDef{dyn("a")},
+		build: func(a []int64, n int) []int64 {
+			count := int64(n/2 + 1)
+			if len(a) > 0 {
+				count = a[0]
+			}
+			return workload.Opinions(n, count)
+		},
+	},
+	"tokens": {
+		args:  []argDef{opt("count", 3), opt("seed", 1)},
+		build: func(a []int64, n int) []int64 { return workload.Tokens(n, a[0], a[1]) },
 	},
 }
 
@@ -674,16 +762,24 @@ func (s TopologySpec) Bind(n int) (topology.Schedule, error) {
 	}
 }
 
+// boundModel is one bound protocol descriptor: the builder shared across a
+// family's cells (the sweep's model grouping identity) plus its metric.
+type boundModel struct {
+	builder core.ModelBuilder
+	metric  core.Metric
+}
+
 // BindScenarios binds a list of scenario cells into RunSpecs, sharing one
-// balancing graph per distinct graph descriptor, one algorithm instance per
-// (graph, algorithm) descriptor pair, and one initial vector per
-// (graph, workload) pair — exactly the identities analysis.Sweep groups on
-// for engine reuse, so a bound family sweeps with the same engine economy as
-// hand-wired specs.
+// balancing graph per distinct graph descriptor, one algorithm instance (or
+// model builder) per (graph, algorithm) descriptor pair, and one initial
+// vector per (graph, workload) pair — exactly the identities analysis.Sweep
+// groups on for engine and model reuse, so a bound family sweeps with the
+// same engine economy as hand-wired specs.
 func BindScenarios(cells []Scenario) ([]analysis.RunSpec, error) {
 	specs := make([]analysis.RunSpec, len(cells))
 	graphs := map[string]*graph.Balancing{}
 	algos := map[string]core.Balancer{}
+	models := map[string]boundModel{}
 	loads := map[string][]int64{}
 	for i := range cells {
 		cell := cells[i]
@@ -701,14 +797,33 @@ func BindScenarios(cells []Scenario) ([]analysis.RunSpec, error) {
 			graphs[gKey] = b
 		}
 		aKey := gKey + "|" + cell.Algo.String()
-		algo, ok := algos[aKey]
-		if !ok {
-			var err error
-			algo, err = cell.Algo.Bind(b)
-			if err != nil {
-				return nil, err
+		var algo core.Balancer
+		var model boundModel
+		if cell.Algo.IsModel() {
+			if len(cell.Schedule) > 0 || len(cell.Topology) > 0 {
+				return nil, fmt.Errorf(
+					"algorithm %s is a %s model; workload and topology schedules only apply to diffusion runs",
+					cell.Algo.String(), ModelProtocol)
 			}
-			algos[aKey] = algo
+			model, ok = models[aKey]
+			if !ok {
+				var err error
+				model.builder, model.metric, err = cell.Algo.BindModel(b)
+				if err != nil {
+					return nil, err
+				}
+				models[aKey] = model
+			}
+		} else {
+			algo, ok = algos[aKey]
+			if !ok {
+				var err error
+				algo, err = cell.Algo.Bind(b)
+				if err != nil {
+					return nil, err
+				}
+				algos[aKey] = algo
+			}
 		}
 		wKey := gKey + "|" + cell.Workload.String()
 		x1, ok := loads[wKey]
@@ -731,6 +846,8 @@ func BindScenarios(cells []Scenario) ([]analysis.RunSpec, error) {
 		spec := analysis.RunSpec{
 			Balancing:       b,
 			Algorithm:       algo,
+			Model:           model.builder,
+			Metric:          model.metric,
 			Initial:         x1,
 			MaxRounds:       cell.Run.Rounds,
 			HorizonMultiple: cell.Run.HorizonMultiple,

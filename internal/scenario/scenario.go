@@ -51,11 +51,22 @@ type GraphSpec struct {
 	SelfLoops *int `json:"self_loops,omitempty"`
 }
 
-// AlgoSpec describes a balancer: kind plus its argument (good's s, or the
-// seed of a seeded scheme).
+// ModelProtocol is the AlgoSpec.Model tag of the population-protocol kinds
+// (majority, herman). Diffusion balancers carry the empty tag — the historical
+// encoding, so pre-model scenario files and their fingerprints are unchanged.
+const ModelProtocol = "protocol"
+
+// AlgoSpec describes the dynamics of a run: a diffusion balancer (kind plus
+// its argument — good's s, or the seed of a seeded scheme) or a
+// population-protocol model (majority, herman, seeded).
 type AlgoSpec struct {
 	Kind string  `json:"kind"`
 	Args []int64 `json:"args,omitempty"`
+	// Model tags the simulation family the kind belongs to: "" for diffusion
+	// balancers, ModelProtocol for population-protocol kinds. Normalization
+	// materializes it from the kind, like a defaulted argument, and rejects a
+	// tag that contradicts the kind.
+	Model string `json:"model,omitempty"`
 }
 
 // WorkloadSpec describes the initial load vector x₁.

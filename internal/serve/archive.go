@@ -47,8 +47,15 @@ type Archive struct {
 	dir string
 	// mu serializes Put: file writes are individually atomic (tmp + rename),
 	// but two concurrent runs of the same scenario must resolve to one
-	// "created" and one "verified", not two racing creates.
+	// "created" and one "verified", not two racing creates. It also guards
+	// meta.
 	mu sync.Mutex
+	// meta caches each complete entry's listing metadata by digest. Entries
+	// are archived immutably (Put never overwrites), so a cached record can
+	// never go stale; Put populates the cache as entries are created or
+	// verified and List fills it lazily for entries that predate this
+	// process, paying each entry's scenario re-parse at most once.
+	meta map[string]ArchiveEntry
 }
 
 // scenarioFile and resultFile are the two files of an archive entry;
@@ -63,7 +70,7 @@ func OpenArchive(dir string) (*Archive, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: open archive: %w", err)
 	}
-	return &Archive{dir: dir}, nil
+	return &Archive{dir: dir, meta: map[string]ArchiveEntry{}}, nil
 }
 
 // Dir returns the archive's root directory.
@@ -96,6 +103,7 @@ func (a *Archive) Put(digest string, scenarioJSON, resultJSON []byte) (PutStatus
 	entry := filepath.Join(a.dir, digest)
 	if existing, err := os.ReadFile(filepath.Join(entry, resultFile)); err == nil {
 		if bytes.Equal(existing, resultJSON) {
+			a.cacheMetaLocked(digest, scenarioJSON)
 			return PutVerified, nil
 		}
 		return PutMismatch, fmt.Errorf(
@@ -113,7 +121,23 @@ func (a *Archive) Put(digest string, scenarioJSON, resultJSON []byte) (PutStatus
 	if err := writeFileAtomic(filepath.Join(entry, resultFile), resultJSON); err != nil {
 		return PutError, err
 	}
+	a.cacheMetaLocked(digest, scenarioJSON)
 	return PutCreated, nil
+}
+
+// cacheMetaLocked records a complete entry's listing metadata from its
+// canonical scenario bytes. Callers hold a.mu. Bytes that don't parse (only
+// possible for foreign files placed under an entry's digest) just stay
+// uncached — List re-derives or skips them.
+func (a *Archive) cacheMetaLocked(digest string, scenarioJSON []byte) {
+	if _, ok := a.meta[digest]; ok {
+		return
+	}
+	fam, err := scenario.Load(bytes.NewReader(scenarioJSON))
+	if err != nil {
+		return
+	}
+	a.meta[digest] = ArchiveEntry{Digest: digest, Name: fam.Name, Cells: len(fam.Scenarios())}
 }
 
 // Get returns the archived scenario and result bytes, or ErrNotArchived.
@@ -143,32 +167,41 @@ type ArchiveEntry struct {
 	Cells  int    `json:"cells"`
 }
 
-// List enumerates complete archive entries in digest order, reading each
-// entry's scenario for its name and cell count. Entries whose scenario no
-// longer parses (foreign files, a partial write) are skipped rather than
-// failing the listing.
+// List enumerates complete archive entries in digest order. Metadata (name,
+// cell count) comes from the in-memory digest cache — populated by Put as
+// entries land, filled lazily here for entries that predate this process —
+// so a steady-state listing costs one directory read, not one scenario parse
+// per entry. Entries whose scenario does not parse (foreign files, a partial
+// write) are skipped rather than failing the listing.
 func (a *Archive) List() ([]ArchiveEntry, error) {
 	dirents, err := os.ReadDir(a.dir)
 	if err != nil {
 		return nil, fmt.Errorf("serve: archive: %w", err)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var out []ArchiveEntry
 	for _, de := range dirents {
 		if !de.IsDir() || !validDigest(de.Name()) {
 			continue
 		}
+		if e, ok := a.meta[de.Name()]; ok {
+			out = append(out, e)
+			continue
+		}
 		if _, err := os.Stat(filepath.Join(a.dir, de.Name(), resultFile)); err != nil {
 			continue
 		}
-		fam, err := scenario.LoadFile(filepath.Join(a.dir, de.Name(), scenarioFile))
+		data, err := os.ReadFile(filepath.Join(a.dir, de.Name(), scenarioFile))
 		if err != nil {
 			continue
 		}
-		out = append(out, ArchiveEntry{
-			Digest: de.Name(),
-			Name:   fam.Name,
-			Cells:  len(fam.Scenarios()),
-		})
+		a.cacheMetaLocked(de.Name(), data)
+		e, ok := a.meta[de.Name()]
+		if !ok {
+			continue
+		}
+		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
 	return out, nil

@@ -84,6 +84,55 @@ func TestArchiveRejectsBadDigest(t *testing.T) {
 	}
 }
 
+// TestArchiveListCache: Put populates the listing metadata cache and List
+// fills it lazily for entries that predate the process, after which listings
+// never re-read an entry's scenario — entries are immutable, so the cache
+// cannot go stale.
+func TestArchiveListCache(t *testing.T) {
+	dir := t.TempDir()
+	arch, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, canonical := archiveFixture(t)
+	result := []byte("{}\n")
+	if _, err := arch.Put(digest, canonical, result); err != nil {
+		t.Fatal(err)
+	}
+	// Put cached the metadata: a listing must not need scenario.json anymore.
+	scenarioPath := filepath.Join(dir, digest, scenarioFile)
+	if err := os.Remove(scenarioPath); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := arch.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Digest != digest || entries[0].Cells != 1 {
+		t.Fatalf("put-warmed listing: %+v", entries)
+	}
+
+	// A cold process (fresh Archive on the same dir) has an empty cache: its
+	// first List parses the scenario and caches it, the next serves from
+	// memory.
+	if err := os.WriteFile(scenarioPath, canonical, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries, err = cold.List(); err != nil || len(entries) != 1 {
+		t.Fatalf("cold listing: %+v %v", entries, err)
+	}
+	if err := os.Remove(scenarioPath); err != nil {
+		t.Fatal(err)
+	}
+	if entries, err = cold.List(); err != nil || len(entries) != 1 || entries[0].Cells != 1 {
+		t.Fatalf("lazily-warmed listing: %+v %v", entries, err)
+	}
+}
+
 // TestArchiveListSkipsIncomplete: an entry without result.json (a crash
 // between the two writes) and foreign files are invisible to listings.
 func TestArchiveListSkipsIncomplete(t *testing.T) {

@@ -52,6 +52,9 @@ type CellResult struct {
 	Workload string `json:"workload"`
 	Schedule string `json:"schedule,omitempty"`
 	Topology string `json:"topology,omitempty"`
+	// Metric names a model run's convergence metric; absent for diffusion
+	// cells, so pre-model result documents re-encode byte-identically.
+	Metric string `json:"metric,omitempty"`
 
 	N         int `json:"n"`
 	Degree    int `json:"d"`
@@ -95,6 +98,7 @@ func cellResult(spec analysis.RunSpec, res analysis.RunResult, graph, algo, work
 		Workload: workload,
 		Schedule: displaySchedule(schedule),
 		Topology: displaySchedule(topology),
+		Metric:   res.Metric,
 
 		Gap:           res.Gap,
 		BalancingTime: res.BalancingTime,

@@ -557,6 +557,92 @@ func TestFaultedPresetRunSSEAndArchiveReplay(t *testing.T) {
 	}
 }
 
+// TestProtocolPresetRunAndArchiveReplay is the serving layer's half of the
+// model-kernel acceptance criteria: the majority-vs-rotor preset — one
+// diffusion cell and one population-protocol cell over the same opinion
+// vector — runs to completion, the protocol cell's record carries its metric
+// name, and the archived scenario replays bit-identically.
+func TestProtocolPresetRunAndArchiveReplay(t *testing.T) {
+	_, ts := newTestServer(t, Config{ArchiveDir: t.TempDir()})
+	resp, err := http.Post(ts.URL+"/v1/runs?preset=majority-vs-rotor", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("preset POST: %d: %s", resp.StatusCode, data)
+	}
+	var sum RunSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Name != "majority-vs-rotor" || sum.Cells != 2 {
+		t.Fatalf("preset summary: %+v", sum)
+	}
+	code, r1 := waitResult(t, ts.URL, sum.ID)
+	if code != http.StatusOK {
+		t.Fatalf("preset result: %d: %s", code, r1)
+	}
+
+	var doc ResultDoc
+	if err := json.Unmarshal(r1, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Cells) != 2 {
+		t.Fatalf("cells: %d, want 2", len(doc.Cells))
+	}
+	diffusion, protocolCells := 0, 0
+	for _, c := range doc.Cells {
+		if c.Err != "" {
+			t.Fatalf("cell %s/%s failed: %s", c.Graph, c.Algo, c.Err)
+		}
+		if !c.ReachedTarget {
+			t.Fatalf("cell %s/%s did not reach the preset target", c.Graph, c.Algo)
+		}
+		if len(c.Series) == 0 {
+			t.Fatalf("cell %s/%s has no sampled series", c.Graph, c.Algo)
+		}
+		switch c.Metric {
+		case "":
+			diffusion++
+		case "unconverged":
+			protocolCells++
+		default:
+			t.Fatalf("unexpected metric %q on cell %s/%s", c.Metric, c.Graph, c.Algo)
+		}
+	}
+	if diffusion != 1 || protocolCells != 1 {
+		t.Fatalf("expected 1 diffusion + 1 protocol cell, got %d + %d", diffusion, protocolCells)
+	}
+
+	// The archived scenario re-POSTs to the same digest and reproduces the
+	// archived result bit-identically — model runs are as deterministic as
+	// diffusion runs.
+	aresp, err := http.Get(fmt.Sprintf("%s/v1/archive/%s/scenario", ts.URL, sum.Digest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	archived, _ := io.ReadAll(aresp.Body)
+	aresp.Body.Close()
+	sum2 := postBytes(t, ts.URL, archived)
+	if sum2.Digest != sum.Digest {
+		t.Fatalf("re-POST digest %s != %s", sum2.Digest, sum.Digest)
+	}
+	code, r2 := waitResult(t, ts.URL, sum2.ID)
+	if code != http.StatusOK {
+		t.Fatalf("replay: %d: %s", code, r2)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("protocol replay is not bit-identical to the archived result")
+	}
+	var got RunSummary
+	getJSON(t, fmt.Sprintf("%s/v1/runs/%s", ts.URL, sum2.ID), &got)
+	if got.Archive != "verified" {
+		t.Fatalf("replay archive state: %+v", got)
+	}
+}
+
 // TestArchiveRoundTrip is the regression-tracking contract end to end:
 // the archived scenario re-POSTs to the same digest and reproduces the
 // archived result bit-identically (run state "verified").

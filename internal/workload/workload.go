@@ -123,6 +123,52 @@ func PowerLaw(n int, scale float64, alpha float64, maxLoad int64, seed int64) []
 	return x
 }
 
+// Opinions builds a four-state majority initial vector: the first a agents
+// hold the strong positive opinion (+2) and the remaining n−a the strong
+// negative one (−2) — a margin of a − (n−a) strong votes. The signed values
+// double as a diffusion load vector, which is what lets the majority-vs-rotor
+// preset run one vector through both model families.
+func Opinions(n int, a int64) []int64 {
+	if a < 0 || a > int64(n) {
+		panic(fmt.Sprintf("workload: opinions count %d out of range [0,%d]", a, n))
+	}
+	x := make([]int64, n)
+	for i := range x {
+		if int64(i) < a {
+			x[i] = 2
+		} else {
+			x[i] = -2
+		}
+	}
+	return x
+}
+
+// Tokens places count tokens (state 1) on distinct seeded-random nodes — the
+// initial configuration of Herman's self-stabilizing ring. count must be odd
+// (even configurations can annihilate to zero tokens, outside the protocol's
+// legal space) and at most n. The positions are drawn by a partial
+// Fisher–Yates shuffle, so the vector is a pure function of (n, count, seed).
+func Tokens(n int, count int64, seed int64) []int64 {
+	if count < 1 || count > int64(n) {
+		panic(fmt.Sprintf("workload: token count %d out of range [1,%d]", count, n))
+	}
+	if count%2 == 0 {
+		panic(fmt.Sprintf("workload: herman token count must be odd, got %d", count))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	x := make([]int64, n)
+	for k := 0; k < int(count); k++ {
+		j := k + rng.Intn(n-k)
+		idx[k], idx[j] = idx[j], idx[k]
+		x[idx[k]] = 1
+	}
+	return x
+}
+
 // Checkerboard alternates lo and hi by node index — the maximally
 // oscillatory input, adversarial for non-lazy chains (eigenvalue −1
 // territory on bipartite graphs).

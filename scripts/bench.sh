@@ -14,7 +14,10 @@
 #                        harness vs its static baseline, plus a shocked sweep);
 #   BENCH_topology.json — the BenchmarkTopology* fault-injection benchmarks
 #                        (faulted engine round, delta application, and a full
-#                        fault-injected run).
+#                        fault-injected run);
+#   BENCH_protocol.json — the BenchmarkProtocol* population-protocol
+#                        benchmarks (majority and Herman rounds, plus a full
+#                        time-to-consensus run through the harness).
 #
 # Each run uses -benchmem -count=$COUNT. The "baseline" section of an
 # existing output file is preserved across runs so future PRs always compare
@@ -127,3 +130,6 @@ record 'BenchmarkDynamic' BENCH_dynamic.json \
 
 record 'BenchmarkTopology' BENCH_topology.json \
   "fault-injection numbers: FaultedStep is one engine round with 32 dead links (compare BenchmarkStepRotorRouter — must stay 0 allocs/op); ApplyDelta is one fail+restore delta pair (mask updates, component census, epoch bump); FaultedRun is the dynamic benchmark instance with a periodic fault schedule and a flapping link (compare BenchmarkDynamicShockedRun)."
+
+record 'BenchmarkProtocol' BENCH_protocol.json \
+  "population-protocol numbers: MajorityStep is one well-mixed round (n pairwise interactions, 1024 agents) and HermanStep one ring round (coin flips + XOR merge on the kernel, 1025 nodes) — both must stay 0 allocs/op; MajorityRun is a full 256-agent time-to-consensus run through the harness (model construction + per-round metric + target stop)."
