@@ -290,6 +290,11 @@ func run(args []string, stdout io.Writer) int {
 		case <-watcherDone:
 		}
 	}()
+	// Wall-clock audit (detcheck wallclock is scoped to internal/, so this is
+	// by convention, not the linter): elapsed feeds only the stderr summary
+	// and writeJSON's top-level elapsed_seconds / runs_per_second telemetry.
+	// It must never reach rows or aggregates — those are the deterministic
+	// payload that reruns and CI diffs compare byte for byte.
 	start := time.Now()
 	results := analysis.SweepContext(ctx, specs, opts)
 	elapsed := time.Since(start)
@@ -499,6 +504,11 @@ func writeRowsCSV(path string, rows []row) error {
 	return w.Error()
 }
 
+// writeJSON writes the machine-readable sweep document. The top-level
+// elapsed_seconds and runs_per_second fields are wall-clock CLI telemetry
+// and vary run to run by design; rows and aggregates are pure functions of
+// the specs and seeds. Anything comparing sweep output across runs must
+// diff rows/aggregates only.
 func writeJSON(path string, rows []row, aggs []aggregate, elapsed time.Duration) error {
 	f, err := os.Create(path)
 	if err != nil {

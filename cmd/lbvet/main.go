@@ -1,0 +1,176 @@
+// Command lbvet is the determinism-lint multichecker: it runs the
+// internal/detcheck analyzer suite (wallclock, globalrand, maporder,
+// wiretags, hotalloc) over the module and exits non-zero on any finding.
+//
+// Two invocation modes:
+//
+//	go run ./cmd/lbvet ./...          # standalone; patterns default to ./...
+//	go vet -vettool=$(which lbvet) ./...  # as a vet tool
+//
+// The standalone mode shells out to `go list -export` and type-checks each
+// target package against export data; the vettool mode speaks the go
+// command's unitchecker protocol (-V=full, -flags, and a *.cfg file per
+// package), so `go vet` drives and caches it like any other vet tool. Both
+// modes run the same analyzers over the same file sets (non-test files;
+// the determinism contract does not bind test-only code).
+//
+// See docs/lint.md for the analyzers, the //detcheck:allow escape hatch,
+// and the wire-field omitempty rule.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"detlb/internal/detcheck"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// Vet-tool protocol probes come before flag parsing: the go command
+	// invokes the tool with -V=full (for its content-based cache key) and
+	// -flags (to learn which analyzer flags it may pass) bare.
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full":
+			fmt.Fprintf(stdout, "lbvet version detcheck-%s\n", toolID())
+			return 0
+		case "-flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("lbvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listOnly := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "directory to resolve package patterns from")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: lbvet [-list] [-C dir] [packages]\n       (as a vet tool: go vet -vettool=lbvet ./...)\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listOnly {
+		for _, a := range detcheck.Default() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		return vetUnit(patterns[0], stderr)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := detcheck.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	diags, err := detcheck.Run(pkgs, detcheck.Default())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "lbvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the package description the go command hands a vet tool —
+// the unitchecker protocol's *.cfg payload.
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+// vetUnit analyzes one package under the vet-tool protocol: type-check the
+// listed files against the export data the go command already built, run
+// the suite, print findings to stderr, and exit 2 when any exist (the exit
+// code vet expects for diagnostics). The facts file (VetxOutput) must be
+// written even though detcheck exchanges no facts — the go command treats
+// its absence as tool failure.
+func vetUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "lbvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("lbvet"), 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	imp := detcheck.ExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, err := detcheck.CheckPackage(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	diags, err := detcheck.Run([]*detcheck.Package{pkg}, detcheck.Default())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// toolID derives the -V=full version token from the binary's own content,
+// so the go command's vet cache invalidates whenever lbvet changes.
+func toolID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedModule writes a throwaway module named detlb (so the Default()
+// package scopes apply) containing one deterministic package whose source
+// is given — the "seeded violation" the acceptance gate demands lives
+// here, never in the real tree.
+func seedModule(t *testing.T, coreSrc string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module detlb\n\ngo 1.24\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "internal", "core")
+	if err := os.MkdirAll(pkg, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkg, "core.go"), []byte(coreSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const violatingSrc = `package core
+
+import "time"
+
+// Stamp leaks the wall clock into a deterministic package.
+func Stamp() int64 { return time.Now().UnixNano() }
+`
+
+const cleanSrc = `package core
+
+// Sum is deterministic all the way down.
+func Sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`
+
+// TestStandaloneSeededViolation proves the gate bites: a time.Now seeded
+// into internal/core of a scratch module fails the standalone run, and the
+// same module without it passes.
+func TestStandaloneSeededViolation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	dir := seedModule(t, violatingSrc)
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("seeded violation: run = %d, want 1\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "wallclock") || !strings.Contains(stdout.String(), "time.Now") {
+		t.Fatalf("diagnostics missing wallclock finding:\n%s", &stdout)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	clean := seedModule(t, cleanSrc)
+	if code := run([]string{"-C", clean, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean module: run = %d, want 0\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+}
+
+// TestAllowEscapeHatch: the same violation under a reasoned
+// //detcheck:allow passes, and an allow with no reason stays a finding.
+func TestAllowEscapeHatch(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	allowed := seedModule(t, `package core
+
+import "time"
+
+func stamp() int64 {
+	//detcheck:allow wallclock scratch-module fixture exercising the hatch
+	return time.Now().UnixNano()
+}
+`)
+	if code := run([]string{"-C", allowed, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("allowed violation: run = %d, want 0\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	bare := seedModule(t, `package core
+
+import "time"
+
+func stamp() int64 {
+	//detcheck:allow wallclock
+	return time.Now().UnixNano()
+}
+`)
+	if code := run([]string{"-C", bare, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("reasonless allow: run = %d, want 1\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "needs a reason") {
+		t.Fatalf("expected the reasonless allow itself to be reported:\n%s", &stdout)
+	}
+}
+
+// TestVettoolProtocol drives the `go vet -vettool=lbvet` path end to end:
+// version/flags probes, per-package cfg analysis, findings on the seeded
+// module, silence on the clean one.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs go vet; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "lbvet")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building lbvet: %v\n%s", err, out)
+	}
+
+	dir := seedModule(t, violatingSrc)
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on a seeded violation:\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now in deterministic package") {
+		t.Fatalf("vettool output missing the wallclock finding:\n%s", out)
+	}
+
+	clean := seedModule(t, cleanSrc)
+	vet = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = clean
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed on a clean module: %v\n%s", err, out)
+	}
+}
+
+// TestProbesAndList pins the protocol probes and the -list mode.
+func TestProbesAndList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 || strings.TrimSpace(stdout.String()) != "[]" {
+		t.Fatalf("-flags: code %d, out %q", code, &stdout)
+	}
+	stdout.Reset()
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 || !strings.HasPrefix(stdout.String(), "lbvet version ") {
+		t.Fatalf("-V=full: code %d, out %q", code, &stdout)
+	}
+	stdout.Reset()
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list: code %d", code)
+	}
+	for _, name := range []string{"wallclock", "globalrand", "maporder", "wiretags", "hotalloc"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, &stdout)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import "testing"
+
+// TestChunkBoundsProperties is an exhaustive small-space property test of the
+// exported ChunkBounds partition contract, independent of the kernel tests:
+// for every (n, chunks) the chunk sequence tiles [0, n) exactly in order,
+// sizes take only the two values ⌊n/chunks⌋ and ⌈n/chunks⌉ with the larger
+// chunks first, and the partition is a pure function of its inputs.
+//
+// chunks > n is legal at this layer — the trailing chunks come back empty —
+// because the clamp to min(width, n) is the caller's (runRound's) concern,
+// not the arithmetic's.
+func TestChunkBoundsProperties(t *testing.T) {
+	for n := 0; n <= 64; n++ {
+		for chunks := 1; chunks <= 70; chunks++ {
+			q, r := n/chunks, n%chunks
+			prevHi := 0
+			for c := 0; c < chunks; c++ {
+				lo, hi := ChunkBounds(n, chunks, c)
+				if lo != prevHi {
+					t.Fatalf("n=%d chunks=%d: chunk %d starts at %d, want %d (gap or overlap)", n, chunks, c, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d chunks=%d: chunk %d inverted [%d,%d)", n, chunks, c, lo, hi)
+				}
+				want := q
+				if c < r {
+					want++
+				}
+				if hi-lo != want {
+					t.Fatalf("n=%d chunks=%d: chunk %d has size %d, want %d", n, chunks, c, hi-lo, want)
+				}
+				if lo2, hi2 := ChunkBounds(n, chunks, c); lo2 != lo || hi2 != hi {
+					t.Fatalf("n=%d chunks=%d: chunk %d not deterministic: [%d,%d) then [%d,%d)", n, chunks, c, lo, hi, lo2, hi2)
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d chunks=%d: partition ends at %d, want %d", n, chunks, prevHi, n)
+			}
+		}
+	}
+}
+
+// TestChunkBoundsEdges pins the named edge cases one by one so a regression
+// reports which contract broke rather than a generic sweep failure.
+func TestChunkBoundsEdges(t *testing.T) {
+	// n=0: every chunk is empty but well-formed.
+	for c := 0; c < 3; c++ {
+		if lo, hi := ChunkBounds(0, 3, c); lo != 0 || hi != 0 {
+			t.Errorf("ChunkBounds(0,3,%d) = [%d,%d), want [0,0)", c, lo, hi)
+		}
+	}
+
+	// chunks=1: the single chunk is the whole range.
+	if lo, hi := ChunkBounds(17, 1, 0); lo != 0 || hi != 17 {
+		t.Errorf("ChunkBounds(17,1,0) = [%d,%d), want [0,17)", lo, hi)
+	}
+
+	// chunks>n: the first n chunks carry one element each, the rest none.
+	for c := 0; c < 8; c++ {
+		lo, hi := ChunkBounds(3, 8, c)
+		if c < 3 && (lo != c || hi != c+1) {
+			t.Errorf("ChunkBounds(3,8,%d) = [%d,%d), want [%d,%d)", c, lo, hi, c, c+1)
+		}
+		if c >= 3 && lo != hi {
+			t.Errorf("ChunkBounds(3,8,%d) = [%d,%d), want empty", c, lo, hi)
+		}
+	}
+
+	// Non-dividing width: 10 over 4 splits 3,3,2,2 (larger chunks first).
+	wantSizes := []int{3, 3, 2, 2}
+	for c, want := range wantSizes {
+		if lo, hi := ChunkBounds(10, 4, c); hi-lo != want {
+			t.Errorf("ChunkBounds(10,4,%d) size = %d, want %d", c, hi-lo, want)
+		}
+	}
+
+	// Large values stay exact (no float drift, no overflow at realistic n).
+	const bigN, bigChunks = 1 << 30, 64
+	sum := 0
+	for c := 0; c < bigChunks; c++ {
+		lo, hi := ChunkBounds(bigN, bigChunks, c)
+		sum += hi - lo
+	}
+	if sum != bigN {
+		t.Errorf("ChunkBounds(1<<30,64,·) sizes sum to %d, want %d", sum, bigN)
+	}
+}

@@ -257,6 +257,8 @@ func (e *Engine) Reset(x1 []int64) error {
 // wholesale. Auditors implementing DeltaObserver are notified so cross-round
 // aggregates (the conservation total) account for the injected tokens; per-round
 // invariants are unaffected because Step itself still conserves.
+//
+//detcheck:noalloc
 func (e *Engine) ApplyDelta(delta []int64) error {
 	if len(delta) != e.bal.N() {
 		return fmt.Errorf("core: delta has %d entries for %d nodes", len(delta), e.bal.N())
@@ -427,6 +429,8 @@ func (e *Engine) applySerial() {
 
 // Step executes one synchronous round. It returns the first auditor error
 // encountered, leaving the (already advanced) state available for debugging.
+//
+//detcheck:noalloc
 func (e *Engine) Step() error {
 	e.round++
 	if obs, ok := e.algo.(RoundObserver); ok {
@@ -448,6 +452,7 @@ func (e *Engine) Step() error {
 
 	for _, a := range e.auditors {
 		if err := a.Observe(e, prev, e.sends, e.selfLoops); err != nil {
+			//detcheck:allow hotalloc cold error path; an auditor violation already aborts the run
 			return fmt.Errorf("core: round %d: %w", e.round, err)
 		}
 	}

@@ -178,6 +178,8 @@ const erosionRebuild = 8
 // redistribution) is reported to DeltaObserver auditors exactly like an
 // ApplyDelta injection, so the conservation total follows the stranded load
 // out of the system.
+//
+//detcheck:noalloc
 func (e *Engine) ApplyTopologyDelta(delta TopologyDelta) (TopologyChange, error) {
 	n := e.bal.N()
 	d := e.d
@@ -197,10 +199,12 @@ func (e *Engine) ApplyTopologyDelta(delta TopologyDelta) (TopologyChange, error)
 	// incremental overlay update; nil-ed out once a full rebuild is decided.
 	touched := t.queue[:0]
 	overBudget := len(delta.RestoreNodes) > 0 || len(delta.FailNodes) > 0
+	//detcheck:allow hotalloc closure escapes only on the first fault of a run; fault-free rounds never reach it (BENCH_topology pins the 0-alloc faulted round)
 	note := func(p int32) {
 		if overBudget {
 			return
 		}
+		//detcheck:allow hotalloc appends into reusable t.queue scratch between rounds, never inside Step; growth is bounded by the erosionRebuild budget
 		touched = append(touched, p)
 		if len(touched)*erosionRebuild > n*d {
 			overBudget = true

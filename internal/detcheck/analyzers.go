@@ -1,0 +1,31 @@
+package detcheck
+
+// DeterministicPackages is the wallclock scope: every internal package is
+// presumed to feed replayable state. internal/serve is deliberately
+// included even though it hosts genuinely wall-clock machinery (run
+// registry timestamps, HTTP timeouts) — those sites carry reasoned
+// //detcheck:allow annotations, so the analyzer still guards the archived
+// result-document path that lives in the same package. cmd/ and examples/
+// are out of scope: CLI timing output is wall-clock by design.
+var DeterministicPackages = []string{"detlb/internal/"}
+
+// WirePackages hold the archive/snapshot wire surface: the archived result
+// documents (serve), the trajectory/snapshot records (trace), and the
+// scenario descriptors whose canonical bytes are the archive fingerprint.
+var WirePackages = []string{
+	"detlb/internal/serve",
+	"detlb/internal/trace",
+	"detlb/internal/scenario",
+}
+
+// Default returns the repo's analyzer suite, wired with the package scopes
+// and the checked-in wiretags baseline. cmd/lbvet runs exactly this set.
+func Default() []*Analyzer {
+	return []*Analyzer{
+		NewWallclock(DeterministicPackages),
+		NewGlobalRand(),
+		NewMapOrder(),
+		NewWireTags(WirePackages, wireBaseline),
+		NewHotAlloc(),
+	}
+}

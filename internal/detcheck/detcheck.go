@@ -1,0 +1,236 @@
+// Package detcheck is the repo's determinism lint suite: a set of static
+// analyzers that encode the invariants every other layer only checks
+// dynamically — no wall-clock reads in deterministic packages, no global
+// math/rand sources, no order-sensitive map iteration on wire paths,
+// explicit JSON tags (and omitempty for new fields) on the archive wire
+// surface, and no obvious allocation constructs in functions marked
+// //detcheck:noalloc.
+//
+// The suite is deliberately self-contained: analyzers run on plain
+// go/ast + go/types packages (see Load), so the module keeps its
+// zero-dependency footprint — the framework mirrors the shape of
+// golang.org/x/tools/go/analysis without importing it. cmd/lbvet is the
+// multichecker front end; internal fixtures under testdata pin each
+// analyzer's behavior the way analysistest would.
+//
+// Escape hatch: a comment
+//
+//	//detcheck:allow <check> <reason>
+//
+// on the offending line (or the line directly above it) suppresses that
+// check there. The reason is mandatory — an allow without one is itself a
+// diagnostic — so every suppression documents why the invariant does not
+// apply. Functions opt into the hotalloc analyzer with a //detcheck:noalloc
+// line in their doc comment.
+package detcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single package through its
+// Pass and reports findings; it must be deterministic and must not retain
+// the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Package is one loaded, type-checked package — the unit an Analyzer sees.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Pass carries one (analyzer, package) pairing; analyzers report through it.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos. Diagnostics on lines covered by a
+// matching //detcheck:allow directive are dropped by the runner.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, with the position already resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// allowKey identifies one suppressed (file, line, check) cell.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// directiveScan collects the //detcheck:allow map for one package and
+// returns any malformed-directive diagnostics. A directive covers its own
+// line (trailing comment) and the line immediately below it (standalone
+// comment above the offending statement).
+func directiveScan(pkg *Package, known map[string]bool) (map[allowKey]bool, []Diagnostic) {
+	allows := make(map[allowKey]bool)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//detcheck:allow")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "detcheck:allow needs a check name and a reason",
+					})
+					continue
+				case !known[fields[0]]:
+					bad = append(bad, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  fmt.Sprintf("detcheck:allow names unknown check %q", fields[0]),
+					})
+					continue
+				case len(fields) < 2:
+					bad = append(bad, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  fmt.Sprintf("detcheck:allow %s needs a reason", fields[0]),
+					})
+					continue
+				}
+				allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+				allows[allowKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+			}
+		}
+	}
+	return allows, bad
+}
+
+// noallocMarked reports whether fn's doc comment carries a
+// //detcheck:noalloc marker line.
+func noallocMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//detcheck:noalloc")
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer over every package, filters findings through
+// the allow directives, and returns the surviving diagnostics sorted by
+// position. Malformed directives are diagnostics too (analyzer "directive").
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows, bad := directiveScan(pkg, known)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			var raw []Diagnostic
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("detcheck: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range raw {
+				if !allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	// Dedupe identical findings (nested walks can visit a node twice).
+	dedup := out[:0]
+	for i, d := range out {
+		if i == 0 || d != out[i-1] {
+			dedup = append(dedup, d)
+		}
+	}
+	return dedup, nil
+}
+
+// pkgFuncOf resolves ident to a package-level function object (methods and
+// non-functions return nil).
+func pkgFuncOf(info *types.Info, ident *ast.Ident) *types.Func {
+	fn, ok := info.Uses[ident].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// calleeFunc resolves a call expression's callee to a package-level
+// function object, looking through selector and paren forms.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pkgFuncOf(info, fun)
+	case *ast.SelectorExpr:
+		return pkgFuncOf(info, fun.Sel)
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || ident.Name != name {
+		return false
+	}
+	b, ok := info.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == name
+}

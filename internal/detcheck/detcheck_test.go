@@ -1,0 +1,278 @@
+package detcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors analysistest: each directory under
+// testdata/src is one package of deliberately wrong (and deliberately
+// fine) code, with `// want `regex`` comments marking the lines where a
+// diagnostic must appear. A fixture failing without its analyzer — every
+// want unmatched — is the proof the analyzer carries its weight.
+
+// fixturePackage parses and type-checks one testdata package under the
+// given import path, resolving std imports through export data from the
+// host toolchain.
+func fixturePackage(t *testing.T, dir, pkgPath string) *Package {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "src", dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files under testdata/src/%s: %v", dir, err)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	imports := map[string]bool{}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		asts = append(asts, f)
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				t.Fatalf("unquoting import %s: %v", spec.Path.Value, err)
+			}
+			imports[path] = true
+		}
+	}
+	pkg, err := checkFiles(fset, pkgPath, asts, stdImporter(t, fset, imports))
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// stdImporter builds an export-data importer for the given std packages by
+// asking the host go command to list (and compile) them.
+func stdImporter(t *testing.T, fset *token.FileSet, imports map[string]bool) *exportImporter {
+	t.Helper()
+	if len(imports) == 0 {
+		return newExportImporter(fset, func(path string) (string, error) {
+			return "", fmt.Errorf("fixture imports nothing, yet %q was requested", path)
+		})
+	}
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	pkgs, err := listExports(".", paths)
+	if err != nil {
+		t.Fatalf("listing std exports: %v", err)
+	}
+	return newExportImporter(fset, func(path string) (string, error) {
+		p, ok := pkgs[path]
+		if !ok || p.Export == "" {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return p.Export, nil
+	})
+}
+
+var wantRx = regexp.MustCompile("`([^`]*)`")
+
+// expectations scans fixture files for `// want` comments and returns the
+// demanded regexes keyed by (file, line).
+func expectations(t *testing.T, pkg *Package) map[string][]string {
+	t.Helper()
+	wants := map[string][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				ms := wantRx.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: want comment without a backtick-quoted regex", key)
+				}
+				for _, m := range ms {
+					wants[key] = append(wants[key], m[1])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture executes one analyzer over one fixture package and compares
+// findings against the want comments, both directions: every want must be
+// matched by a diagnostic on its line, and every diagnostic must be
+// demanded by a want.
+func runFixture(t *testing.T, az *Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg := fixturePackage(t, dir, pkgPath)
+	wants := expectations(t, pkg)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{az})
+	if err != nil {
+		t.Fatalf("running %s: %v", az.Name, err)
+	}
+	got := map[string][]Diagnostic{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		got[key] = append(got[key], d)
+	}
+	for key, res := range wants {
+		ds := got[key]
+		delete(got, key)
+		if len(ds) != len(res) {
+			t.Errorf("%s: want %d diagnostic(s), got %d: %v", key, len(res), len(ds), ds)
+			continue
+		}
+		matched := make([]bool, len(ds))
+		for _, re := range res {
+			rx, err := regexp.Compile(re)
+			if err != nil {
+				t.Fatalf("%s: bad want regex %q: %v", key, re, err)
+			}
+			found := false
+			for i, d := range ds {
+				if !matched[i] && rx.MatchString(d.Message) {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: no diagnostic matches %q among %v", key, re, ds)
+			}
+		}
+	}
+	for key, ds := range got {
+		for _, d := range ds {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+}
+
+func TestWallclockFixture(t *testing.T) {
+	runFixture(t, NewWallclock([]string{"wallclockfix"}), "wallclock", "wallclockfix")
+}
+
+func TestWallclockScopedOut(t *testing.T) {
+	// The same fixture under a path outside the deterministic prefixes must
+	// produce nothing — wallclock is a scope rule, not a global ban.
+	pkg := fixturePackage(t, "wallclock", "cmdlike")
+	diags, err := Run([]*Package{pkg}, []*Analyzer{NewWallclock([]string{"wallclockfix"})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("wallclock fired outside its scope: %v", diags)
+	}
+}
+
+func TestGlobalRandFixture(t *testing.T) {
+	runFixture(t, NewGlobalRand(), "globalrand", "globalrandfix")
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, NewMapOrder(), "maporder", "maporderfix")
+}
+
+func TestWireTagsFixture(t *testing.T) {
+	baseline := map[string]bool{"wiretagsfix.Wire.Old": true}
+	runFixture(t, NewWireTags([]string{"wiretagsfix"}, baseline), "wiretags", "wiretagsfix")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, NewHotAlloc(), "hotalloc", "hotallocfix")
+}
+
+// TestDirectiveValidation pins the escape hatch's own contract: an allow
+// without a reason, or naming an unknown check, is a finding — silent
+// suppression typos must not pass.
+func TestDirectiveValidation(t *testing.T) {
+	const src = `package d
+
+//detcheck:allow wallclock
+var a = 1
+
+//detcheck:allow nosuch because reasons
+var b = 2
+
+//detcheck:allow
+var c = 3
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := checkFiles(fset, "d", []*ast.File{f}, importerFunc(func(path string) (*types.Package, error) {
+		return nil, fmt.Errorf("no imports expected, got %q", path)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{NewWallclock(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		if d.Analyzer != "directive" {
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+		msgs = append(msgs, d.Message)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("want 3 directive findings, got %d: %v", len(msgs), msgs)
+	}
+	for i, want := range []string{"needs a reason", "unknown check", "needs a check name"} {
+		if !strings.Contains(msgs[i], want) {
+			t.Errorf("finding %d = %q, want substring %q", i, msgs[i], want)
+		}
+	}
+}
+
+// TestLoadSelf smoke-tests the go list loader end to end on a real module
+// package, including export-data resolution for std and module-internal
+// imports.
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/detcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "detlb/internal/detcheck" {
+		t.Fatalf("Load returned %v", pkgs)
+	}
+	if pkgs[0].Types == nil || len(pkgs[0].Files) == 0 {
+		t.Fatal("loaded package missing types or files")
+	}
+}
+
+// TestDefaultSuiteCleanTree is the in-repo gate: the checked-in tree must
+// be lbvet-clean. It is the same run CI performs via cmd/lbvet, kept here
+// too so a violation fails plain `go test ./...`.
+func TestDefaultSuiteCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,101 @@
+package detcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randCtors are the math/rand constructors that take an explicit source or
+// seed — the only legal way into either rand package. Everything else at
+// package level (Intn, Shuffle, Perm, Read, v2's N/IntN, ...) draws from
+// the process-global source, whose sequence depends on whatever else the
+// process has consumed — the exact nondeterminism the splitmix64-seeded
+// dynamics exist to avoid.
+var randCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// randSeedCtors are the constructors whose arguments are seeds; only these
+// are scanned for wall-clock seeding (rand.New takes an already-built
+// Source, so flagging it too would double-report every bad seed).
+var randSeedCtors = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// NewGlobalRand returns the globalrand analyzer: in non-test code, every
+// use of math/rand or math/rand/v2 must flow through an explicitly seeded
+// source, and no source may be seeded from the wall clock or the process
+// identity. (Test files are exempt structurally: the loader only sees the
+// non-test file set.)
+func NewGlobalRand() *Analyzer {
+	a := &Analyzer{
+		Name: "globalrand",
+		Doc:  "forbid global or wall-clock-seeded math/rand sources",
+	}
+	a.Run = func(pass *Pass) error {
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					fn := pkgFuncOf(info, n.Sel)
+					if fn == nil || !isRandPkg(fn.Pkg().Path()) || randCtors[fn.Name()] {
+						return true
+					}
+					pass.Reportf(n.Pos(),
+						"%s.%s draws from the process-global source; seed an explicit source instead (rand.New(rand.NewSource(seed)) or the splitmix64 helpers)",
+						fn.Pkg().Name(), fn.Name())
+				case *ast.CallExpr:
+					fn := calleeFunc(info, n)
+					if fn == nil || !isRandPkg(fn.Pkg().Path()) || !randSeedCtors[fn.Name()] {
+						return true
+					}
+					for _, arg := range n.Args {
+						if bad := wallclockSeed(info, arg); bad != "" {
+							pass.Reportf(n.Pos(),
+								"%s.%s seeded from %s; deterministic code must derive seeds from the scenario",
+								fn.Pkg().Name(), fn.Name(), bad)
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// wallclockSeed reports the first wall-clock or process-identity call in
+// the expression tree ("" when clean): time.Now-derived seeds and pid
+// seeds both make the sequence unreproducible.
+func wallclockSeed(info *types.Info, expr ast.Expr) string {
+	found := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := pkgFuncOf(info, sel.Sel)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "time" && fn.Name() == "Now":
+			found = "time.Now"
+		case fn.Pkg().Path() == "os" && (fn.Name() == "Getpid" || fn.Name() == "Getppid"):
+			found = "os." + fn.Name()
+		}
+		return found == ""
+	})
+	return found
+}

@@ -1,0 +1,167 @@
+package detcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// fmtFormatters are the fmt constructors that always allocate their
+// result. fmt.Errorf is deliberately absent: error construction on a cold
+// failure path is idiomatic in the hot functions (the benchmarks gate the
+// success path), and flagging it would bury the real findings in allows.
+var fmtFormatters = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// NewHotAlloc returns the hotalloc analyzer: functions marked with a
+// //detcheck:noalloc doc-comment line are rejected for the obvious
+// allocation constructs — make/new, append growth, fmt formatting,
+// closures, slice/map literals — plus interface boxing inside loop
+// bodies, where one boxed argument per iteration turns a 0-alloc round
+// into O(n) garbage. It is a guardrail against regressions the
+// allocs/op benchmarks would catch later and coarser, not an escape
+// analysis.
+func NewHotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "reject obvious allocation constructs in //detcheck:noalloc functions",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !noallocMarked(fn) {
+					continue
+				}
+				checkNoalloc(pass, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkNoalloc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fn.Name.Name
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Init != nil {
+					walk(n.Init, inLoop)
+				}
+				if n.Cond != nil {
+					walk(n.Cond, inLoop)
+				}
+				if n.Post != nil {
+					walk(n.Post, inLoop)
+				}
+				walk(n.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(n.X, inLoop)
+				walk(n.Body, true)
+				return false
+			case *ast.FuncLit:
+				pass.Reportf(n.Pos(),
+					"%s is //detcheck:noalloc but builds a closure; captured variables escape to the heap", name)
+				walk(n.Body, inLoop)
+				return false
+			case *ast.CompositeLit:
+				t := info.TypeOf(n)
+				if t != nil {
+					switch t.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						pass.Reportf(n.Pos(),
+							"%s is //detcheck:noalloc but builds a %s literal", name, kindName(t))
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() == "&" {
+					if _, ok := n.X.(*ast.CompositeLit); ok {
+						pass.Reportf(n.Pos(),
+							"%s is //detcheck:noalloc but heap-allocates a composite literal with &", name)
+					}
+				}
+			case *ast.CallExpr:
+				checkNoallocCall(pass, name, n, inLoop)
+			}
+			return true
+		})
+	}
+	walk(fn.Body, false)
+}
+
+func checkNoallocCall(pass *Pass, name string, call *ast.CallExpr, inLoop bool) {
+	info := pass.Pkg.Info
+	switch {
+	case isBuiltin(info, call, "make"):
+		pass.Reportf(call.Pos(), "%s is //detcheck:noalloc but calls make; preallocate in the constructor and reuse", name)
+		return
+	case isBuiltin(info, call, "new"):
+		pass.Reportf(call.Pos(), "%s is //detcheck:noalloc but calls new", name)
+		return
+	case isBuiltin(info, call, "append"):
+		pass.Reportf(call.Pos(), "%s is //detcheck:noalloc but appends; growth reallocates — size the backing array up front", name)
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg().Path() == "fmt" && fmtFormatters[fn.Name()] {
+		pass.Reportf(call.Pos(), "%s is //detcheck:noalloc but calls fmt.%s, which always allocates", name, fn.Name())
+		return
+	}
+	if inLoop {
+		checkBoxing(pass, name, call)
+	}
+}
+
+// checkBoxing flags concrete values passed to interface parameters inside
+// a loop body — each such argument allocates per iteration.
+func checkBoxing(pass *Pass, name string, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || tv.IsType() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || !types.IsInterface(pt) || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"%s is //detcheck:noalloc but boxes a %s into an interface argument inside a loop (one allocation per iteration)",
+			name, at.String())
+	}
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return t.String()
+}

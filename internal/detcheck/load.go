@@ -1,0 +1,209 @@
+package detcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader turns `go list -export` output into type-checked Packages
+// without any dependency beyond the go toolchain itself: the go command
+// compiles the dependency graph and hands back export-data files, and the
+// standard gc importer reads them through a lookup function. Only the
+// target packages themselves are parsed from source — everything they
+// import (std lib included) comes from export data, which keeps a whole-
+// module load to roughly a `go build` plus one type-check per package.
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns from dir (module-aware, tests excluded), type-checks
+// every non-dependency match from source against export data for its
+// imports, and returns the packages in `go list` order. A package that
+// fails to list or type-check aborts the load — lbvet runs after the build
+// gate, so a broken tree is reported as an error, not linted around.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	byPath, order, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, func(path string) (string, error) {
+		p, ok := byPath[path]
+		if !ok || p.Export == "" {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return p.Export, nil
+	})
+
+	var pkgs []*Package
+	for _, p := range order {
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("detcheck: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := CheckPackage(fset, p.ImportPath, files, imp.withImportMap(p.ImportMap))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// listPackages runs `go list -export -deps` on patterns from dir and
+// returns the decoded packages by import path and in list order.
+func listPackages(dir string, patterns []string) (map[string]*listPackage, []*listPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,Standard,DepOnly,Export,GoFiles,ImportMap,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("detcheck: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := make(map[string]*listPackage)
+	var order []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, nil, fmt.Errorf("detcheck: decoding go list output: %w", err)
+		}
+		byPath[p.ImportPath] = p
+		order = append(order, p)
+	}
+	return byPath, order, nil
+}
+
+// listExports is the test-harness view of listPackages: just the
+// path → package table, for building a std-lib importer under a fixture.
+func listExports(dir string, patterns []string) (map[string]*listPackage, error) {
+	byPath, _, err := listPackages(dir, patterns)
+	return byPath, err
+}
+
+// CheckPackage parses the given files and type-checks them as one package
+// under path, resolving imports through imp. Exported for cmd/lbvet's
+// vettool mode, which receives the file and export-data lists from the go
+// command instead of running `go list` itself.
+func CheckPackage(fset *token.FileSet, path string, files []string, imp types.Importer) (*Package, error) {
+	asts := make([]*ast.File, len(files))
+	for i, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("detcheck: %w", err)
+		}
+		asts[i] = f
+	}
+	return checkFiles(fset, path, asts, imp)
+}
+
+func checkFiles(fset *token.FileSet, path string, asts []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("detcheck: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: asts, Types: tpkg, Info: info}, nil
+}
+
+// ExportImporter builds an importer over a ready-made import-path →
+// export-file map with an optional source-path rewrite map — the two
+// tables the go command hands a vet tool. cmd/lbvet's vettool mode is the
+// only caller; Load builds its own resolver from `go list` output.
+func ExportImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	ei := newExportImporter(fset, func(path string) (string, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return file, nil
+	})
+	return ei.withImportMap(importMap)
+}
+
+// exportImporter adapts the standard gc export-data importer to a
+// path → export-file resolver, with optional per-package import maps
+// (vendored std paths and the like).
+type exportImporter struct {
+	gc      types.ImporterFrom
+	resolve func(path string) (string, error)
+}
+
+func newExportImporter(fset *token.FileSet, resolve func(string) (string, error)) *exportImporter {
+	ei := &exportImporter{resolve: resolve}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, err := ei.resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.gc.Import(path)
+}
+
+// withImportMap returns an importer view that rewrites source-level import
+// paths through m before resolution; a nil or empty map shares ei as is.
+func (ei *exportImporter) withImportMap(m map[string]string) types.Importer {
+	if len(m) == 0 {
+		return ei
+	}
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := m[path]; ok {
+			path = mapped
+		}
+		return ei.gc.Import(path)
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

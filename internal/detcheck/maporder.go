@@ -1,0 +1,123 @@
+package detcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// streamSinks are method and package-function names whose call order is
+// observable in the output: stream/encoder writes, formatted printing, and
+// hash folds. Feeding any of them from inside a map iteration makes the
+// bytes depend on Go's randomized map order — the exact failure mode the
+// fingerprint and archive paths cannot tolerate.
+var streamSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Encode": true, "EncodeToken": true,
+	"Sum": true, "Sum32": true, "Sum64": true,
+}
+
+// NewMapOrder returns the maporder analyzer: a `range` over a map must not
+// feed an order-sensitive sink — appending elements to a slice, writing to
+// a stream/encoder, folding into a hash, or sending on a channel. The one
+// blessed append is collecting the keys themselves (append(keys, k)),
+// because that is the first half of the sort-then-iterate fix; anything
+// that touches the values rides the random iteration order into the
+// output.
+func NewMapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "forbid order-sensitive sinks inside map iteration",
+	}
+	a.Run = func(pass *Pass) error {
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := info.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				keyObj := rangeVarObj(info, rng.Key)
+				valObj := rangeVarObj(info, rng.Value)
+				if keyObj == nil && valObj == nil {
+					// Neither element is bound; the body runs len(m)
+					// identical iterations and order cannot show.
+					return true
+				}
+				checkMapBody(pass, rng, keyObj)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// rangeVarObj resolves a range variable to its object; blank and absent
+// variables return nil.
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	ident, ok := e.(*ast.Ident)
+	if !ok || ident.Name == "_" {
+		return nil
+	}
+	return info.Defs[ident]
+}
+
+// checkMapBody walks one map-range body and reports order-sensitive sinks.
+// Nested range statements are walked too (their sinks are order-sensitive
+// for the outer map as well); identical findings are deduplicated by the
+// runner.
+func checkMapBody(pass *Pass, rng *ast.RangeStmt, keyObj types.Object) {
+	info := pass.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside map iteration delivers in random order; iterate sorted keys instead")
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "append") {
+				if appendsOnlyKey(info, n, keyObj) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"append inside map iteration accumulates in random order; collect and sort the keys first, then index the map")
+				return true
+			}
+			name := ""
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			case *ast.Ident:
+				name = fun.Name
+			}
+			if streamSinks[name] {
+				pass.Reportf(n.Pos(),
+					"%s inside map iteration emits in random order; iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// appendsOnlyKey reports whether every appended element is exactly the
+// range key variable — the collect-keys-then-sort idiom.
+func appendsOnlyKey(info *types.Info, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || call.Ellipsis.IsValid() || len(call.Args) < 2 {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		ident, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || info.Uses[ident] != keyObj {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,39 @@
+// Package globalrand is the globalrand analyzer fixture: process-global
+// sources and wall-clock seeds are findings; explicitly seeded sources are
+// the blessed pattern.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func bad() int {
+	return rand.Intn(6) // want `rand\.Intn draws from the process-global source`
+}
+
+func badV2() int {
+	return randv2.IntN(6) // want `rand\.IntN draws from the process-global source`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global source`
+}
+
+func badSeed() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `seeded from time\.Now`
+}
+
+func good(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func goodV2(a, b uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(a, b))
+}
+
+func allowed() int {
+	//detcheck:allow globalrand fixture demonstrates the escape hatch
+	return rand.Intn(6)
+}

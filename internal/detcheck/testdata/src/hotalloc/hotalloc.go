@@ -1,0 +1,58 @@
+// Package hotalloc is the hotalloc analyzer fixture: obvious allocation
+// constructs inside //detcheck:noalloc functions are findings; unmarked
+// functions and cold-path boxing are not.
+package hotalloc
+
+import "fmt"
+
+type machine struct {
+	xs  []int64
+	out []int64
+}
+
+func describe(v any) {}
+
+// step is the marked hot path.
+//
+//detcheck:noalloc
+func (m *machine) step() string {
+	for i := range m.xs {
+		m.out[i] = m.xs[i] * 2 // plain vector work stays legal
+	}
+	buf := make([]int64, 8)               // want `calls make`
+	m.out = append(m.out, buf[0])         // want `appends`
+	f := func() int64 { return m.out[0] } // want `builds a closure`
+	lit := []int64{1, 2, 3}               // want `builds a slice literal`
+	p := &machine{}                       // want `heap-allocates a composite literal`
+	_ = p
+	_ = lit
+	_ = f
+	return fmt.Sprintf("%d", len(m.xs)) // want `calls fmt\.Sprintf`
+}
+
+//detcheck:noalloc
+func (m *machine) boxing() {
+	for i := range m.xs {
+		describe(i) // want `boxes a int into an interface argument inside a loop`
+	}
+}
+
+//detcheck:noalloc
+func (m *machine) coldBoxingIsFine() {
+	describe(len(m.xs)) // boxing outside any loop: one-off, not per-round
+}
+
+//detcheck:noalloc
+func (m *machine) allowed() {
+	for i := range m.xs {
+		//detcheck:allow hotalloc fixture demonstrates the escape hatch
+		describe(i)
+	}
+}
+
+// unmarked is identical construct soup, but opts nothing in.
+func unmarked() string {
+	xs := make([]int, 4)
+	xs = append(xs, 1)
+	return fmt.Sprintf("%v", xs)
+}

@@ -1,0 +1,72 @@
+// Package maporder is the maporder analyzer fixture: order-sensitive sinks
+// inside map iteration are findings; the collect-keys-then-sort idiom and
+// order-insensitive bodies are not.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+func badAppendValues(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) // want `append inside map iteration`
+	}
+	return vals
+}
+
+func goodCollectKeys(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // the blessed first half of sort-then-iterate
+	}
+	sort.Strings(keys)
+	vals := make([]int, 0, len(keys))
+	for _, k := range keys {
+		vals = append(vals, m[k])
+	}
+	return vals
+}
+
+func badFprintf(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m {
+		fmt.Fprintf(buf, "%s=%d\n", k, v) // want `Fprintf inside map iteration`
+	}
+}
+
+func badStreamWrite(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `WriteString inside map iteration`
+	}
+}
+
+func badSend(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration`
+	}
+}
+
+func goodCountOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1 // map writes commute; order cannot show
+	}
+	return out
+}
+
+func allowedWrite(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		//detcheck:allow maporder fixture demonstrates the escape hatch
+		buf.WriteString(k)
+	}
+}

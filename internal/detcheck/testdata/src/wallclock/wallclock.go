@@ -1,0 +1,34 @@
+// Package wallclock is the wallclock analyzer fixture: wall-clock reads in
+// a deterministic package are findings; Time methods and allowed sites are
+// not.
+package wallclock
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}
+
+func badDate() time.Time {
+	return time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC) // want `time\.Date in deterministic package`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic package`
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer in deterministic package`
+}
+
+func allowed() time.Time {
+	//detcheck:allow wallclock fixture demonstrates the escape hatch
+	return time.Now()
+}
+
+func methodsAreValues(t0 time.Time) int {
+	// Time.Date the METHOD decomposes an existing value; only the package
+	// function reads the clock.
+	y, _, _ := t0.Date()
+	return y + int(t0.Sub(t0))
+}

@@ -1,0 +1,25 @@
+// Package wiretags is the wiretags analyzer fixture: once a struct carries
+// any json tag it is wire, and every exported field needs an explicit tag
+// plus omitempty/omitzero (or a deliberate baseline entry). The test's
+// baseline grandfathers Wire.Old only.
+package wiretags
+
+type Wire struct {
+	Old      int    `json:"old"`
+	NewOK    int    `json:"new_ok,omitempty"`
+	NewZero  int    `json:"new_zero,omitzero"`
+	Ignored  int    `json:"-"`
+	Bad      int    `json:"bad"` // want `new field Bad must be omitempty`
+	Untagged string // want `exported field Untagged has no json tag`
+
+	internal int
+}
+
+// NotWire has no json tags at all, so the analyzer leaves it alone: plenty
+// of exported structs are never marshaled.
+type NotWire struct {
+	A int
+	B string
+}
+
+func init() { _ = Wire{internal: 0} }

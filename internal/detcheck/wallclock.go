@@ -1,0 +1,60 @@
+package detcheck
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclockFuncs are the package-level time functions that read or arm the
+// wall clock. Methods on time.Time/Duration are value computations and stay
+// legal; constructing a time at all (time.Date) is still flagged because a
+// time.Time in a deterministic result path is almost always a smuggled
+// timestamp.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Date": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "Sleep": true,
+}
+
+// NewWallclock returns the wallclock analyzer: no wall-clock time reads in
+// packages matching the given import-path prefixes (a prefix ending in "/"
+// matches the subtree; otherwise the path must match exactly). Everything
+// under the prefixes is presumed to feed replayable state — trajectories,
+// fingerprints, archived result docs — where a time.Now breaks the
+// bit-identical-replay contract.
+func NewWallclock(prefixes []string) *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc:  "forbid wall-clock time reads in deterministic packages",
+	}
+	a.Run = func(pass *Pass) error {
+		match := false
+		for _, p := range prefixes {
+			if strings.HasSuffix(p, "/") && strings.HasPrefix(pass.Pkg.Path, p) || pass.Pkg.Path == strings.TrimSuffix(p, "/") {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return nil
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := pkgFuncOf(pass.Pkg.Info, sel.Sel)
+				if fn == nil || fn.Pkg().Path() != "time" || !wallclockFuncs[fn.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"time.%s in deterministic package %s; results must be pure functions of the scenario (//detcheck:allow wallclock <reason> for genuinely wall-clock code)",
+					fn.Name(), pass.Pkg.Path)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

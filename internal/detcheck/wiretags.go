@@ -1,0 +1,150 @@
+package detcheck
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// NewWireTags returns the wiretags analyzer for the archive/snapshot wire
+// surface. In the given packages, a struct is "wire" once any of its
+// fields carries a json tag; from then on every exported field must have
+// an explicit json tag (field-name defaulting is a latent rename hazard),
+// and every field must either elide its zero value (omitempty/omitzero,
+// or "-") or appear in baseline.
+//
+// The baseline is the checked-in set of grandfathered always-emitted
+// fields (keys "pkgpath.Struct.Field", see wire_baseline.go). New wire
+// fields are therefore omitempty-by-construction: a new always-emitted
+// field fails the build unless the baseline is deliberately edited, which
+// is exactly the review point — an always-emitted field changes the bytes
+// of every historical result document and breaks the archive's
+// bit-identical-replay contract.
+func NewWireTags(pkgs []string, baseline map[string]bool) *Analyzer {
+	wire := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		wire[p] = true
+	}
+	a := &Analyzer{
+		Name: "wiretags",
+		Doc:  "require explicit json tags (and omitempty for new fields) on wire structs",
+	}
+	a.Run = func(pass *Pass) error {
+		if !wire[pass.Pkg.Path] {
+			return nil
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					checkWireStruct(pass, ts.Name.Name, st, baseline)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkWireStruct(pass *Pass, name string, st *ast.StructType, baseline map[string]bool) {
+	if !isWireStruct(st) {
+		return
+	}
+	for _, field := range st.Fields.List {
+		for _, fname := range fieldNames(field) {
+			if !ast.IsExported(fname) {
+				continue
+			}
+			tag, ok := jsonTag(field)
+			if !ok {
+				pass.Reportf(field.Pos(),
+					"wire struct %s: exported field %s has no json tag; name it explicitly (the wire name must survive a Go-side rename)",
+					name, fname)
+				continue
+			}
+			jname, opts, _ := strings.Cut(tag, ",")
+			if jname == "-" && opts == "" {
+				continue
+			}
+			if hasOption(opts, "omitempty") || hasOption(opts, "omitzero") {
+				continue
+			}
+			key := pass.Pkg.Path + "." + name + "." + fname
+			if baseline[key] {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"wire struct %s: new field %s must be omitempty (or omitzero) so historical archive fingerprints stay byte-stable; if it must always be emitted, add %q to the wiretags baseline deliberately",
+				name, fname, key)
+		}
+	}
+}
+
+// isWireStruct reports whether any field carries a json tag — the opt-in
+// signal that the struct is (un)marshaled on a wire path.
+func isWireStruct(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if _, ok := jsonTag(field); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldNames lists a field's declared names; an embedded field contributes
+// its type name.
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) > 0 {
+		names := make([]string, len(field.Names))
+		for i, n := range field.Names {
+			names[i] = n.Name
+		}
+		return names
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return []string{t.Name}
+	case *ast.SelectorExpr:
+		return []string{t.Sel.Name}
+	}
+	return nil
+}
+
+// jsonTag returns the json struct tag value and whether one is present.
+func jsonTag(field *ast.Field) (string, bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	return reflect.StructTag(raw).Lookup("json")
+}
+
+func hasOption(opts, want string) bool {
+	for opts != "" {
+		var o string
+		o, opts, _ = strings.Cut(opts, ",")
+		if o == want {
+			return true
+		}
+	}
+	return false
+}

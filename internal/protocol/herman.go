@@ -144,11 +144,14 @@ func (m *Herman) mergePhase(lo, hi int) {
 
 // Step executes one synchronous round: one fused kernel dispatch (flip,
 // barrier, merge), then the invariant auditors. Zero allocations.
+//
+//detcheck:noalloc
 func (m *Herman) Step() error {
 	m.round++
 	m.kern.RunRound(m.n, m.flip, m.merge)
 	for _, a := range m.auditors {
 		if err := a.Observe(m.round, m.state); err != nil {
+			//detcheck:allow hotalloc cold error path; an auditor violation already aborts the run
 			return fmt.Errorf("protocol: round %d: %w", m.round, err)
 		}
 	}

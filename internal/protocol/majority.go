@@ -116,6 +116,8 @@ func (m *Majority) Round() int { return m.round }
 // counter, so trajectories are a pure function of (x1, seed)) hashes to one
 // 64-bit word; the low bits pick the initiator u, the high bits pick the
 // responder uniformly among the other n−1 agents. Zero allocations.
+//
+//detcheck:noalloc
 func (m *Majority) Step() error {
 	m.round++
 	n := uint64(m.n)
@@ -128,6 +130,7 @@ func (m *Majority) Step() error {
 	}
 	for _, a := range m.auditors {
 		if err := a.Observe(m.round, m.state); err != nil {
+			//detcheck:allow hotalloc cold error path; an auditor violation already aborts the run
 			return fmt.Errorf("protocol: round %d: %w", m.round, err)
 		}
 	}

@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-// FuzzSpecRoundTrip drives the identity the scenario layer promises: for any
+// FuzzScenario drives the identity the scenario layer promises: for any
 // text spec that parses, the chain
 //
 //	text grammar → descriptor → JSON → descriptor → RunSpec component
@@ -14,8 +14,9 @@ import (
 // is lossless — the JSON round trip preserves the descriptor exactly, the
 // canonical String() re-parses to the same descriptor, and binding the
 // round-tripped descriptor produces the same live component as binding the
-// original.
-func FuzzSpecRoundTrip(f *testing.F) {
+// original. CI runs this under -fuzz for a short budget every push; the
+// checked-in corpus under testdata/fuzz/FuzzScenario keeps past finds green.
+func FuzzScenario(f *testing.F) {
 	for _, s := range []string{
 		"cycle:16", "torus:4,2", "hypercube:4", "complete:9", "petersen",
 		"random:32,4,7", "gp:7,2", "kbipartite:3", "circulant:16,1+3",

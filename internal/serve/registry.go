@@ -65,6 +65,7 @@ func (r *run) setRunning() {
 	defer r.mu.Unlock()
 	if r.status == StatusQueued {
 		r.status = StatusRunning
+		//detcheck:allow wallclock registry-only start timestamp; surfaced via RunSummary, never enters the archived result document
 		r.started = time.Now()
 	}
 }
@@ -81,6 +82,7 @@ func (r *run) finish(status RunStatus, resultJSON []byte, failures int, archive 
 	r.failures = failures
 	r.archive = archive
 	r.errMsg = errMsg
+	//detcheck:allow wallclock registry-only finish timestamp; surfaced via RunSummary, never enters the archived result document
 	r.finished = time.Now()
 	close(r.done)
 }
@@ -157,11 +159,12 @@ func (reg *registry) create(base context.Context, fam *scenario.Family, cells []
 		cells:     cells,
 		digest:    digest,
 		canonical: canonical,
-		created:   time.Now(),
-		ctx:       ctx,
-		cancel:    cancel,
-		status:    StatusQueued,
-		done:      make(chan struct{}),
+		//detcheck:allow wallclock registry-only creation timestamp; surfaced via RunSummary, never enters the archived result document
+		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		status:  StatusQueued,
+		done:    make(chan struct{}),
 	}
 	reg.runs[r.id] = r
 	reg.order = append(reg.order, r)
