@@ -1,0 +1,419 @@
+// Command lbload is the open-loop traffic generator for lbserve: it fires
+// scenario POSTs at a fixed arrival rate — arrivals are scheduled by the
+// clock, never gated on completions, so a saturated daemon shows up as
+// rising latency and errors instead of a silently throttled offered load —
+// and reports throughput, cache behavior, latency quantiles, and an error
+// taxonomy as a single JSON document on stdout.
+//
+// The scenario mix is seeded and reproducible: a hot set of -hot small
+// families is drawn repeatedly (after an optional warm phase these are cache
+// hits), and the remaining arrivals are unique cold families that must
+// execute. A fraction of completed runs also opens a snapshot stream and
+// drains it, exercising the deterministic re-execution path.
+//
+// Usage:
+//
+//	lbload -base http://127.0.0.1:8080 [-rate 20] [-duration 3s] [-seed 1]
+//	       [-hot 4] [-hit-fraction 0.7] [-stream-fraction 0.1]
+//	       [-warm] [-timeout 60s]
+//
+// Exit status 0 means the burst ran and the report was written; it does not
+// imply zero request errors — read the report's "errors" map.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"detlb/internal/analysis"
+	"detlb/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// arrival is one pre-drawn traffic decision: which scenario body to POST and
+// whether to open a stream afterwards. Drawing every decision up front from
+// the seeded source keeps the mix reproducible — concurrent workers never
+// race on the generator.
+type arrival struct {
+	body   []byte
+	hot    bool
+	stream bool
+}
+
+// quantiles summarizes one latency population in seconds.
+type quantiles struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// report is the JSON document lbload emits.
+type report struct {
+	Base            string  `json:"base"`
+	Seed            int64   `json:"seed"`
+	OfferedRate     float64 `json:"offered_rate"`
+	Arrivals        int     `json:"arrivals"`
+	Completed       int     `json:"completed"`
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	AchievedRunsSec float64 `json:"achieved_runs_per_sec"`
+
+	Cache struct {
+		Hits     int     `json:"hits"`
+		Cold     int     `json:"cold"`
+		HitRatio float64 `json:"hit_ratio"`
+	} `json:"cache"`
+
+	Latency struct {
+		Post  quantiles `json:"post_seconds"`
+		Run   quantiles `json:"run_seconds"`
+		Queue quantiles `json:"queue_seconds"`
+	} `json:"latency"`
+
+	Streams struct {
+		Opened int `json:"opened"`
+		Events int `json:"events"`
+	} `json:"streams"`
+
+	Errors map[string]int `json:"errors"`
+}
+
+// collector accumulates worker outcomes.
+type collector struct {
+	mu           sync.Mutex
+	completed    int
+	hits         int
+	cold         int
+	post         []float64
+	run          []float64
+	queue        []float64
+	streamed     int
+	streamEvents int
+	errors       map[string]int
+}
+
+func (c *collector) fail(category string) {
+	c.mu.Lock()
+	c.errors[category]++
+	c.mu.Unlock()
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("lbload", flag.ContinueOnError)
+	base := fs.String("base", "", "lbserve base URL (required), e.g. http://127.0.0.1:8080")
+	rate := fs.Float64("rate", 20, "offered arrival rate, POSTs per second")
+	duration := fs.Duration("duration", 3*time.Second, "burst length (arrivals = rate * duration)")
+	seed := fs.Int64("seed", 1, "scenario-mix seed")
+	hot := fs.Int("hot", 4, "distinct hot scenarios (repeat arrivals; cache hits once archived)")
+	hitFraction := fs.Float64("hit-fraction", 0.7, "fraction of arrivals drawn from the hot set")
+	streamFraction := fs.Float64("stream-fraction", 0.1, "fraction of completed runs that open and drain a snapshot stream")
+	warm := fs.Bool("warm", true, "archive the hot set before the timed burst so hot arrivals hit")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request HTTP timeout (bounds the result wait)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *base == "" {
+		fmt.Fprintln(os.Stderr, "lbload: -base is required")
+		return 2
+	}
+	if *rate <= 0 || *duration <= 0 || *hot <= 0 {
+		fmt.Fprintln(os.Stderr, "lbload: -rate, -duration, and -hot must be positive")
+		return 2
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	rng := rand.New(rand.NewSource(*seed))
+
+	hotBodies, err := hotSet(*hot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload:", err)
+		return 1
+	}
+	if *warm {
+		for _, body := range hotBodies {
+			if err := postAndWait(client, *base, body); err != nil {
+				fmt.Fprintln(os.Stderr, "lbload: warm:", err)
+				return 1
+			}
+		}
+	}
+
+	n := int(*rate * duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	arrivals := make([]arrival, n)
+	for i := range arrivals {
+		if rng.Float64() < *hitFraction {
+			arrivals[i] = arrival{body: hotBodies[rng.Intn(len(hotBodies))], hot: true}
+		} else {
+			body, err := coldFamily(*seed, i)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lbload:", err)
+				return 1
+			}
+			arrivals[i] = arrival{body: body}
+		}
+		arrivals[i].stream = rng.Float64() < *streamFraction
+	}
+
+	col := &collector{errors: map[string]int{}}
+	interval := time.Duration(float64(time.Second) / *rate)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, a := range arrivals {
+		// Open loop: arrival i fires at start + i·interval whether or not
+		// earlier requests have completed.
+		time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doArrival(client, *base, a, col)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var rep report
+	rep.Base = *base
+	rep.Seed = *seed
+	rep.OfferedRate = *rate
+	rep.Arrivals = n
+	rep.Completed = col.completed
+	rep.ElapsedSeconds = elapsed.Seconds()
+	if elapsed > 0 {
+		rep.AchievedRunsSec = float64(col.completed) / elapsed.Seconds()
+	}
+	rep.Cache.Hits = col.hits
+	rep.Cache.Cold = col.cold
+	if col.hits+col.cold > 0 {
+		rep.Cache.HitRatio = float64(col.hits) / float64(col.hits+col.cold)
+	}
+	rep.Latency.Post = summarize(col.post)
+	rep.Latency.Run = summarize(col.run)
+	rep.Latency.Queue = summarize(col.queue)
+	rep.Streams.Opened = col.streamed
+	rep.Streams.Events = col.streamEvents
+	rep.Errors = col.errors
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "lbload:", err)
+		return 1
+	}
+	return 0
+}
+
+// hotSet builds the repeat-arrival families: n small distinct scenarios,
+// cheap enough that a cold execution completes in well under a second.
+func hotSet(n int) ([][]byte, error) {
+	out := make([][]byte, n)
+	for i := range out {
+		fam, err := scenario.ParseFamily(
+			fmt.Sprintf("cycle:%d", 16+4*i), "rotor-router",
+			fmt.Sprintf("point:%d", 160+40*i), "", "")
+		if err != nil {
+			return nil, err
+		}
+		fam.Name = fmt.Sprintf("lbload-hot-%d", i)
+		fam.Run = scenario.RunParams{Rounds: 40, Target: analysis.Target(8)}
+		out[i], err = fam.Canonical()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// coldFamily builds arrival i's unique family: the workload total folds in
+// the seed and index, so its fingerprint has never been archived.
+func coldFamily(seed int64, i int) ([]byte, error) {
+	fam, err := scenario.ParseFamily(
+		"cycle:24", "send-floor",
+		fmt.Sprintf("point:%d", 240+int(seed%997)*64+i), "", "")
+	if err != nil {
+		return nil, err
+	}
+	fam.Name = fmt.Sprintf("lbload-cold-%d", i)
+	fam.Run = scenario.RunParams{Rounds: 40, Target: analysis.Target(8)}
+	return fam.Canonical()
+}
+
+// runSummary mirrors the serve registry's wire summary, fields lbload reads.
+type runSummary struct {
+	ID       string    `json:"id"`
+	Status   string    `json:"status"`
+	Archive  string    `json:"archive"`
+	Error    string    `json:"error"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+}
+
+// postAndWait submits one scenario and blocks until it is terminal — the
+// warm phase, where outcome classification doesn't matter.
+func postAndWait(client *http.Client, base string, body []byte) error {
+	sum, err := postRun(client, base, body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Get(base + "/v1/runs/" + sum.ID + "/result?wait=1")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("warm run %s: result status %d", sum.ID, resp.StatusCode)
+	}
+	return nil
+}
+
+func postRun(client *http.Client, base string, body []byte) (runSummary, error) {
+	var sum runSummary
+	resp, err := client.Post(base+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sum, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return sum, fmt.Errorf("POST /v1/runs: %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return sum, fmt.Errorf("POST /v1/runs: %v", err)
+	}
+	return sum, nil
+}
+
+// doArrival drives one arrival end to end: POST, wait for the terminal
+// status, classify hit vs cold from the summary's archive state, and
+// optionally drain a snapshot stream.
+func doArrival(client *http.Client, base string, a arrival, col *collector) {
+	postStart := time.Now()
+	sum, err := postRun(client, base, a.body)
+	if err != nil {
+		col.fail("post")
+		return
+	}
+	postLatency := time.Since(postStart).Seconds()
+
+	if sum.Status != "done" && sum.Status != "failed" && sum.Status != "canceled" {
+		// Queued or running: block on the result endpoint, then re-read the
+		// summary for the terminal archive state and timestamps.
+		resp, err := client.Get(base + "/v1/runs/" + sum.ID + "/result?wait=1")
+		if err != nil {
+			col.fail("result_wait")
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resp, err = client.Get(base + "/v1/runs/" + sum.ID)
+		if err != nil {
+			col.fail("summary")
+			return
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(data, &sum); err != nil {
+			col.fail("summary")
+			return
+		}
+	}
+	runLatency := time.Since(postStart).Seconds()
+
+	switch {
+	case sum.Status == "done" && sum.Archive == "hit":
+		col.mu.Lock()
+		col.completed++
+		col.hits++
+		col.post = append(col.post, postLatency)
+		col.run = append(col.run, runLatency)
+		col.mu.Unlock()
+	case sum.Status == "done":
+		col.mu.Lock()
+		col.completed++
+		col.cold++
+		col.post = append(col.post, postLatency)
+		col.run = append(col.run, runLatency)
+		if !sum.Started.IsZero() {
+			col.queue = append(col.queue, sum.Started.Sub(sum.Created).Seconds())
+		}
+		col.mu.Unlock()
+	case sum.Status == "canceled":
+		col.fail("run_canceled")
+		return
+	default:
+		col.fail("run_failed")
+		return
+	}
+
+	if a.stream {
+		events, err := drainStream(client, base, sum.ID)
+		if err != nil {
+			col.fail("stream")
+			return
+		}
+		col.mu.Lock()
+		col.streamed++
+		col.streamEvents += events
+		col.mu.Unlock()
+	}
+}
+
+// drainStream consumes a run's whole NDJSON snapshot stream and counts its
+// events.
+func drainStream(client *http.Client, base, id string) (int, error) {
+	resp, err := client.Get(base + "/v1/runs/" + id + "/stream")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("stream: %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	events := 0
+	for {
+		var ev json.RawMessage
+		if err := dec.Decode(&ev); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return events, err
+		}
+		events++
+	}
+}
+
+// summarize sorts one latency population and reads its quantiles.
+func summarize(xs []float64) quantiles {
+	if len(xs) == 0 {
+		return quantiles{}
+	}
+	sort.Float64s(xs)
+	at := func(p float64) float64 {
+		return xs[int(p*float64(len(xs)-1))]
+	}
+	return quantiles{
+		Count: len(xs),
+		P50:   at(0.50),
+		P90:   at(0.90),
+		P99:   at(0.99),
+		Max:   xs[len(xs)-1],
+	}
+}

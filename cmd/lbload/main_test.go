@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"detlb/internal/serve"
+)
+
+// TestLoadBurstAgainstInProcessServer drives the full generator against an
+// in-process serving tier: every arrival completes, the warmed hot set
+// produces cache hits, the unique cold arrivals execute, and the error
+// taxonomy stays empty.
+func TestLoadBurstAgainstInProcessServer(t *testing.T) {
+	srv, err := serve.New(serve.Config{ArchiveDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	var out bytes.Buffer
+	code := run([]string{
+		"-base", ts.URL, "-rate", "40", "-duration", "1s",
+		"-seed", "7", "-hot", "3", "-hit-fraction", "0.6", "-stream-fraction", "0.1",
+	}, &out)
+	if code != 0 {
+		t.Fatalf("lbload exit %d:\n%s", code, out.String())
+	}
+
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report: %v\n%s", err, out.String())
+	}
+	if rep.Arrivals != 40 {
+		t.Fatalf("arrivals: %d, want 40", rep.Arrivals)
+	}
+	if rep.Completed != rep.Arrivals {
+		t.Fatalf("completed %d of %d arrivals; errors: %v", rep.Completed, rep.Arrivals, rep.Errors)
+	}
+	if len(rep.Errors) != 0 {
+		t.Fatalf("errors: %v", rep.Errors)
+	}
+	if rep.Cache.Hits == 0 || rep.Cache.Cold == 0 {
+		t.Fatalf("mix degenerated: hits=%d cold=%d", rep.Cache.Hits, rep.Cache.Cold)
+	}
+	if rep.Cache.HitRatio <= 0 || rep.Cache.HitRatio >= 1 {
+		t.Fatalf("hit ratio: %v", rep.Cache.HitRatio)
+	}
+	if rep.AchievedRunsSec <= 0 {
+		t.Fatalf("achieved rate: %v", rep.AchievedRunsSec)
+	}
+	if rep.Latency.Post.Count != rep.Completed || rep.Latency.Post.Max <= 0 {
+		t.Fatalf("post latency: %+v", rep.Latency.Post)
+	}
+}
+
+// TestFlagValidation: missing -base and non-positive knobs are usage errors.
+func TestFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-rate", "10"}, &out); code != 2 {
+		t.Fatalf("missing -base: exit %d", code)
+	}
+	if code := run([]string{"-base", "http://127.0.0.1:1", "-rate", "-1"}, &out); code != 2 {
+		t.Fatalf("negative rate: exit %d", code)
+	}
+}

@@ -4,10 +4,17 @@
 // snapshots live over SSE/NDJSON, and archives every finished run as a
 // content-addressed (scenario, result) pair for regression tracking.
 //
+// Runs are pure functions of their canonical scenario bytes, so the archive
+// doubles as a memoized run cache: with -cache on (the default) a POST of an
+// already-archived fingerprint answers terminally from the archive without
+// executing, -cache verify re-executes every -cache-verify-every'th hit and
+// enforces the bit-identical-replay contract, and -cache off always executes.
+//
 // Usage:
 //
 //	lbserve [-addr 127.0.0.1:8080] [-archive DIR] [-max-runs 4]
-//	        [-sweep-workers 0] [-drain 15s]
+//	        [-cache on|off|verify] [-cache-verify-every 1]
+//	        [-stream-retry-after 1] [-sweep-workers 0] [-drain 15s]
 //
 // Endpoints (see docs/serving.md for the full reference):
 //
@@ -19,6 +26,8 @@
 //	GET    /v1/runs/{id}/result archived result document (?wait=1 blocks until done)
 //	GET    /v1/archive          list archive entries
 //	GET    /v1/archive/{digest}/{scenario,result}
+//	GET    /v1/info             daemon capabilities (cache mode, caps, archive size)
+//	GET    /metrics             Prometheus text-format telemetry
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: it stops accepting
 // connections, waits up to -drain for in-flight runs and streams, then
@@ -52,6 +61,9 @@ func run(args []string, stdout io.Writer) int {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	archiveDir := fs.String("archive", "lbserve-archive", "result archive directory (empty disables archiving)")
 	maxRuns := fs.Int("max-runs", 4, "max concurrently executing runs (further runs queue)")
+	cacheMode := fs.String("cache", serve.CacheOn, "run cache mode: on (serve archived fingerprints terminally), off, or verify (re-execute a sample of hits)")
+	verifyEvery := fs.Int("cache-verify-every", 1, "with -cache verify, re-execute every Nth hit (the first always)")
+	streamRetryAfter := fs.Int("stream-retry-after", 1, "Retry-After seconds on stream 503s")
 	sweepWorkers := fs.Int("sweep-workers", 0, "concurrent sweep groups per run (0 = GOMAXPROCS)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-drain window on SIGTERM/SIGINT")
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +74,9 @@ func run(args []string, stdout io.Writer) int {
 	srv, err := serve.New(serve.Config{
 		ArchiveDir:        *archiveDir,
 		MaxConcurrentRuns: *maxRuns,
+		CacheMode:         *cacheMode,
+		CacheVerifyEvery:  *verifyEvery,
+		StreamRetryAfter:  *streamRetryAfter,
 		SweepWorkers:      *sweepWorkers,
 		Log:               logger,
 	})
@@ -79,7 +94,7 @@ func run(args []string, stdout io.Writer) int {
 	if archiveNote == "" {
 		archiveNote = "(disabled)"
 	}
-	fmt.Fprintf(stdout, "lbserve: listening on http://%s archive %s\n", ln.Addr(), archiveNote)
+	fmt.Fprintf(stdout, "lbserve: listening on http://%s archive %s cache %s\n", ln.Addr(), archiveNote, *cacheMode)
 
 	hs := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)

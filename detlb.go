@@ -7,6 +7,7 @@ import (
 	"detlb/internal/core"
 	"detlb/internal/graph"
 	"detlb/internal/lowerbound"
+	"detlb/internal/metrics"
 	"detlb/internal/protocol"
 	"detlb/internal/scenario"
 	"detlb/internal/serve"
@@ -340,6 +341,40 @@ var (
 	NewServer = serve.New
 	// OpenRunArchive opens (creating) a content-addressed result archive.
 	OpenRunArchive = serve.OpenArchive
+)
+
+// Run-cache modes for ServeConfig.CacheMode: runs are pure functions of
+// their canonical scenario, so an archived fingerprint's result can be
+// served terminally without re-execution.
+const (
+	// CacheModeOn serves archived fingerprints as terminal cache hits.
+	CacheModeOn = serve.CacheOn
+	// CacheModeOff executes every POST (the pre-cache behavior).
+	CacheModeOff = serve.CacheOff
+	// CacheModeVerify re-executes a sampled fraction of hits and enforces
+	// bit-identical replay against the archive.
+	CacheModeVerify = serve.CacheVerify
+)
+
+// Metrics: the dependency-free Prometheus text-format registry behind
+// lbserve's GET /metrics, reusable by any daemon built on the module.
+type (
+	// MetricsRegistry collects named metrics and writes the Prometheus
+	// text exposition format (0.0.4).
+	MetricsRegistry = metrics.Registry
+	// MetricsCounter is a monotonically increasing counter.
+	MetricsCounter = metrics.Counter
+	// MetricsGauge is a value that can go up and down.
+	MetricsGauge = metrics.Gauge
+	// MetricsHistogram is a cumulative-bucket latency/size histogram.
+	MetricsHistogram = metrics.Histogram
+)
+
+var (
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = metrics.NewRegistry
+	// MetricsDefBuckets are the default histogram buckets (seconds).
+	MetricsDefBuckets = metrics.DefBuckets
 )
 
 // Snapshot is one observation of a streaming run.

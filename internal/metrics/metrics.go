@@ -1,0 +1,265 @@
+// Package metrics is a dependency-free, Prometheus-compatible metrics
+// registry for the serving tier: counters, gauges, and histograms behind a
+// text-format exposition endpoint (the Prometheus text exposition format,
+// version 0.0.4).
+//
+// The package is deliberately deterministic where the repo's contracts
+// care:
+//
+//   - Registration is construct-time and fail-fast — a duplicate or
+//     malformed metric name panics at server construction, not at scrape
+//     time, so a misconfigured registry can never boot.
+//   - Exposition order is a pure function of the registered names (sorted
+//     lexically), never of map iteration or registration timing, so two
+//     scrapes of identical state are byte-identical.
+//   - Nothing in the package reads the clock. Latency observations enter
+//     through Histogram.Observe(seconds); whoever owns the wall clock
+//     (the serving layer, annotated under the wallclock lint) converts.
+//
+// All mutation paths are lock-free atomics, safe for concurrent use from
+// request handlers and executors.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into cumulative buckets with fixed upper
+// bounds, exposed as the standard <name>_bucket{le="..."} series plus
+// <name>_sum and <name>_count.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf closes the set
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v is the non-cumulative bucket; exposition sums up.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefBuckets are general-purpose latency-in-seconds bounds, spanning
+// microsecond cache hits to multi-minute sweeps.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// metric is one registered series: its metadata plus a writer for the
+// value lines.
+type metric struct {
+	name, help, typ string
+	write           func(w io.Writer) error
+}
+
+// Registry holds a set of named metrics and serves their exposition.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+// register validates and records one series; the registration surface is
+// construct-time configuration, so failures panic rather than limp.
+func (r *Registry) register(m *metric) {
+	if !validName(m.name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", m.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// validName enforces the Prometheus metric-name charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, typ: "counter",
+		write: func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+			return err
+		}})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, typ: "gauge",
+		write: func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", name, g.Value())
+			return err
+		}})
+	return g
+}
+
+// Histogram registers and returns a new histogram over the given ascending
+// bucket upper bounds (nil selects DefBuckets). A trailing +Inf bound is
+// implicit and must not be passed.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q buckets not ascending", name))
+		}
+	}
+	if len(buckets) > 0 && math.IsInf(buckets[len(buckets)-1], +1) {
+		panic(fmt.Sprintf("metrics: histogram %q: +Inf bound is implicit", name))
+	}
+	bounds := append([]float64(nil), buckets...)
+	h := &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+	r.register(&metric{name: name, help: help, typ: "histogram",
+		write: func(w io.Writer) error {
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.buckets[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.buckets[len(h.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum())); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+			return err
+		}})
+	return h
+}
+
+// WriteText writes the full exposition in the Prometheus text format,
+// series sorted by name.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ordered := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].name < ordered[j].name })
+	for _, m := range ordered {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ); err != nil {
+			return err
+		}
+		if err := m.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns the exposition endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// formatFloat renders a value the way Prometheus clients expect: shortest
+// round-trip representation, explicit +Inf/-Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// escapeHelp escapes help text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	g := r.Gauge("depth", "queue depth")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Dec()
+	if c.Value() != 5 || g.Value() != 6 {
+		t.Fatalf("values: counter=%d gauge=%d", c.Value(), g.Value())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# HELP depth queue depth\n",
+		"# TYPE depth gauge\n",
+		"depth 6\n",
+		"# HELP requests_total total requests\n",
+		"# TYPE requests_total counter\n",
+		"requests_total 5\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Sorted by name: depth before requests_total despite registration order.
+	if strings.Index(text, "depth") > strings.Index(text, "requests_total") {
+		t.Fatalf("exposition not sorted by name:\n%s", text)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count: %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5.56) > 1e-9 {
+		t.Fatalf("sum: %g", got)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.01"} 2` + "\n",
+		`latency_seconds_bucket{le="0.1"} 3` + "\n",
+		`latency_seconds_bucket{le="1"} 4` + "\n",
+		`latency_seconds_bucket{le="+Inf"} 5` + "\n",
+		"latency_seconds_sum " + formatFloat(h.Sum()) + "\n",
+		"latency_seconds_count 5\n",
+		"# TYPE latency_seconds histogram\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestBoundaryObservationsAreLE: the le label is inclusive — an observation
+// exactly on a bound lands in that bound's bucket.
+func TestBoundaryObservationsAreLE(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2})
+	h.Observe(1)
+	h.Observe(2)
+	var sb strings.Builder
+	r.WriteText(&sb)
+	text := sb.String()
+	if !strings.Contains(text, `h_bucket{le="1"} 1`+"\n") ||
+		!strings.Contains(text, `h_bucket{le="2"} 2`+"\n") {
+		t.Fatalf("boundary buckets:\n%s", text)
+	}
+}
+
+func TestExpositionIsDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name, "help for "+name).Add(3)
+		}
+		var sb strings.Builder
+		r.WriteText(&sb)
+		return sb.String()
+	}
+	a := build([]string{"alpha_total", "beta_total", "gamma_total"})
+	b := build([]string{"gamma_total", "alpha_total", "beta_total"})
+	if a != b {
+		t.Fatalf("exposition depends on registration order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("dup", "")
+	mustPanic("duplicate name", func() { r.Gauge("dup", "") })
+	mustPanic("invalid name", func() { r.Counter("0bad", "") })
+	mustPanic("empty name", func() { r.Counter("", "") })
+	mustPanic("non-ascending buckets", func() { r.Histogram("h1", "", []float64{1, 1}) })
+	mustPanic("explicit +Inf", func() { r.Histogram("h2", "", []float64{1, math.Inf(1)}) })
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type: %q", ct)
+	}
+	buf := make([]byte, 1<<12)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "x_total 1") {
+		t.Fatalf("body: %s", buf[:n])
+	}
+}
+
+// TestConcurrentMutation exercises every mutation path from many
+// goroutines with scrapes interleaved — the race detector is the assertion,
+// the totals are the sanity check.
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(0.001 * float64(i%7))
+				if i%100 == 0 {
+					var sb strings.Builder
+					r.WriteText(&sb)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*each || g.Value() != workers*each || h.Count() != workers*each {
+		t.Fatalf("totals: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+}

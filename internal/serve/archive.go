@@ -142,22 +142,57 @@ func (a *Archive) cacheMetaLocked(digest string, scenarioJSON []byte) {
 
 // Get returns the archived scenario and result bytes, or ErrNotArchived.
 func (a *Archive) Get(digest string) (scenarioJSON, resultJSON []byte, err error) {
-	if !validDigest(digest) {
-		return nil, nil, ErrNotArchived
-	}
-	entry := filepath.Join(a.dir, digest)
-	resultJSON, err = os.ReadFile(filepath.Join(entry, resultFile))
+	resultJSON, err = a.GetResult(digest)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil, ErrNotArchived
-		}
-		return nil, nil, fmt.Errorf("serve: archive: %w", err)
+		return nil, nil, err
 	}
-	scenarioJSON, err = os.ReadFile(filepath.Join(entry, scenarioFile))
+	scenarioJSON, err = os.ReadFile(filepath.Join(a.dir, digest, scenarioFile))
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: archive: %w", err)
 	}
 	return scenarioJSON, resultJSON, nil
+}
+
+// GetResult returns just the archived result bytes, or ErrNotArchived —
+// the cache-hit fast path, one file read instead of two (result.json is
+// written last, so its presence alone marks the entry complete).
+func (a *Archive) GetResult(digest string) ([]byte, error) {
+	if !validDigest(digest) {
+		return nil, ErrNotArchived
+	}
+	resultJSON, err := os.ReadFile(filepath.Join(a.dir, digest, resultFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotArchived
+		}
+		return nil, fmt.Errorf("serve: archive: %w", err)
+	}
+	return resultJSON, nil
+}
+
+// Len counts complete archive entries (one directory read; no per-entry
+// parsing) — the /v1/info archive-size figure.
+func (a *Archive) Len() (int, error) {
+	dirents, err := os.ReadDir(a.dir)
+	if err != nil {
+		return 0, fmt.Errorf("serve: archive: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, de := range dirents {
+		if !de.IsDir() || !validDigest(de.Name()) {
+			continue
+		}
+		if _, ok := a.meta[de.Name()]; ok {
+			n++
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(a.dir, de.Name(), resultFile)); err == nil {
+			n++
+		}
+	}
+	return n, nil
 }
 
 // ArchiveEntry summarizes one archived run for listings.

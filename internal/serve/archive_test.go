@@ -3,9 +3,11 @@ package serve
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"detlb/internal/scenario"
@@ -130,6 +132,89 @@ func TestArchiveListCache(t *testing.T) {
 	}
 	if entries, err = cold.List(); err != nil || len(entries) != 1 || entries[0].Cells != 1 {
 		t.Fatalf("lazily-warmed listing: %+v %v", entries, err)
+	}
+}
+
+// TestArchiveConcurrentPutListLen: Puts of distinct digests racing List, Len,
+// and GetResult must be data-race free (the meta cache is shared mutable
+// state) — the race detector is the real assertion; the final counts confirm
+// nothing was dropped.
+func TestArchiveConcurrentPutListLen(t *testing.T) {
+	arch, err := OpenArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, canonical := archiveFixture(t)
+	const writers = 8
+	var wg sync.WaitGroup
+	for w := range writers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			digest := fmt.Sprintf("%064x", w)
+			if _, err := arch.Put(digest, canonical, []byte("{}\n")); err != nil {
+				t.Errorf("put %s: %v", digest[:8], err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := arch.List(); err != nil {
+				t.Errorf("list: %v", err)
+			}
+			if _, err := arch.Len(); err != nil {
+				t.Errorf("len: %v", err)
+			}
+			// Reads racing the writes may or may not find the entry; only
+			// unexpected errors matter.
+			if _, err := arch.GetResult(fmt.Sprintf("%064x", w)); err != nil && !errors.Is(err, ErrNotArchived) {
+				t.Errorf("get result: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	entries, err := arch.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != writers {
+		t.Fatalf("listed %d entries, want %d", len(entries), writers)
+	}
+	if n, err := arch.Len(); err != nil || n != writers {
+		t.Fatalf("len: %d %v, want %d", n, err, writers)
+	}
+}
+
+// TestArchiveGetResultAndLen: the cache-hit fast path reads only result.json
+// and Len counts only complete entries.
+func TestArchiveGetResultAndLen(t *testing.T) {
+	dir := t.TempDir()
+	arch, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, canonical := archiveFixture(t)
+	result := []byte("{\"version\":1,\"cells\":[]}\n")
+	if _, err := arch.GetResult(digest); !errors.Is(err, ErrNotArchived) {
+		t.Fatalf("missing entry: %v", err)
+	}
+	if _, err := arch.Put(digest, canonical, result); err != nil {
+		t.Fatal(err)
+	}
+	got, err := arch.GetResult(digest)
+	if err != nil || !bytes.Equal(got, result) {
+		t.Fatalf("get result: %v (%s)", err, got)
+	}
+	// An incomplete sibling entry (no result.json) is invisible to Len.
+	partial := filepath.Join(dir, strings.Repeat("a", 64))
+	if err := os.MkdirAll(partial, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(partial, scenarioFile), canonical, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := arch.Len(); err != nil || n != 1 {
+		t.Fatalf("len: %d %v, want 1", n, err)
 	}
 }
 

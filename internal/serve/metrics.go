@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"detlb/internal/metrics"
+)
+
+// serverMetrics is the serving tier's observability surface: one counter
+// per lifecycle edge, gauges for live occupancy, and latency histograms,
+// all exposed in the Prometheus text format on GET /metrics.
+//
+// Everything here is telemetry about the daemon, never payload: no metric
+// value flows into a result document or an archive entry, so the wall-clock
+// reads that feed the histograms (annotated at their call sites) cannot
+// perturb the bit-identical-replay contract.
+type serverMetrics struct {
+	registry *metrics.Registry
+
+	// Run lifecycle.
+	runsAccepted *metrics.Counter
+	runsExecuted *metrics.Counter
+	runsDone     *metrics.Counter
+	runsFailed   *metrics.Counter
+	runsCanceled *metrics.Counter
+
+	// The memoized serving tier.
+	cacheHits         *metrics.Counter
+	cacheMisses       *metrics.Counter
+	cacheVerifies     *metrics.Counter
+	dedupFollowers    *metrics.Counter
+	archiveMismatches *metrics.Counter
+
+	// Admission and streams.
+	admissionRejected *metrics.Counter
+	streamsServed     *metrics.Counter
+	streamsRejected   *metrics.Counter
+
+	// Live occupancy.
+	queueDepth    *metrics.Gauge
+	executorsBusy *metrics.Gauge
+	streamsActive *metrics.Gauge
+
+	// Latency (seconds).
+	queueSeconds *metrics.Histogram
+	runSeconds   *metrics.Histogram
+	hitSeconds   *metrics.Histogram
+}
+
+// hitLatencyBuckets resolve the cache-hit fast path, which lives orders of
+// magnitude below the run-execution buckets: 10µs to 250ms.
+var hitLatencyBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+}
+
+func newServerMetrics() *serverMetrics {
+	r := metrics.NewRegistry()
+	return &serverMetrics{
+		registry: r,
+
+		runsAccepted: r.Counter("lbserve_runs_accepted_total",
+			"runs admitted by POST /v1/runs (cache hits, dedup followers, and executions alike)"),
+		runsExecuted: r.Counter("lbserve_runs_executed_total",
+			"runs that entered the executor pool (cache misses and sampled verifications)"),
+		runsDone: r.Counter("lbserve_runs_done_total",
+			"runs that reached status done"),
+		runsFailed: r.Counter("lbserve_runs_failed_total",
+			"runs that reached status failed (bind failures, archive I/O, mismatches)"),
+		runsCanceled: r.Counter("lbserve_runs_canceled_total",
+			"runs that reached status canceled (client DELETE or server drain)"),
+
+		cacheHits: r.Counter("lbserve_cache_hits_total",
+			"POSTs of an archived fingerprint served terminally from the archive, no execution"),
+		cacheMisses: r.Counter("lbserve_cache_misses_total",
+			"POSTs whose fingerprint had no archived result"),
+		cacheVerifies: r.Counter("lbserve_cache_verifies_total",
+			"archived-fingerprint POSTs re-executed by cache_mode=verify sampling"),
+		dedupFollowers: r.Counter("lbserve_dedup_followers_total",
+			"POSTs deduplicated onto an in-flight execution of the same fingerprint"),
+		archiveMismatches: r.Counter("lbserve_archive_mismatches_total",
+			"re-executions whose result diverged from the archived bytes — the regression signal"),
+
+		admissionRejected: r.Counter("lbserve_admission_rejected_total",
+			"POSTs rejected by admission control (size caps) before binding"),
+		streamsServed: r.Counter("lbserve_streams_served_total",
+			"stream re-executions started"),
+		streamsRejected: r.Counter("lbserve_streams_rejected_total",
+			"stream requests answered 503 by the concurrency cap"),
+
+		queueDepth: r.Gauge("lbserve_queue_depth",
+			"accepted runs waiting for an executor slot"),
+		executorsBusy: r.Gauge("lbserve_executors_busy",
+			"executor slots currently running a sweep"),
+		streamsActive: r.Gauge("lbserve_streams_active",
+			"stream re-executions currently serving a consumer"),
+
+		queueSeconds: r.Histogram("lbserve_queue_seconds",
+			"time from acceptance to executor-slot acquisition", metrics.DefBuckets),
+		runSeconds: r.Histogram("lbserve_run_seconds",
+			"executor wall time per run (slot acquisition to terminal status)", metrics.DefBuckets),
+		hitSeconds: r.Histogram("lbserve_cache_hit_seconds",
+			"POST-to-terminal latency of cache hits", hitLatencyBuckets),
+	}
+}

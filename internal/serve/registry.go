@@ -53,7 +53,7 @@ type run struct {
 	finished   time.Time
 	failures   int
 	errMsg     string
-	archive    string // "created" | "verified" | "" (disabled or not archived)
+	archive    string // "created" | "verified" | "hit" | "" (disabled or not archived)
 	resultJSON []byte
 	done       chan struct{}
 }
@@ -127,6 +127,15 @@ func (r *run) snapshot() (status RunStatus, resultJSON []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.status, r.resultJSON
+}
+
+// terminalState returns the fields a single-flight follower copies from its
+// leader. Callers must have observed the done channel close, so the state
+// is final.
+func (r *run) terminalState() (status RunStatus, resultJSON []byte, failures int, errMsg string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status, r.resultJSON, r.failures, r.errMsg
 }
 
 // registry is the concurrent run table: insertion-ordered, ID-addressed,

@@ -34,7 +34,10 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"detlb/internal/analysis"
 	"detlb/internal/scenario"
@@ -77,6 +80,19 @@ type Config struct {
 	// multiply the work the POST-side semaphore exists to bound. Excess
 	// stream requests answer 503. 0 means 8.
 	MaxConcurrentStreams int
+	// StreamRetryAfter is the Retry-After hint (seconds) on stream 503s.
+	// 0 means 1.
+	StreamRetryAfter int
+	// CacheMode selects the memoized serving tier's POST behavior: CacheOn
+	// (the default — archived fingerprints are admitted as terminal
+	// cache-hit runs, no execution), CacheVerify (a sampled fraction of
+	// hits re-executes and enforces the bit-identical-replay contract), or
+	// CacheOff (every POST executes, the pre-cache behavior). See cache.go.
+	CacheMode string
+	// CacheVerifyEvery is CacheVerify's sampling period: every Nth hit
+	// (the first always) re-executes. 0 means 1 — every hit re-executes,
+	// which makes verify mode exactly the old always-replay behavior.
+	CacheVerifyEvery int
 	// SweepWorkers bounds each run's group-level concurrency
 	// (analysis.SweepOptions.Workers); 0 selects GOMAXPROCS.
 	SweepWorkers int
@@ -97,6 +113,7 @@ type Server struct {
 	streamSem chan struct{}
 	mux       *http.ServeMux
 	log       *log.Logger
+	metrics   *serverMetrics
 
 	// baseCtx parents every run's context; cancelAll is the drain hammer —
 	// canceling it stops every queued and in-flight run within one round.
@@ -106,8 +123,21 @@ type Server struct {
 
 	// acceptMu makes run acceptance atomic with Close: a run is either
 	// registered in the runGroup before Close starts waiting, or rejected.
+	// It also guards flights, so the single-flight decision (join the
+	// in-flight leader or become one) is atomic with acceptance.
 	acceptMu sync.Mutex
 	closed   bool
+	// flights maps each in-flight execution's fingerprint to its leader
+	// run while the cache is enabled; concurrent POSTs of the same
+	// fingerprint join as followers instead of executing (cache.go).
+	flights map[string]*run
+
+	// verifySeq orders verify-mode cache hits for deterministic sampling.
+	verifySeq atomic.Uint64
+	// hitMu guards hitFailureMemo, the per-digest failure counts cache
+	// hits report without re-parsing the archived result document.
+	hitMu          sync.Mutex
+	hitFailureMemo map[string]int
 }
 
 // runGroup is a WaitGroup whose wait honors a context, so Drain can give up
@@ -177,6 +207,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrentStreams <= 0 {
 		cfg.MaxConcurrentStreams = 8
 	}
+	if cfg.StreamRetryAfter <= 0 {
+		cfg.StreamRetryAfter = 1
+	}
+	mode, err := normalizeCacheMode(cfg.CacheMode)
+	if err != nil {
+		return nil, err
+	}
+	cfg.CacheMode = mode
+	if cfg.CacheVerifyEvery <= 0 {
+		cfg.CacheVerifyEvery = 1
+	}
 	logger := cfg.Log
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
@@ -191,15 +232,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
-		cfg:       cfg,
-		archive:   arch,
-		reg:       newRegistry(cfg.MaxRetainedRuns),
-		sem:       make(chan struct{}, cfg.MaxConcurrentRuns),
-		streamSem: make(chan struct{}, cfg.MaxConcurrentStreams),
-		mux:       http.NewServeMux(),
-		log:       logger,
-		baseCtx:   ctx,
-		cancelAll: cancel,
+		cfg:            cfg,
+		archive:        arch,
+		reg:            newRegistry(cfg.MaxRetainedRuns),
+		sem:            make(chan struct{}, cfg.MaxConcurrentRuns),
+		streamSem:      make(chan struct{}, cfg.MaxConcurrentStreams),
+		mux:            http.NewServeMux(),
+		log:            logger,
+		metrics:        newServerMetrics(),
+		baseCtx:        ctx,
+		cancelAll:      cancel,
+		flights:        map[string]*run{},
+		hitFailureMemo: map[string]int{},
 	}
 	s.routes()
 	return s, nil
@@ -207,6 +251,8 @@ func New(cfg Config) (*Server, error) {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", s.metrics.registry.Handler())
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("POST /v1/runs", s.handleCreateRun)
 	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
@@ -250,6 +296,58 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// streamBusyBody is the 503 payload on a saturated stream table.
+type streamBusyBody struct {
+	Error         string `json:"error"`
+	ActiveStreams int    `json:"active_streams"`
+	MaxStreams    int    `json:"max_streams"`
+	RetryAfter    int    `json:"retry_after_seconds"`
+}
+
+// infoBody is the GET /v1/info payload: the daemon's capability surface —
+// cache mode, archive size, and the admission caps a client must stay under.
+type infoBody struct {
+	ScenarioVersion  int    `json:"scenario_version"`
+	ResultVersion    int    `json:"result_version"`
+	CacheMode        string `json:"cache_mode"`
+	CacheVerifyEvery int    `json:"cache_verify_every"`
+	ArchiveEnabled   bool   `json:"archive_enabled"`
+	ArchiveEntries   int    `json:"archive_entries"`
+
+	MaxConcurrentRuns    int   `json:"max_concurrent_runs"`
+	MaxConcurrentStreams int   `json:"max_concurrent_streams"`
+	MaxRetainedRuns      int   `json:"max_retained_runs"`
+	MaxGraphArcs         int64 `json:"max_graph_arcs"`
+	MaxCells             int   `json:"max_cells"`
+	MaxRunRounds         int   `json:"max_run_rounds"`
+	MaxTopologyParts     int   `json:"max_topology_parts"`
+	MaxScenarioBytes     int   `json:"max_scenario_bytes"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	info := infoBody{
+		ScenarioVersion:      scenario.Version,
+		ResultVersion:        resultVersion,
+		CacheMode:            s.cfg.CacheMode,
+		CacheVerifyEvery:     s.cfg.CacheVerifyEvery,
+		MaxConcurrentRuns:    s.cfg.MaxConcurrentRuns,
+		MaxConcurrentStreams: s.cfg.MaxConcurrentStreams,
+		MaxRetainedRuns:      s.cfg.MaxRetainedRuns,
+		MaxGraphArcs:         s.cfg.MaxGraphArcs,
+		MaxCells:             s.cfg.MaxCells,
+		MaxRunRounds:         s.cfg.MaxRunRounds,
+		MaxTopologyParts:     s.cfg.MaxTopologyParts,
+		MaxScenarioBytes:     maxScenarioBytes,
+	}
+	if s.archive != nil {
+		info.ArchiveEnabled = true
+		if n, err := s.archive.Len(); err == nil {
+			info.ArchiveEntries = n
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
 func (s *Server) handlePresets(w http.ResponseWriter, _ *http.Request) {
 	type preset struct {
 		Name        string `json:"name"`
@@ -263,9 +361,16 @@ func (s *Server) handlePresets(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleCreateRun accepts a scenario JSON body (the docs/scenarios.md family
-// format) or ?preset=<name>, binds it eagerly — an unbindable scenario is a
-// 400 now, not a failed run later — and enqueues the canonical execution.
+// format) or ?preset=<name> and fingerprints it before binding: the digest is
+// the memoization key, so a POST of an archived scenario resolves to a
+// terminal cache-hit run without constructing a single graph (see cache.go).
+// On a miss the family binds eagerly — an unbindable scenario is a 400 now,
+// not a failed run later — and enqueues the canonical execution, unless an
+// execution of the same fingerprint is already in flight, in which case the
+// run joins it as a deduplicated follower.
 func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
+	//detcheck:allow wallclock cache-hit latency telemetry for the /metrics histogram; never enters a result document
+	start := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxScenarioBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -304,8 +409,44 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	// size caps must be enforced on the descriptors alone or a hostile body
 	// OOMs the daemon right here on the handler goroutine.
 	if err := s.admit(fam); err != nil {
+		s.metrics.admissionRejected.Inc()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	// Fingerprint before binding: the digest is the cache key, and a hit
+	// must not pay for graph construction it will never use.
+	digest, canonical, err := fam.Fingerprint()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.cacheEnabled() && s.archive != nil {
+		if resultJSON, lookupErr := s.archive.GetResult(digest); lookupErr == nil {
+			if s.cfg.CacheMode == CacheVerify && s.verifyDue() {
+				// This hit is in the verification sample: fall through to a
+				// full execution, whose Archive.Put enforces the
+				// bit-identical-replay contract against the stored entry.
+				s.metrics.cacheVerifies.Inc()
+			} else {
+				// Expanded (not bound) cells keep the run listable and
+				// streamable; streams bind their own instances per consumer.
+				cells := fam.Scenarios()
+				s.acceptMu.Lock()
+				if s.closed {
+					s.acceptMu.Unlock()
+					writeError(w, http.StatusServiceUnavailable, "server is draining")
+					return
+				}
+				run := s.reg.create(s.baseCtx, fam, cells, digest, canonical)
+				s.acceptMu.Unlock()
+				s.metrics.runsAccepted.Inc()
+				s.serveCacheHit(run, resultJSON, start)
+				writeJSON(w, http.StatusAccepted, run.summary())
+				return
+			}
+		} else if errors.Is(lookupErr, ErrNotArchived) {
+			s.metrics.cacheMisses.Inc()
+		}
 	}
 	// Bind eagerly to validate every cell; the bound instances are discarded
 	// — each execution (canonical or stream) rebinds its own, so engines and
@@ -319,11 +460,6 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty family: no cells to run")
 		return
 	}
-	digest, canonical, err := fam.Fingerprint()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
 	s.acceptMu.Lock()
 	if s.closed {
 		s.acceptMu.Unlock()
@@ -332,7 +468,23 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	}
 	run := s.reg.create(s.baseCtx, fam, cells, digest, canonical)
 	s.runs.add(1)
+	if s.cacheEnabled() {
+		if leader, ok := s.flights[digest]; ok {
+			// Single-flight dedup: an execution of this fingerprint is
+			// already in flight — join it instead of starting another.
+			s.acceptMu.Unlock()
+			s.metrics.runsAccepted.Inc()
+			s.metrics.dedupFollowers.Inc()
+			go s.follow(run, leader)
+			s.log.Printf("run %s deduplicated onto in-flight %s: scenario %s", run.id, leader.id, digest[:12])
+			writeJSON(w, http.StatusAccepted, run.summary())
+			return
+		}
+		s.flights[digest] = run
+	}
 	s.acceptMu.Unlock()
+	s.metrics.runsAccepted.Inc()
+	s.metrics.queueDepth.Inc()
 	go s.execute(run)
 	s.log.Printf("run %s accepted: %d cells, scenario %s", run.id, len(cells), digest[:12])
 	writeJSON(w, http.StatusAccepted, run.summary())
@@ -417,13 +569,26 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Each stream is a full re-execution: bound like any other work. A full
-	// table answers 503 immediately rather than queueing invisible load.
+	// table answers 503 immediately rather than queueing invisible load,
+	// reporting its occupancy and a tunable Retry-After so clients can back
+	// off proportionally instead of hammering a saturated daemon.
 	select {
 	case s.streamSem <- struct{}{}:
-		defer func() { <-s.streamSem }()
+		s.metrics.streamsServed.Inc()
+		s.metrics.streamsActive.Inc()
+		defer func() {
+			s.metrics.streamsActive.Dec()
+			<-s.streamSem
+		}()
 	default:
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "too many concurrent streams")
+		s.metrics.streamsRejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.StreamRetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, streamBusyBody{
+			Error:         "too many concurrent streams",
+			ActiveStreams: len(s.streamSem),
+			MaxStreams:    cap(s.streamSem),
+			RetryAfter:    s.cfg.StreamRetryAfter,
+		})
 		return
 	}
 	// The stream's context dies with the client or with the server's drain,
@@ -585,6 +750,10 @@ func (s *Server) admit(fam *scenario.Family) error {
 // on the sweep harness with its engine-reuse grouping intact.
 func (s *Server) execute(run *run) {
 	defer s.runs.done()
+	// Clear this execution's single-flight slot so later POSTs of the same
+	// fingerprint start fresh (or hit the archive) instead of following a
+	// terminal leader.
+	defer s.removeFlight(run)
 	// Release the run's context from baseCtx's children once it is over —
 	// without this every completed run would stay registered on the server
 	// context for the daemon's lifetime.
@@ -592,22 +761,37 @@ func (s *Server) execute(run *run) {
 	select {
 	case s.sem <- struct{}{}:
 	case <-run.ctx.Done():
+		s.metrics.queueDepth.Dec()
 		run.finish(StatusCanceled, nil, 0, "", cancelMsg(run.ctx))
+		s.metrics.runsCanceled.Inc()
 		s.log.Printf("run %s canceled while queued", run.id)
 		return
 	}
 	defer func() { <-s.sem }()
+	s.metrics.queueDepth.Dec()
+	s.metrics.executorsBusy.Inc()
+	defer s.metrics.executorsBusy.Dec()
+	s.metrics.runsExecuted.Inc()
+	//detcheck:allow wallclock executor latency telemetry for the /metrics histograms; never enters a result document
+	slotAt := time.Now()
+	s.metrics.queueSeconds.Observe(slotAt.Sub(run.created).Seconds())
+	defer func() {
+		//detcheck:allow wallclock executor latency telemetry for the /metrics histograms; never enters a result document
+		s.metrics.runSeconds.Observe(time.Since(slotAt).Seconds())
+	}()
 
 	run.setRunning()
 	specs, err := scenario.BindScenarios(run.cells)
 	if err != nil {
 		// Unreachable in practice: the family bound once at POST time.
 		run.finish(StatusFailed, nil, 0, "", err.Error())
+		s.metrics.runsFailed.Inc()
 		return
 	}
 	results := analysis.SweepContext(run.ctx, specs, analysis.SweepOptions{Workers: s.cfg.SweepWorkers})
 	if sweepCanceled(run.ctx, results) {
 		run.finish(StatusCanceled, nil, 0, "", cancelMsg(run.ctx))
+		s.metrics.runsCanceled.Inc()
 		s.log.Printf("run %s canceled", run.id)
 		return
 	}
@@ -624,6 +808,7 @@ func (s *Server) execute(run *run) {
 	resultJSON, failures, err := buildResultDoc(run.family.Name, run.digest, metas, specs, results)
 	if err != nil {
 		run.finish(StatusFailed, nil, failures, "", err.Error())
+		s.metrics.runsFailed.Inc()
 		return
 	}
 	archived := ""
@@ -637,17 +822,24 @@ func (s *Server) execute(run *run) {
 			// Keep the divergent document: it is the evidence of the
 			// regression, served with 409 by the result endpoint.
 			run.finish(StatusFailed, resultJSON, failures, "", err.Error())
+			s.metrics.runsFailed.Inc()
+			s.metrics.archiveMismatches.Inc()
 			s.log.Printf("run %s: ARCHIVE MISMATCH: %v", run.id, err)
 			return
 		case PutError:
 			// An I/O failure, not a reproducibility signal: fail the run
 			// plainly — its archived-result contract cannot be honored.
 			run.finish(StatusFailed, nil, failures, "", err.Error())
+			s.metrics.runsFailed.Inc()
 			s.log.Printf("run %s: archive write failed: %v", run.id, err)
 			return
 		}
+		// Seed the failure-count memo so the digest's future cache hits
+		// never re-parse the result document.
+		s.recordHitFailures(run.digest, failures)
 	}
 	run.finish(StatusDone, resultJSON, failures, archived, "")
+	s.metrics.runsDone.Inc()
 	s.log.Printf("run %s done: %d cells, %d failures, archive %s",
 		run.id, len(run.cells), failures, orDash(archived))
 }

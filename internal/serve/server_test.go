@@ -452,7 +452,7 @@ func TestPresetRunAndSSE(t *testing.T) {
 // fault records with recovery metrics, the SSE stream carries fault-marked
 // snapshot frames, and the archived scenario replays bit-identically.
 func TestFaultedPresetRunSSEAndArchiveReplay(t *testing.T) {
-	_, ts := newTestServer(t, Config{ArchiveDir: t.TempDir()})
+	_, ts := newTestServer(t, Config{ArchiveDir: t.TempDir(), CacheMode: CacheVerify})
 	resp, err := http.Post(ts.URL+"/v1/runs?preset=link-failure-recovery", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -563,7 +563,7 @@ func TestFaultedPresetRunSSEAndArchiveReplay(t *testing.T) {
 // vector — runs to completion, the protocol cell's record carries its metric
 // name, and the archived scenario replays bit-identically.
 func TestProtocolPresetRunAndArchiveReplay(t *testing.T) {
-	_, ts := newTestServer(t, Config{ArchiveDir: t.TempDir()})
+	_, ts := newTestServer(t, Config{ArchiveDir: t.TempDir(), CacheMode: CacheVerify})
 	resp, err := http.Post(ts.URL+"/v1/runs?preset=majority-vs-rotor", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -648,7 +648,7 @@ func TestProtocolPresetRunAndArchiveReplay(t *testing.T) {
 // archived result bit-identically (run state "verified").
 func TestArchiveRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	_, ts := newTestServer(t, Config{ArchiveDir: dir})
+	_, ts := newTestServer(t, Config{ArchiveDir: dir, CacheMode: CacheVerify})
 	fam := testFamily(t)
 	sum := postScenario(t, ts.URL, fam)
 	code, r1 := waitResult(t, ts.URL, sum.ID)
@@ -725,7 +725,9 @@ func TestArchiveMismatchFailsRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, ts := newTestServer(t, Config{ArchiveDir: dir})
+	// Verify mode: the archived entry is stale, so serving it as a hit would
+	// hide the regression — the sampled re-execution must catch it instead.
+	_, ts := newTestServer(t, Config{ArchiveDir: dir, CacheMode: CacheVerify})
 	sum := postScenario(t, ts.URL, fam)
 	code, body := waitResult(t, ts.URL, sum.ID)
 	if code != http.StatusConflict {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the engine micro-benchmarks and record the perf trajectory.
 #
-# Records four files (by default at the repo root; -o redirects them, so CI
+# Records six files (by default at the repo root; -o redirects them, so CI
 # runners never need a writable checkout):
 #
 #   BENCH_step.json    — the BenchmarkStep* hot-path benchmarks plus the
@@ -17,7 +17,11 @@
 #                        fault-injected run);
 #   BENCH_protocol.json — the BenchmarkProtocol* population-protocol
 #                        benchmarks (majority and Herman rounds, plus a full
-#                        time-to-consensus run through the harness).
+#                        time-to-consensus run through the harness);
+#   BENCH_serve.json   — the BenchmarkServe* serving-tier benchmarks
+#                        (cache-hit vs cold POST latency over HTTP on the
+#                        expander-headline preset, plus the sustained
+#                        hit-serving throughput in runs/sec).
 #
 # Each run uses -benchmem -count=$COUNT. The "baseline" section of an
 # existing output file is preserved across runs so future PRs always compare
@@ -133,3 +137,6 @@ record 'BenchmarkTopology' BENCH_topology.json \
 
 record 'BenchmarkProtocol' BENCH_protocol.json \
   "population-protocol numbers: MajorityStep is one well-mixed round (n pairwise interactions, 1024 agents) and HermanStep one ring round (coin flips + XOR merge on the kernel, 1025 nodes) — both must stay 0 allocs/op; MajorityRun is a full 256-agent time-to-consensus run through the harness (model construction + per-round metric + target stop)."
+
+record 'BenchmarkServe' BENCH_serve.json \
+  "serving-tier numbers over real HTTP: CacheHitExpander is a POST of the archived expander-headline preset answered terminally from the archive (one file read, no binding); ColdExpander is the same preset with -cache off (full 9-cell sweep per POST) — the hit/cold ns_op ratio is the memoization speedup and must stay >= 50x; SustainedHitBurst is concurrent clients on a warmed 4-preset mix, runs_per_sec_max its throughput."

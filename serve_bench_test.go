@@ -1,0 +1,143 @@
+package detlb_test
+
+// Serving-tier benchmarks: the memoized run cache's headline numbers. The
+// cache-hit path answers a POST of an archived fingerprint from one file
+// read — no binding, no execution — so its latency must sit orders of
+// magnitude below a cold execution of the same scenario; the sustained
+// burst reports the hit-serving throughput as runs/sec. All three go over
+// real HTTP (httptest) so the measured latency is what an lbserve client
+// sees. scripts/bench.sh records them into BENCH_serve.json.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"detlb/internal/scenario"
+	"detlb/internal/serve"
+)
+
+// benchServer boots a serving tier over httptest with the given cache mode.
+func benchServer(b *testing.B, mode string) (*serve.Server, *httptest.Server) {
+	b.Helper()
+	srv, err := serve.New(serve.Config{ArchiveDir: b.TempDir(), CacheMode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	b.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// presetBody returns a preset's canonical scenario bytes.
+func presetBody(b *testing.B, name string) []byte {
+	b.Helper()
+	fam, err := scenario.Preset(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := fam.Canonical()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+// postTerminal POSTs a scenario and blocks until the run is terminal,
+// returning its summary.
+func postTerminal(b *testing.B, base string, body []byte) serve.RunSummary {
+	b.Helper()
+	sum := postOnce(b, base, body)
+	resp, err := http.Get(base + "/v1/runs/" + sum.ID + "/result?wait=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("result: %d", resp.StatusCode)
+	}
+	return sum
+}
+
+func postOnce(b *testing.B, base string, body []byte) serve.RunSummary {
+	b.Helper()
+	resp, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("POST: %d: %s", resp.StatusCode, data)
+	}
+	var sum serve.RunSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		b.Fatal(err)
+	}
+	return sum
+}
+
+// BenchmarkServeCacheHitExpander: POST-to-terminal latency of a cache hit on
+// the expander-headline preset (9 cells, the paper's headline sweep). The
+// archive is warmed once; every iteration is a full HTTP POST whose response
+// is already the terminal hit.
+func BenchmarkServeCacheHitExpander(b *testing.B) {
+	_, ts := benchServer(b, serve.CacheOn)
+	body := presetBody(b, "expander-headline")
+	postTerminal(b, ts.URL, body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := postOnce(b, ts.URL, body)
+		if sum.Status != serve.StatusDone || sum.Archive != "hit" {
+			b.Fatalf("not a cache hit: %+v", sum)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+}
+
+// BenchmarkServeColdExpander: the same preset with the cache off — every
+// iteration executes the full 9-cell sweep. The hit/cold ratio between this
+// and BenchmarkServeCacheHitExpander is the memoization speedup.
+func BenchmarkServeColdExpander(b *testing.B) {
+	_, ts := benchServer(b, serve.CacheOff)
+	body := presetBody(b, "expander-headline")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postTerminal(b, ts.URL, body)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+}
+
+// BenchmarkServeSustainedHitBurst: concurrent clients hammering a warmed
+// 4-scenario mix — the sustained hit-serving throughput in runs/sec.
+func BenchmarkServeSustainedHitBurst(b *testing.B) {
+	_, ts := benchServer(b, serve.CacheOn)
+	var bodies [][]byte
+	for _, name := range []string{"expander-headline", "shock-recovery", "majority-vs-rotor", "link-failure-recovery"} {
+		body := presetBody(b, name)
+		postTerminal(b, ts.URL, body)
+		bodies = append(bodies, body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			sum := postOnce(b, ts.URL, bodies[i%len(bodies)])
+			if sum.Status != serve.StatusDone {
+				b.Fatalf("not terminal: %+v", sum)
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+}
