@@ -3,6 +3,7 @@ package detlb
 import (
 	"detlb/internal/actor"
 	"detlb/internal/analysis"
+	"detlb/internal/archive"
 	"detlb/internal/balancer"
 	"detlb/internal/core"
 	"detlb/internal/graph"
@@ -330,17 +331,71 @@ type (
 	ServeConfig = serve.Config
 	// ServedRun summarizes one submitted run's lifecycle.
 	ServedRun = serve.RunSummary
-	// RunArchive is the content-addressed result store.
-	RunArchive = serve.Archive
-	// RunArchiveEntry summarizes one archived run.
-	RunArchiveEntry = serve.ArchiveEntry
 )
 
 var (
 	// NewServer builds the serving layer.
 	NewServer = serve.New
 	// OpenRunArchive opens (creating) a content-addressed result archive.
-	OpenRunArchive = serve.OpenArchive
+	// Kept as a thin alias of archive.Open for pre-analytics callers.
+	OpenRunArchive = archive.Open
+)
+
+// Archive analytics (internal/archive): the content-addressed result store
+// promoted to a first-class package, with a queryable index over archived
+// cells, a typed filter/project/aggregate query grammar, and cell-by-cell
+// diffs between entries. cmd/lbquery and lbserve's /v1/archive endpoints
+// are both thin faces over these types, so offline and remote output are
+// byte-identical for the same archive state.
+type (
+	// RunArchive is the content-addressed result store (the concrete
+	// directory-backed implementation of ArchiveStore).
+	RunArchive = archive.Store
+	// ArchiveStore is the storage interface the serving tier consumes.
+	ArchiveStore = archive.Archive
+	// RunArchiveEntry summarizes one archived run.
+	RunArchiveEntry = archive.Entry
+	// ArchiveIndex is the queryable per-cell metadata index over a store.
+	ArchiveIndex = archive.Index
+	// ArchiveQuery is a compiled filter/project/aggregate query.
+	ArchiveQuery = archive.Query
+	// ArchiveQuerySpec is the textual form of a query (the CLI/URL grammar).
+	ArchiveQuerySpec = archive.QuerySpec
+	// ArchiveFilter is one where-clause of a query.
+	ArchiveFilter = archive.Filter
+	// ArchiveAgg is one aggregate term of a grouped query.
+	ArchiveAgg = archive.Agg
+	// ArchiveQueryResult is a query's tabular result.
+	ArchiveQueryResult = archive.Result
+	// ArchiveDiffReport aligns two archived entries cell-by-cell.
+	ArchiveDiffReport = archive.DiffReport
+	// ArchiveCellDiff is one differing aligned cell pair in a diff report.
+	ArchiveCellDiff = archive.CellDiff
+	// ArchiveResultDoc is the archived result document for one entry.
+	ArchiveResultDoc = archive.ResultDoc
+	// ArchiveCellResult is one cell's archived result record.
+	ArchiveCellResult = archive.CellResult
+)
+
+var (
+	// OpenArchive opens (creating) a content-addressed result archive.
+	OpenArchive = archive.Open
+	// NewArchiveIndex builds a queryable index over an archive store.
+	NewArchiveIndex = archive.NewIndex
+	// ParseArchiveQuery compiles the textual query grammar.
+	ParseArchiveQuery = archive.ParseQuerySpec
+)
+
+// Sentinel errors of the archive package, matchable with errors.Is.
+var (
+	// ErrArchiveNotFound marks a digest with no complete archive entry.
+	ErrArchiveNotFound = archive.ErrNotFound
+	// ErrArchiveMismatch marks a Put whose result bytes diverged from the
+	// archived ones — the bit-identical-replay regression signal.
+	ErrArchiveMismatch = archive.ErrMismatch
+	// ErrArchiveCorrupt marks an entry whose on-disk documents fail to
+	// parse or contradict their digest.
+	ErrArchiveCorrupt = archive.ErrCorrupt
 )
 
 // Run-cache modes for ServeConfig.CacheMode: runs are pure functions of

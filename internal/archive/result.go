@@ -1,10 +1,11 @@
-package serve
+package archive
 
 import (
 	"encoding/json"
 	"fmt"
 
 	"detlb/internal/analysis"
+	"detlb/internal/scenario"
 	"detlb/internal/trace"
 )
 
@@ -13,6 +14,10 @@ import (
 // of the canonical scenario — no wall-clock times, no host details — so
 // re-executing an archived scenario must reproduce the document
 // bit-identically; that byte equality is the archive's regression contract.
+// Field names come from the internal/columns registry (pinned by test);
+// the encoding is json.MarshalIndent with two-space indent plus a trailing
+// newline, and must never change — it is what the digests' bytes are
+// compared against.
 
 // ShockResult is the wire form of one analysis.Shock.
 type ShockResult struct {
@@ -85,19 +90,19 @@ type ResultDoc struct {
 	Cells   []CellResult `json:"cells"`
 }
 
-// resultVersion is the result document format version.
-const resultVersion = 1
+// ResultVersion is the result document format version.
+const ResultVersion = 1
 
-// cellResult folds one cell's spec and result into its wire record. The
-// graph label is the canonical descriptor string (not Balancing.Name()), so
+// CellResultOf folds one cell's spec and result into its wire record. The
+// labels are the canonical descriptor columns (not Balancing.Name()), so
 // the document is recomputable from the scenario alone.
-func cellResult(spec analysis.RunSpec, res analysis.RunResult, graph, algo, workload, schedule, topology string) CellResult {
+func CellResultOf(spec analysis.RunSpec, res analysis.RunResult, cols scenario.CellColumns) CellResult {
 	c := CellResult{
-		Graph:    graph,
-		Algo:     algo,
-		Workload: workload,
-		Schedule: displaySchedule(schedule),
-		Topology: displaySchedule(topology),
+		Graph:    cols.Graph,
+		Algo:     cols.Algo,
+		Workload: cols.Workload,
+		Schedule: cols.Schedule,
+		Topology: cols.Topology,
 		Metric:   res.Metric,
 
 		Gap:           res.Gap,
@@ -154,41 +159,24 @@ func cellResult(spec analysis.RunSpec, res analysis.RunResult, graph, algo, work
 	return c
 }
 
-// buildResultDoc assembles and encodes the document. failures counts cells
+// BuildResultDoc assembles and encodes the document. failures counts cells
 // whose result carries an error.
-func buildResultDoc(name, digest string, cells []cellMeta, specs []analysis.RunSpec, results []analysis.RunResult) (doc []byte, failures int, err error) {
+func BuildResultDoc(name, digest string, cells []scenario.CellColumns, specs []analysis.RunSpec, results []analysis.RunResult) (doc []byte, failures int, err error) {
 	d := ResultDoc{
-		Version: resultVersion,
+		Version: ResultVersion,
 		Name:    name,
 		Digest:  digest,
 		Cells:   make([]CellResult, len(results)),
 	}
 	for i, res := range results {
-		m := cells[i]
-		d.Cells[i] = cellResult(specs[i], res, m.graph, m.algo, m.workload, m.schedule, m.topology)
+		d.Cells[i] = CellResultOf(specs[i], res, cells[i])
 		if res.Err != nil {
 			failures++
 		}
 	}
 	data, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
-		return nil, failures, fmt.Errorf("serve: encode result: %w", err)
+		return nil, failures, fmt.Errorf("archive: encode result: %w", err)
 	}
 	return append(data, '\n'), failures, nil
-}
-
-// cellMeta carries one cell's canonical descriptor labels.
-type cellMeta struct {
-	graph, algo, workload, schedule, topology string
-}
-
-// displaySchedule blanks the grammar's "none" (schedules and topologies
-// alike): descriptors render a static run explicitly, wire records leave the
-// field absent. Every wire surface (cell events, result records) goes through
-// this one normalization.
-func displaySchedule(s string) string {
-	if s == "none" {
-		return ""
-	}
-	return s
 }

@@ -1,4 +1,4 @@
-package serve
+package archive
 
 import (
 	"bytes"
@@ -26,23 +26,22 @@ func archiveFixture(t *testing.T) (digest string, canonical []byte) {
 	return digest, canonical
 }
 
-func TestArchivePutGetList(t *testing.T) {
-	arch, err := OpenArchive(t.TempDir())
+func TestStorePutGetList(t *testing.T) {
+	arch, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	digest, canonical := archiveFixture(t)
 	result := []byte("{\"version\":1,\"digest\":\"" + digest + "\",\"cells\":[]}\n")
 
-	if status, err := arch.Put(digest, canonical, result); err != nil || status != PutCreated {
-		t.Fatalf("first put: %v %v", status, err)
+	if outcome, err := arch.Put(digest, canonical, result); err != nil || outcome != PutCreated {
+		t.Fatalf("first put: %v %v", outcome, err)
 	}
-	if status, err := arch.Put(digest, canonical, result); err != nil || status != PutVerified {
-		t.Fatalf("identical re-put: %v %v", status, err)
+	if outcome, err := arch.Put(digest, canonical, result); err != nil || outcome != PutVerified {
+		t.Fatalf("identical re-put: %v %v", outcome, err)
 	}
-	status, err := arch.Put(digest, canonical, []byte("different\n"))
-	if status != PutMismatch || err == nil || !strings.Contains(err.Error(), "differs") {
-		t.Fatalf("mismatch put: %v %v", status, err)
+	if _, err := arch.Put(digest, canonical, []byte("different\n")); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("mismatch put must wrap ErrMismatch, got %v", err)
 	}
 	// The mismatch must not have clobbered the archived truth.
 	gotScenario, gotResult, err := arch.Get(digest)
@@ -62,22 +61,22 @@ func TestArchivePutGetList(t *testing.T) {
 	}
 }
 
-func TestArchiveGetMissing(t *testing.T) {
-	arch, err := OpenArchive(t.TempDir())
+func TestStoreGetMissing(t *testing.T) {
+	arch, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	digest, _ := archiveFixture(t)
-	if _, _, err := arch.Get(digest); !errors.Is(err, ErrNotArchived) {
+	if _, _, err := arch.Get(digest); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing entry: %v", err)
 	}
-	if _, _, err := arch.Get("../sneaky"); !errors.Is(err, ErrNotArchived) {
-		t.Fatalf("invalid digest must read as not-archived, got %v", err)
+	if _, _, err := arch.Get("../sneaky"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("invalid digest must read as not-found, got %v", err)
 	}
 }
 
-func TestArchiveRejectsBadDigest(t *testing.T) {
-	arch, err := OpenArchive(t.TempDir())
+func TestStoreRejectsBadDigest(t *testing.T) {
+	arch, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,13 +85,13 @@ func TestArchiveRejectsBadDigest(t *testing.T) {
 	}
 }
 
-// TestArchiveListCache: Put populates the listing metadata cache and List
+// TestStoreListCache: Put populates the listing metadata cache and List
 // fills it lazily for entries that predate the process, after which listings
 // never re-read an entry's scenario — entries are immutable, so the cache
 // cannot go stale.
-func TestArchiveListCache(t *testing.T) {
+func TestStoreListCache(t *testing.T) {
 	dir := t.TempDir()
-	arch, err := OpenArchive(dir)
+	arch, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +101,7 @@ func TestArchiveListCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Put cached the metadata: a listing must not need scenario.json anymore.
-	scenarioPath := filepath.Join(dir, digest, scenarioFile)
+	scenarioPath := filepath.Join(dir, digest, ScenarioFile)
 	if err := os.Remove(scenarioPath); err != nil {
 		t.Fatal(err)
 	}
@@ -114,13 +113,13 @@ func TestArchiveListCache(t *testing.T) {
 		t.Fatalf("put-warmed listing: %+v", entries)
 	}
 
-	// A cold process (fresh Archive on the same dir) has an empty cache: its
+	// A cold process (fresh Store on the same dir) has an empty cache: its
 	// first List parses the scenario and caches it, the next serves from
 	// memory.
 	if err := os.WriteFile(scenarioPath, canonical, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	cold, err := OpenArchive(dir)
+	cold, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,12 +134,12 @@ func TestArchiveListCache(t *testing.T) {
 	}
 }
 
-// TestArchiveConcurrentPutListLen: Puts of distinct digests racing List, Len,
+// TestStoreConcurrentPutListLen: Puts of distinct digests racing List, Len,
 // and GetResult must be data-race free (the meta cache is shared mutable
 // state) — the race detector is the real assertion; the final counts confirm
 // nothing was dropped.
-func TestArchiveConcurrentPutListLen(t *testing.T) {
-	arch, err := OpenArchive(t.TempDir())
+func TestStoreConcurrentPutListLen(t *testing.T) {
+	arch, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +166,7 @@ func TestArchiveConcurrentPutListLen(t *testing.T) {
 			}
 			// Reads racing the writes may or may not find the entry; only
 			// unexpected errors matter.
-			if _, err := arch.GetResult(fmt.Sprintf("%064x", w)); err != nil && !errors.Is(err, ErrNotArchived) {
+			if _, err := arch.GetResult(fmt.Sprintf("%064x", w)); err != nil && !errors.Is(err, ErrNotFound) {
 				t.Errorf("get result: %v", err)
 			}
 		}()
@@ -185,17 +184,17 @@ func TestArchiveConcurrentPutListLen(t *testing.T) {
 	}
 }
 
-// TestArchiveGetResultAndLen: the cache-hit fast path reads only result.json
+// TestStoreGetResultAndLen: the cache-hit fast path reads only result.json
 // and Len counts only complete entries.
-func TestArchiveGetResultAndLen(t *testing.T) {
+func TestStoreGetResultAndLen(t *testing.T) {
 	dir := t.TempDir()
-	arch, err := OpenArchive(dir)
+	arch, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	digest, canonical := archiveFixture(t)
 	result := []byte("{\"version\":1,\"cells\":[]}\n")
-	if _, err := arch.GetResult(digest); !errors.Is(err, ErrNotArchived) {
+	if _, err := arch.GetResult(digest); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing entry: %v", err)
 	}
 	if _, err := arch.Put(digest, canonical, result); err != nil {
@@ -210,7 +209,7 @@ func TestArchiveGetResultAndLen(t *testing.T) {
 	if err := os.MkdirAll(partial, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(partial, scenarioFile), canonical, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(partial, ScenarioFile), canonical, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if n, err := arch.Len(); err != nil || n != 1 {
@@ -218,11 +217,11 @@ func TestArchiveGetResultAndLen(t *testing.T) {
 	}
 }
 
-// TestArchiveListSkipsIncomplete: an entry without result.json (a crash
+// TestStoreListSkipsIncomplete: an entry without result.json (a crash
 // between the two writes) and foreign files are invisible to listings.
-func TestArchiveListSkipsIncomplete(t *testing.T) {
+func TestStoreListSkipsIncomplete(t *testing.T) {
 	dir := t.TempDir()
-	arch, err := OpenArchive(dir)
+	arch, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +230,7 @@ func TestArchiveListSkipsIncomplete(t *testing.T) {
 	if err := os.MkdirAll(partial, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(partial, scenarioFile), canonical, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(partial, ScenarioFile), canonical, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not an entry"), 0o644); err != nil {

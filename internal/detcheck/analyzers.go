@@ -10,9 +10,11 @@ package detcheck
 var DeterministicPackages = []string{"detlb/internal/"}
 
 // WirePackages hold the archive/snapshot wire surface: the archived result
-// documents (serve), the trajectory/snapshot records (trace), and the
+// documents and analytics records (archive), the run-summary records the
+// daemon serves (serve), the trajectory/snapshot records (trace), and the
 // scenario descriptors whose canonical bytes are the archive fingerprint.
 var WirePackages = []string{
+	"detlb/internal/archive",
 	"detlb/internal/serve",
 	"detlb/internal/trace",
 	"detlb/internal/scenario",

@@ -1,0 +1,42 @@
+package scenario
+
+// CellColumns are one expanded cell's canonical descriptor labels in their
+// wire rendering: the String() form of each component, with the text
+// grammar's "none" blanked for schedules and topologies (descriptors render
+// a static run explicitly; wire records leave the field absent), plus each
+// component's kind — the cross-family grouping axes of the archive index.
+// Every wire surface (stream cell events, result records, index rows)
+// derives its labels through Columns, so the normalization lives in exactly
+// one place.
+type CellColumns struct {
+	Graph        string
+	GraphKind    string
+	Algo         string
+	AlgoKind     string
+	Workload     string
+	WorkloadKind string
+	Schedule     string
+	Topology     string
+}
+
+// Columns extracts the scenario's descriptor columns.
+func (s Scenario) Columns() CellColumns {
+	return CellColumns{
+		Graph:        s.Graph.String(),
+		GraphKind:    s.Graph.Kind,
+		Algo:         s.Algo.String(),
+		AlgoKind:     s.Algo.Kind,
+		Workload:     s.Workload.String(),
+		WorkloadKind: s.Workload.Kind,
+		Schedule:     blankNone(s.Schedule.String()),
+		Topology:     blankNone(s.Topology.String()),
+	}
+}
+
+// blankNone maps the grammar's explicit "none" to the wire's absent field.
+func blankNone(s string) string {
+	if s == "none" {
+		return ""
+	}
+	return s
+}

@@ -34,6 +34,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"detlb/internal/archive"
 )
 
 // Cache modes for Config.CacheMode; the zero value means CacheOn.
@@ -109,7 +111,7 @@ func (s *Server) hitFailures(digest string, resultJSON []byte) int {
 	if ok {
 		return n
 	}
-	var doc ResultDoc
+	var doc archive.ResultDoc
 	if err := json.Unmarshal(resultJSON, &doc); err == nil {
 		for _, c := range doc.Cells {
 			if c.Err != "" {

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"detlb/internal/archive"
 )
 
 // metricValue scrapes GET /metrics and returns one metric's value. Missing
@@ -364,7 +366,7 @@ func TestInfoEndpoint(t *testing.T) {
 	if info.MaxConcurrentRuns != 4 || info.MaxConcurrentStreams != 8 || info.MaxCells != 4096 {
 		t.Fatalf("info caps: %+v", info)
 	}
-	if info.ScenarioVersion != 1 || info.ResultVersion != resultVersion {
+	if info.ScenarioVersion != 1 || info.ResultVersion != archive.ResultVersion {
 		t.Fatalf("info versions: %+v", info)
 	}
 }

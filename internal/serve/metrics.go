@@ -34,15 +34,21 @@ type serverMetrics struct {
 	streamsServed     *metrics.Counter
 	streamsRejected   *metrics.Counter
 
+	// The archive analytics endpoints.
+	archiveQueries *metrics.Counter
+	archiveDiffs   *metrics.Counter
+
 	// Live occupancy.
 	queueDepth    *metrics.Gauge
 	executorsBusy *metrics.Gauge
 	streamsActive *metrics.Gauge
+	indexRows     *metrics.Gauge
 
 	// Latency (seconds).
 	queueSeconds *metrics.Histogram
 	runSeconds   *metrics.Histogram
 	hitSeconds   *metrics.Histogram
+	querySeconds *metrics.Histogram
 }
 
 // hitLatencyBuckets resolve the cache-hit fast path, which lives orders of
@@ -86,12 +92,19 @@ func newServerMetrics() *serverMetrics {
 		streamsRejected: r.Counter("lbserve_streams_rejected_total",
 			"stream requests answered 503 by the concurrency cap"),
 
+		archiveQueries: r.Counter("lbserve_archive_queries_total",
+			"archive analytics queries evaluated (GET /v1/archive/query)"),
+		archiveDiffs: r.Counter("lbserve_archive_diffs_total",
+			"archive entry diffs evaluated (GET /v1/archive/diff)"),
+
 		queueDepth: r.Gauge("lbserve_queue_depth",
 			"accepted runs waiting for an executor slot"),
 		executorsBusy: r.Gauge("lbserve_executors_busy",
 			"executor slots currently running a sweep"),
 		streamsActive: r.Gauge("lbserve_streams_active",
 			"stream re-executions currently serving a consumer"),
+		indexRows: r.Gauge("lbserve_archive_index_rows",
+			"archived cells materialized in the analytics index"),
 
 		queueSeconds: r.Histogram("lbserve_queue_seconds",
 			"time from acceptance to executor-slot acquisition", metrics.DefBuckets),
@@ -99,5 +112,7 @@ func newServerMetrics() *serverMetrics {
 			"executor wall time per run (slot acquisition to terminal status)", metrics.DefBuckets),
 		hitSeconds: r.Histogram("lbserve_cache_hit_seconds",
 			"POST-to-terminal latency of cache hits", hitLatencyBuckets),
+		querySeconds: r.Histogram("lbserve_archive_query_seconds",
+			"archive analytics query latency (index refresh + evaluation)", hitLatencyBuckets),
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"detlb/internal/analysis"
+	"detlb/internal/archive"
 	"detlb/internal/scenario"
 )
 
@@ -106,8 +107,16 @@ const maxScenarioBytes = 1 << 20
 // Server is the serving layer: an http.Handler plus the executor pool behind
 // it. Create with New, shut down with Close (optionally Drain first).
 type Server struct {
-	cfg       Config
-	archive   *Archive
+	cfg Config
+	// archive is the content-addressed store behind the memoized tier and
+	// the analytics endpoints; nil when archiving is disabled. The server
+	// depends only on the interface — any archive.Archive implementation
+	// serves.
+	archive archive.Archive
+	// index is the queryable per-cell view over the archive, warmed by the
+	// executor as runs land and refreshed lazily from the store on every
+	// query; nil exactly when archive is.
+	index     *archive.Index
 	reg       *registry
 	sem       chan struct{}
 	streamSem chan struct{}
@@ -222,18 +231,24 @@ func New(cfg Config) (*Server, error) {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	var arch *Archive
+	// The interface field is assigned only from a non-nil *Store: a typed
+	// nil inside a non-nil interface would defeat every `s.archive == nil`
+	// guard below.
+	var arch archive.Archive
+	var index *archive.Index
 	if cfg.ArchiveDir != "" {
-		var err error
-		arch, err = OpenArchive(cfg.ArchiveDir)
+		store, err := archive.Open(cfg.ArchiveDir)
 		if err != nil {
 			return nil, err
 		}
+		arch = store
+		index = archive.NewIndex(store)
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:            cfg,
 		archive:        arch,
+		index:          index,
 		reg:            newRegistry(cfg.MaxRetainedRuns),
 		sem:            make(chan struct{}, cfg.MaxConcurrentRuns),
 		streamSem:      make(chan struct{}, cfg.MaxConcurrentStreams),
@@ -262,8 +277,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/runs/{id}/scenario", s.handleRunScenario)
 	s.mux.HandleFunc("GET /v1/archive", s.handleArchiveList)
-	s.mux.HandleFunc("GET /v1/archive/{digest}/scenario", s.handleArchiveFile(scenarioFile))
-	s.mux.HandleFunc("GET /v1/archive/{digest}/result", s.handleArchiveFile(resultFile))
+	s.mux.HandleFunc("GET /v1/archive/columns", s.handleArchiveColumns)
+	s.mux.HandleFunc("GET /v1/archive/query", s.handleArchiveQuery)
+	s.mux.HandleFunc("GET /v1/archive/diff", s.handleArchiveDiff)
+	s.mux.HandleFunc("GET /v1/archive/{digest}/scenario", s.handleArchiveFile(archive.ScenarioFile))
+	s.mux.HandleFunc("GET /v1/archive/{digest}/result", s.handleArchiveFile(archive.ResultFile))
 }
 
 // ServeHTTP implements http.Handler.
@@ -327,7 +345,7 @@ type infoBody struct {
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	info := infoBody{
 		ScenarioVersion:      scenario.Version,
-		ResultVersion:        resultVersion,
+		ResultVersion:        archive.ResultVersion,
 		CacheMode:            s.cfg.CacheMode,
 		CacheVerifyEvery:     s.cfg.CacheVerifyEvery,
 		MaxConcurrentRuns:    s.cfg.MaxConcurrentRuns,
@@ -444,7 +462,7 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusAccepted, run.summary())
 				return
 			}
-		} else if errors.Is(lookupErr, ErrNotArchived) {
+		} else if errors.Is(lookupErr, archive.ErrNotFound) {
 			s.metrics.cacheMisses.Inc()
 		}
 	}
@@ -616,14 +634,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if ctx.Err() != nil {
 			return
 		}
-		cell := run.cells[i]
+		cols := run.cells[i].Columns()
 		labels := cellEvent{
 			Cell:     i,
-			Graph:    cell.Graph.String(),
-			Algo:     cell.Algo.String(),
-			Workload: cell.Workload.String(),
-			Schedule: displaySchedule(cell.Schedule.String()),
-			Topology: displaySchedule(cell.Topology.String()),
+			Graph:    cols.Graph,
+			Algo:     cols.Algo,
+			Workload: cols.Workload,
+			Schedule: cols.Schedule,
+			Topology: cols.Topology,
 		}
 		if err := enc.send(eventCell, labels); err != nil {
 			return
@@ -642,29 +660,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if res.Err != nil {
 			failures++
 		}
-		rec := resultEvent{Cell: i, CellResult: cellResult(
-			spec, res, labels.Graph, labels.Algo, labels.Workload, cell.Schedule.String(), cell.Topology.String())}
+		rec := resultEvent{Cell: i, CellResult: archive.CellResultOf(spec, res, cols)}
 		if err := enc.send(eventResult, rec); err != nil {
 			return
 		}
 	}
 	enc.send(eventDone, doneEvent{Cells: len(specs), Failures: failures})
-}
-
-func (s *Server) handleArchiveList(w http.ResponseWriter, _ *http.Request) {
-	if s.archive == nil {
-		writeError(w, http.StatusNotFound, "archiving is disabled (no archive dir configured)")
-		return
-	}
-	entries, err := s.archive.List()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	if entries == nil {
-		entries = []ArchiveEntry{}
-	}
-	writeJSON(w, http.StatusOK, entries)
 }
 
 func (s *Server) handleArchiveFile(file string) http.HandlerFunc {
@@ -674,7 +675,7 @@ func (s *Server) handleArchiveFile(file string) http.HandlerFunc {
 			return
 		}
 		scenarioJSON, resultJSON, err := s.archive.Get(r.PathValue("digest"))
-		if errors.Is(err, ErrNotArchived) {
+		if errors.Is(err, archive.ErrNotFound) {
 			writeError(w, http.StatusNotFound, "no such archive entry")
 			return
 		}
@@ -683,7 +684,7 @@ func (s *Server) handleArchiveFile(file string) http.HandlerFunc {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if file == scenarioFile {
+		if file == archive.ScenarioFile {
 			w.Write(scenarioJSON)
 		} else {
 			w.Write(resultJSON)
@@ -795,17 +796,11 @@ func (s *Server) execute(run *run) {
 		s.log.Printf("run %s canceled", run.id)
 		return
 	}
-	metas := make([]cellMeta, len(run.cells))
+	metas := make([]scenario.CellColumns, len(run.cells))
 	for i, cell := range run.cells {
-		metas[i] = cellMeta{
-			graph:    cell.Graph.String(),
-			algo:     cell.Algo.String(),
-			workload: cell.Workload.String(),
-			schedule: cell.Schedule.String(),
-			topology: cell.Topology.String(),
-		}
+		metas[i] = cell.Columns()
 	}
-	resultJSON, failures, err := buildResultDoc(run.family.Name, run.digest, metas, specs, results)
+	resultJSON, failures, err := archive.BuildResultDoc(run.family.Name, run.digest, metas, specs, results)
 	if err != nil {
 		run.finish(StatusFailed, nil, failures, "", err.Error())
 		s.metrics.runsFailed.Inc()
@@ -813,12 +808,12 @@ func (s *Server) execute(run *run) {
 	}
 	archived := ""
 	if s.archive != nil {
-		switch status, err := s.archive.Put(run.digest, run.canonical, resultJSON); status {
-		case PutCreated:
+		switch outcome, err := s.archive.Put(run.digest, run.canonical, resultJSON); {
+		case err == nil && outcome == archive.PutCreated:
 			archived = "created"
-		case PutVerified:
+		case err == nil:
 			archived = "verified"
-		case PutMismatch:
+		case errors.Is(err, archive.ErrMismatch):
 			// Keep the divergent document: it is the evidence of the
 			// regression, served with 409 by the result endpoint.
 			run.finish(StatusFailed, resultJSON, failures, "", err.Error())
@@ -826,7 +821,7 @@ func (s *Server) execute(run *run) {
 			s.metrics.archiveMismatches.Inc()
 			s.log.Printf("run %s: ARCHIVE MISMATCH: %v", run.id, err)
 			return
-		case PutError:
+		default:
 			// An I/O failure, not a reproducibility signal: fail the run
 			// plainly — its archived-result contract cannot be honored.
 			run.finish(StatusFailed, nil, failures, "", err.Error())
@@ -834,6 +829,13 @@ func (s *Server) execute(run *run) {
 			s.log.Printf("run %s: archive write failed: %v", run.id, err)
 			return
 		}
+		// Warm the analytics index from the bytes just archived, so queries
+		// never re-read this executor's own writes. Index damage is loggable,
+		// not run-failing: the entry itself archived fine.
+		if err := s.index.Add(run.digest, run.canonical, resultJSON); err != nil {
+			s.log.Printf("run %s: index: %v", run.id, err)
+		}
+		s.metrics.indexRows.Set(int64(s.index.Rows()))
 		// Seed the failure-count memo so the digest's future cache hits
 		// never re-parse the result document.
 		s.recordHitFailures(run.digest, failures)

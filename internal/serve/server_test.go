@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"detlb/internal/analysis"
+	"detlb/internal/archive"
 	"detlb/internal/scenario"
 	"detlb/internal/trace"
 )
@@ -156,7 +157,7 @@ func TestRunLifecycleAndResult(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("result: %d: %s", code, doc)
 	}
-	var res ResultDoc
+	var res archive.ResultDoc
 	if err := json.Unmarshal(doc, &res); err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestResultMatchesDirectSweep(t *testing.T) {
 	fam := testFamily(t)
 	sum := postScenario(t, ts.URL, fam)
 	_, doc := waitResult(t, ts.URL, sum.ID)
-	var res ResultDoc
+	var res archive.ResultDoc
 	if err := json.Unmarshal(doc, &res); err != nil {
 		t.Fatal(err)
 	}
@@ -474,7 +475,7 @@ func TestFaultedPresetRunSSEAndArchiveReplay(t *testing.T) {
 		t.Fatalf("preset result: %d: %s", code, r1)
 	}
 
-	var doc ResultDoc
+	var doc archive.ResultDoc
 	if err := json.Unmarshal(r1, &doc); err != nil {
 		t.Fatal(err)
 	}
@@ -585,7 +586,7 @@ func TestProtocolPresetRunAndArchiveReplay(t *testing.T) {
 		t.Fatalf("preset result: %d: %s", code, r1)
 	}
 
-	var doc ResultDoc
+	var doc archive.ResultDoc
 	if err := json.Unmarshal(r1, &doc); err != nil {
 		t.Fatal(err)
 	}
@@ -656,7 +657,7 @@ func TestArchiveRoundTrip(t *testing.T) {
 		t.Fatalf("first run: %d", code)
 	}
 
-	var entries []ArchiveEntry
+	var entries []archive.Entry
 	if code := getJSON(t, ts.URL+"/v1/archive", &entries); code != http.StatusOK {
 		t.Fatalf("archive list: %d", code)
 	}
@@ -717,7 +718,7 @@ func TestArchiveMismatchFailsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	arch, err := OpenArchive(dir)
+	arch, err := archive.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -735,7 +736,7 @@ func TestArchiveMismatchFailsRun(t *testing.T) {
 	}
 	// The 409 body is the divergent result document — the evidence of the
 	// regression, diffable against the archived result.
-	var doc ResultDoc
+	var doc archive.ResultDoc
 	if err := json.Unmarshal(body, &doc); err != nil {
 		t.Fatalf("mismatch body is not a result doc: %v (%s)", err, body)
 	}
@@ -816,7 +817,7 @@ func TestRetentionEvictsTerminalRuns(t *testing.T) {
 		t.Fatalf("evicted run still addressable: %d", resp.StatusCode)
 	}
 	// The archive keeps the result: identical scenarios share one entry.
-	var entries []ArchiveEntry
+	var entries []archive.Entry
 	getJSON(t, ts.URL+"/v1/archive", &entries)
 	if len(entries) != 1 {
 		t.Fatalf("archive entries: %+v", entries)

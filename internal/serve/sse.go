@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 
+	"detlb/internal/archive"
 	"detlb/internal/trace"
 )
 
@@ -62,7 +63,7 @@ type snapshotEvent struct {
 // resultEvent closes one cell with its full result record.
 type resultEvent struct {
 	Cell int `json:"cell"`
-	CellResult
+	archive.CellResult
 }
 
 // doneEvent closes the stream.

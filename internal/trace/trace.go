@@ -10,6 +10,7 @@ import (
 	"io"
 	"strconv"
 
+	"detlb/internal/columns"
 	"detlb/internal/core"
 )
 
@@ -112,7 +113,7 @@ func (r *Recorder) ResetState() { r.samples = nil }
 // WriteCSV emits the series with a header row.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	header := []string{"round", "discrepancy", "max", "min"}
+	header := []string{columns.Round, columns.Discrepancy, columns.MaxLoad, columns.MinLoad}
 	withPhi := r.PhiThreshold >= 0
 	if withPhi {
 		header = append(header, fmt.Sprintf("phi_%d", r.PhiThreshold))

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the engine micro-benchmarks and record the perf trajectory.
 #
-# Records six files (by default at the repo root; -o redirects them, so CI
+# Records seven files (by default at the repo root; -o redirects them, so CI
 # runners never need a writable checkout):
 #
 #   BENCH_step.json    — the BenchmarkStep* hot-path benchmarks plus the
@@ -21,7 +21,11 @@
 #   BENCH_serve.json   — the BenchmarkServe* serving-tier benchmarks
 #                        (cache-hit vs cold POST latency over HTTP on the
 #                        expander-headline preset, plus the sustained
-#                        hit-serving throughput in runs/sec).
+#                        hit-serving throughput in runs/sec);
+#   BENCH_archive.json — the BenchmarkArchiveQuery* archive analytics
+#                        benchmarks (filtered projection, grouped recovery
+#                        aggregation, and CSV encoding over a 1000-cell
+#                        warmed index).
 #
 # Each run uses -benchmem -count=$COUNT. The "baseline" section of an
 # existing output file is preserved across runs so future PRs always compare
@@ -140,3 +144,6 @@ record 'BenchmarkProtocol' BENCH_protocol.json \
 
 record 'BenchmarkServe' BENCH_serve.json \
   "serving-tier numbers over real HTTP: CacheHitExpander is a POST of the archived expander-headline preset answered terminally from the archive (one file read, no binding); ColdExpander is the same preset with -cache off (full 9-cell sweep per POST) — the hit/cold ns_op ratio is the memoization speedup and must stay >= 50x; SustainedHitBurst is concurrent clients on a warmed 4-preset mix, runs_per_sec_max its throughput."
+
+record 'BenchmarkArchiveQuery' BENCH_archive.json \
+  "archive analytics numbers over a warmed 1000-cell index (50 entries x 20 cells): Query1000Filtered is a two-clause filtered projection; Query1000Grouped is the acceptance query's shape (count + recovery-rounds mean/max grouped by graph_kind); Query1000CSV is a full-registry projection plus CSV encoding. All three include the per-query store re-list (no new entries), so index refresh overhead is in the measurement."
